@@ -1,0 +1,481 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per figure; see EXPERIMENTS.md for the
+// recorded outputs), plus ablation benchmarks for the design choices
+// called out in DESIGN.md §5 and micro-benchmarks of the hot primitives.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/capacity"
+	"repro/internal/combin"
+	"repro/internal/design"
+	"repro/internal/experiments"
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper figure.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(experiments.Fig2Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig2(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig3(experiments.Fig3Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig3(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := experiments.Fig4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig4(io.Discard, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig5(experiments.Fig5Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig5(io.Discard, curves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig6(experiments.Fig5Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig5(io.Discard, curves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig7(experiments.Fig7Opts{
+			Trials: 2,
+			Bs:     []int{150, 300},
+			Configs: []struct{ N, R, S, KLo, KHi int }{
+				{31, 5, 3, 3, 4},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig7(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig8(experiments.Fig8Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFig8(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Fig9Opts{N: 71})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Fig9Opts{N: 257})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{31, 71, 257} {
+			cells, err := experiments.Fig10(experiments.Fig10Opts{N: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.RenderFig10(io.Discard, cells); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RenderFig11(io.Discard, experiments.Fig11(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem1 sweeps the c-competitiveness constants across the
+// paper's parameter grid (the analytical content of Theorem 1).
+func BenchmarkTheorem1(b *testing.B) {
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{31, 71, 257} {
+			for r := 2; r <= 5; r++ {
+				for s := 1; s <= r; s++ {
+					for x := 0; x < s; x++ {
+						for k := s; k <= 8; k++ {
+							c, alpha, ok := placement.CompetitiveConstants(n, r, s, k, x, 1)
+							if ok {
+								sink += c + alpha
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("no competitive constants computed")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationComboVsSimple quantifies what the DP buys over the
+// best single Simple(x, λ): availability bound per unit of work.
+func BenchmarkAblationComboVsSimple(b *testing.B) {
+	units, err := placement.DefaultUnits(71, 5, 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comboLB, simpleLB int64
+	b.Run("combo-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, lb, err := placement.OptimizeCombo(9600, 5, 3, units)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comboLB = lb
+		}
+	})
+	b.Run("best-single-simple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best := int64(math.MinInt64)
+			for _, u := range units {
+				lambda, err := placement.MinimalLambda(9600, u.CapPerMu, u.Mu)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lb := placement.LBAvailSimple(9600, 5, 3, u.X, lambda); lb > best {
+					best = lb
+				}
+			}
+			simpleLB = best
+		}
+	})
+	if comboLB < simpleLB {
+		b.Fatalf("DP bound %d below best simple %d", comboLB, simpleLB)
+	}
+	b.ReportMetric(float64(comboLB-simpleLB), "extra-objects-guaranteed")
+}
+
+// BenchmarkAblationAdversary compares the three attack engines on the
+// same instance (accuracy is asserted, speed is the measurement).
+func BenchmarkAblationAdversary(b *testing.B) {
+	pl, err := placement.BuildSimple(31, 3, 1, 2, 200, placement.SimpleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, k = 2, 3
+	exact, err := adversary.Exhaustive(pl, s, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adversary.Exhaustive(pl, s, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("branch-and-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.WorstCase(pl, s, k, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != exact.Failed {
+				b.Fatalf("B&B %d != exact %d", res.Failed, exact.Failed)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.Greedy(pl, s, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > exact.Failed {
+				b.Fatalf("greedy %d exceeds exact %d", res.Failed, exact.Failed)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationOverlap contrasts the inter-object correlation of the
+// combinatorial placement against Random: Simple(x, λ) caps pair
+// overlaps at x by construction (the mechanism behind the paper's
+// worst-case wins), while Random merely makes big overlaps unlikely.
+func BenchmarkAblationOverlap(b *testing.B) {
+	const (
+		n, r, s, k = 31, 3, 2, 3
+		objects    = 150
+	)
+	units, err := placement.DefaultUnits(n, r, s, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, _, err := placement.OptimizeCombo(objects, k, s, units)
+	if err != nil {
+		b.Fatal(err)
+	}
+	combo, err := placement.BuildCombo(n, r, spec, objects, placement.SimpleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	random, err := randplace.Generate(placement.Params{N: n, B: objects, R: r, S: s, K: k}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comboPairs, randomPairs int64
+	b.Run("combo-histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist, err := combo.OverlapHistogram(0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comboPairs = hist[2] + hist[3] // pairs overlapping beyond x = 1
+		}
+	})
+	b.Run("random-histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist, err := random.OverlapHistogram(0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			randomPairs = hist[2] + hist[3]
+		}
+	})
+	b.ReportMetric(float64(randomPairs-comboPairs), "extra-high-overlap-pairs-in-random")
+}
+
+// BenchmarkAblationVulnEval compares the early-terminating log-space
+// binomial tail against full summation.
+func BenchmarkAblationVulnEval(b *testing.B) {
+	const (
+		n = 38400
+		f = 600
+	)
+	logP := math.Log(0.01)
+	log1mP := math.Log1p(-0.01)
+	b.Run("early-termination", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combin.LogBinomTailGE(n, f, logP, log1mP)
+		}
+	})
+	b.Run("full-summation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			logSum := math.Inf(-1)
+			for x := f; x <= n; x++ {
+				logSum = combin.LogSumExp(logSum, combin.LogBinomPMF(n, x, logP, log1mP))
+			}
+			_ = logSum
+		}
+	})
+}
+
+// BenchmarkAblationChunking measures the capacity benefit of multi-chunk
+// decompositions (Observation 2) over the single best order.
+func BenchmarkAblationChunking(b *testing.B) {
+	orders, err := capacity.AvailableOrders(2, 5, 700, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var single, chunked int64
+	b.Run("single-chunk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := capacity.BestGap(2, 5, 700, 1, orders)
+			if err != nil {
+				b.Fatal(err)
+			}
+			single = g.Achieved
+		}
+	})
+	b.Run("three-chunks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := capacity.BestGap(2, 5, 700, 3, orders)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunked = g.Achieved
+		}
+	})
+	if chunked < single {
+		b.Fatalf("chunked capacity %d below single %d", chunked, single)
+	}
+	b.ReportMetric(float64(chunked-single), "extra-capacity-numerator")
+}
+
+// BenchmarkAblationIncremental compares the adversary's incremental
+// failure counting against recounting every subset from scratch.
+func BenchmarkAblationIncremental(b *testing.B) {
+	pl, err := placement.BuildSimple(19, 3, 1, 1, 57, placement.SimpleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, k = 2, 3
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adversary.Exhaustive(pl, s, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recount-from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			worst := 0
+			combin.ForEachSubset(pl.N, k, func(nodes []int) bool {
+				failed := combin.NewBitsetFrom(pl.N, nodes)
+				if f := pl.FailedObjects(failed, s); f > worst {
+					worst = f
+				}
+				return true
+			})
+			if worst == 0 {
+				b.Fatal("no damage found")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot primitives.
+// ---------------------------------------------------------------------------
+
+func BenchmarkOptimizeComboLargeB(b *testing.B) {
+	units, err := placement.DefaultUnits(71, 5, 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := placement.OptimizeCombo(38400, 6, 3, units); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrAvailLargeB(b *testing.B) {
+	p := placement.Params{N: 257, B: 38400, R: 5, S: 3, K: 6}
+	for i := 0; i < b.N; i++ {
+		if _, err := randplace.PrAvail(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSimpleSTS69(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.BuildSimple(71, 3, 1, 13, 9600, placement.SimpleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteinerTriple255(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := design.SteinerTriple(255); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpherical65(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := design.Spherical(4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomPlacement(b *testing.B) {
+	p := placement.Params{N: 71, B: 2400, R: 5, S: 3, K: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := randplace.Generate(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstCaseBnB(b *testing.B) {
+	pl, err := randplace.Generate(placement.Params{N: 31, B: 600, R: 5, S: 3, K: 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.WorstCase(pl, 3, 4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

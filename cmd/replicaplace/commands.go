@@ -1,0 +1,195 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// cmdPlan runs the DP and prints the chosen ⟨λx⟩ with its guarantee.
+func cmdPlan(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	constructible := fs.Bool("constructible", false,
+		"restrict to Steiner systems this binary can materialize")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	units, err := placement.DefaultUnits(mf.n, mf.r, mf.s, *constructible)
+	if err != nil {
+		return err
+	}
+	spec, bound, err := placement.OptimizeCombo(mf.b, mf.k, mf.s, units)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "parameters: n=%d r=%d s=%d k=%d b=%d\n", mf.n, mf.r, mf.s, mf.k, mf.b)
+	for x, lambda := range spec.Lambdas {
+		u := spec.Units[x]
+		fmt.Fprintf(w, "  Simple(x=%d): lambda=%-4d mu=%d capacity/mu=%d\n",
+			x, lambda, u.Mu, u.CapPerMu)
+	}
+	fmt.Fprintf(w, "capacity: %d objects\n", spec.Capacity())
+	fmt.Fprintf(w, "guaranteed available under any %d failures: %d of %d (%.2f%%)\n",
+		mf.k, bound, mf.b, 100*float64(bound)/float64(mf.b))
+	pr, err := randplace.PrAvailTable(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "random placement, probably available:        %d of %d (%.2f%%)\n",
+		pr, mf.b, 100*float64(pr)/float64(mf.b))
+	return nil
+}
+
+// cmdPlace materializes a placement and writes it as JSON.
+func cmdPlace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("place", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	out := fs.String("out", "", "output file (default stdout)")
+	strategy := fs.String("strategy", "combo", "combo | random")
+	seed := fs.Int64("seed", 1, "seed for random strategy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var (
+		pl  *placement.Placement
+		err error
+	)
+	switch *strategy {
+	case "combo":
+		units, uerr := placement.DefaultUnits(mf.n, mf.r, mf.s, true)
+		if uerr != nil {
+			return uerr
+		}
+		spec, _, oerr := placement.OptimizeCombo(mf.b, mf.k, mf.s, units)
+		if oerr != nil {
+			return oerr
+		}
+		pl, err = placement.BuildCombo(mf.n, mf.r, spec, mf.b, placement.SimpleOptions{})
+	case "random":
+		pl, err = randplace.Generate(p, *seed)
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+	dst := w
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		dst = f
+	}
+	return pl.EncodeJSON(dst)
+}
+
+// cmdAttack loads a placement and finds its worst k failures.
+func cmdAttack(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	in := fs.String("in", "", "placement JSON file (required)")
+	s := fs.Int("s", 2, "replica failures that fail an object")
+	k := fs.Int("k", 4, "node failures")
+	budget := fs.Int64("budget", 0, "branch-and-bound node budget (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("attack: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pl, err := placement.DecodeJSON(f)
+	if err != nil {
+		return err
+	}
+	res, err := adversary.WorstCase(pl, *s, *k, *budget)
+	if err != nil {
+		return err
+	}
+	mode := "exact"
+	if !res.Exact {
+		mode = "lower bound (budget exhausted)"
+	}
+	fmt.Fprintf(w, "objects: %d, worst %d-node failure fails %d objects (%s)\n",
+		pl.B(), *k, res.Failed, mode)
+	fmt.Fprintf(w, "failed nodes: %v\n", res.Nodes)
+	fmt.Fprintf(w, "Avail = %d (%.2f%%), search visited %d states\n",
+		res.Avail(pl.B()), 100*float64(res.Avail(pl.B()))/float64(pl.B()), res.Visited)
+	return nil
+}
+
+// cmdAnalyze prints the analytic picture for one parameter point.
+func cmdAnalyze(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	units, err := placement.DefaultUnits(mf.n, mf.r, mf.s, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "parameters: n=%d r=%d s=%d k=%d b=%d (load cap %d)\n",
+		mf.n, mf.r, mf.s, mf.k, mf.b, p.Load())
+	fmt.Fprintln(w, "\nper-x Simple placements (minimal lambda per Eqn. 1):")
+	for _, u := range units {
+		lambda, lerr := placement.MinimalLambda(int64(mf.b), u.CapPerMu, u.Mu)
+		if lerr != nil {
+			return lerr
+		}
+		lb := placement.LBAvailSimple(int64(mf.b), mf.k, mf.s, u.X, lambda)
+		fmt.Fprintf(w, "  x=%d: lambda=%-5d lbAvail_si=%d\n", u.X, lambda, lb)
+		if c, alpha, ok := competitive(u, mf); ok {
+			fmt.Fprintf(w, "        c-competitive: Avail(any π') < %.4f·Avail(π) + %.2f\n", c, alpha)
+		}
+	}
+	_, bound, err := placement.OptimizeCombo(mf.b, mf.k, mf.s, units)
+	if err != nil {
+		return err
+	}
+	pr, err := randplace.PrAvailTable(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nCombo (optimized):  lbAvail_co = %d\n", bound)
+	fmt.Fprintf(w, "Random (analysis):  prAvail    = %d\n", pr)
+	if int64(mf.b) > int64(pr) {
+		improvement := float64(bound-int64(pr)) / float64(int64(mf.b)-int64(pr)) * 100
+		fmt.Fprintf(w, "Combo preserves %.0f%% of the objects that probably fail under Random\n",
+			improvement)
+	}
+	if mf.s == 1 {
+		fmt.Fprintf(w, "Lemma 4 bound (s=1): prAvail <= %.1f\n", randplace.Lemma4Bound(p))
+	}
+	return nil
+}
+
+func competitive(u placement.Unit, mf *modelFlags) (float64, float64, bool) {
+	// Reconstruct n_x from the capacity unit is not possible in general;
+	// use n (conservative: c for n_x <= n is larger, so this understates
+	// the guarantee only when chunking was used).
+	return placement.CompetitiveConstants(mf.n, mf.r, mf.s, mf.k, u.X, u.Mu)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// cmdExperiment regenerates the paper's figures.
+func cmdExperiment(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9a,9b,10,11 or all")
+	full := fs.Bool("full", false, "paper-scale runs (slow for figs 2 and 7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runners := map[string]func(io.Writer, bool) error{
+		"2":  runFig2,
+		"3":  runFig3,
+		"4":  runFig4,
+		"5":  runFig5,
+		"6":  runFig6,
+		"7":  runFig7,
+		"8":  runFig8,
+		"9a": runFig9a,
+		"9b": runFig9b,
+		"10": runFig10,
+		"11": runFig11,
+	}
+	if *fig == "all" {
+		for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "9a", "9b", "10", "11"} {
+			fmt.Fprintf(w, "\n===== figure %s =====\n", name)
+			if err := runners[name](w, *full); err != nil {
+				return fmt.Errorf("figure %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	runner, ok := runners[*fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return runner(w, *full)
+}
+
+func runFig2(w io.Writer, full bool) error {
+	points, err := experiments.Fig2(experiments.Fig2Opts{Full: full})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig2(w, points)
+}
+
+func runFig3(w io.Writer, _ bool) error {
+	points, err := experiments.Fig3(experiments.Fig3Opts{})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig3(w, points)
+}
+
+func runFig4(w io.Writer, _ bool) error {
+	entries, err := experiments.Fig4(nil)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig4(w, entries)
+}
+
+func runFig5(w io.Writer, _ bool) error {
+	curves, err := experiments.Fig5(experiments.Fig5Opts{})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig5(w, curves)
+}
+
+func runFig6(w io.Writer, _ bool) error {
+	curves, err := experiments.Fig6(experiments.Fig5Opts{})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig5(w, curves)
+}
+
+func runFig7(w io.Writer, full bool) error {
+	points, err := experiments.Fig7(experiments.Fig7Opts{Full: full})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig7(w, points)
+}
+
+func runFig8(w io.Writer, _ bool) error {
+	points, err := experiments.Fig8(experiments.Fig8Opts{})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderFig8(w, points)
+}
+
+func runFig9a(w io.Writer, _ bool) error {
+	res, err := experiments.Fig9(experiments.Fig9Opts{N: 71})
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+func runFig9b(w io.Writer, _ bool) error {
+	res, err := experiments.Fig9(experiments.Fig9Opts{N: 257})
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+func runFig10(w io.Writer, _ bool) error {
+	for _, n := range []int{31, 71, 257} {
+		cells, err := experiments.Fig10(experiments.Fig10Opts{N: n})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFig10(w, cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig11(w io.Writer, _ bool) error {
+	return experiments.RenderFig11(w, experiments.Fig11(0))
+}

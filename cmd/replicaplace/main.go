@@ -1,0 +1,68 @@
+// Command replicaplace plans, materializes and evaluates worst-case
+// availability-optimal replica placements (Li, Gao & Reiter, ICDCS 2015),
+// and regenerates every figure of the paper's evaluation.
+//
+// Usage:
+//
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600
+//	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
+//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000]
+//	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
+//	replicaplace experiment -fig 9a [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replicaplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: replicaplace <plan|place|attack|analyze|experiment> [flags]")
+	}
+	switch args[0] {
+	case "plan":
+		return cmdPlan(args[1:], w)
+	case "place":
+		return cmdPlace(args[1:], w)
+	case "attack":
+		return cmdAttack(args[1:], w)
+	case "analyze":
+		return cmdAnalyze(args[1:], w)
+	case "compare":
+		return cmdCompare(args[1:], w)
+	case "verify":
+		return cmdVerify(args[1:], w)
+	case "experiment":
+		return cmdExperiment(args[1:], w)
+	case "-h", "--help", "help":
+		fmt.Fprintln(w, "subcommands: plan, place, attack, analyze, compare, verify, experiment")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// modelFlags registers the shared model parameters on a flag set.
+type modelFlags struct {
+	n, r, s, k, b int
+}
+
+func addModelFlags(fs *flag.FlagSet) *modelFlags {
+	mf := &modelFlags{}
+	fs.IntVar(&mf.n, "n", 71, "number of nodes")
+	fs.IntVar(&mf.r, "r", 3, "replicas per object")
+	fs.IntVar(&mf.s, "s", 2, "replica failures that fail an object")
+	fs.IntVar(&mf.k, "k", 4, "worst-case node failures planned for")
+	fs.IntVar(&mf.b, "b", 600, "number of objects")
+	return mf
+}

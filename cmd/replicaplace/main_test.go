@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPlan(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"plan", "-n", "71", "-r", "3", "-s", "2", "-k", "4", "-b", "600"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"guaranteed available", "594 of 600", "random placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlaceAndAttack(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "placement.json")
+	var buf bytes.Buffer
+	err := run([]string{"place", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-out", file}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("placement file not written: %v", err)
+	}
+	buf.Reset()
+	err = run([]string{"attack", "-in", file, "-s", "2", "-k", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"objects: 26", "Avail =", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attack output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlaceRandomStrategy(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"place", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-strategy", "random"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"objects"`) {
+		t.Error("random place did not emit JSON")
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"analyze", "-n", "31", "-r", "5", "-s", "3", "-k", "5", "-b", "1200"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Combo (optimized)", "Random (analysis)", "c-competitive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	// Figures 3, 4 and 11 are cheap end to end.
+	for _, fig := range []string{"3", "4", "11"} {
+		var buf bytes.Buffer
+		if err := run([]string{"experiment", "-fig", fig}, &buf); err != nil {
+			t.Fatalf("experiment -fig %s: %v", fig, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("experiment -fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "2", "-budget", "0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"combo placement", "random placements", "verdict", "overlap histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.json")
+	var buf bytes.Buffer
+	err := run([]string{"place", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-out", file}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	// The combo placement at b = 26 on STS(13) is Simple(1, 1).
+	if err := run([]string{"verify", "-in", file, "-x", "1", "-lambda", "1"}, &buf); err != nil {
+		t.Fatalf("verify: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "SATISFIED") {
+		t.Errorf("verify output:\n%s", buf.String())
+	}
+	// λ = 0 must be reported as violated.
+	buf.Reset()
+	if err := run([]string{"verify", "-in", file, "-x", "1", "-lambda", "0"}, &buf); err == nil {
+		t.Error("verify with λ=0 should fail")
+	}
+	if err := run([]string{"verify"}, &buf); err == nil {
+		t.Error("verify without -in should fail")
+	}
+}
+
+func TestRunExperimentFig8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment", "-fig", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prAvail_rnd/b") {
+		t.Error("fig 8 output missing header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"attack"}, &buf); err == nil {
+		t.Error("attack without -in accepted")
+	}
+	if err := run([]string{"experiment", "-fig", "99"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"plan", "-n", "0"}, &buf); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+	if err := run([]string{"place", "-strategy", "bogus"}, &buf); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"help"}, &buf); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+// gfslike simulates a GFS/HDFS-style chunk store: files are 3-way
+// replicated (r = 3) and a chunk survives as long as ANY replica survives
+// (s = r = 3, the paper's file-system setting). It drives the cluster
+// simulation layer: chunks are admitted over time, nodes fail and
+// recover, and the control plane reports availability — including the
+// adaptive λ growth the paper leaves as future work.
+//
+//	go run ./examples/gfslike
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	c, err := repro.NewCluster(repro.ClusterConfig{
+		Nodes:             13,
+		Replicas:          3,
+		FatalityThreshold: 3, // all replicas must die
+		PlannedFailures:   3,
+		ExpectedObjects:   20, // initial plan; the store will outgrow it
+		Strategy:          repro.StrategyCombo,
+		Seed:              7,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Day 1: ingest 20 chunks (the planned capacity).
+	for i := 0; i < 20; i++ {
+		if err := c.AddObject(fmt.Sprintf("chunk-%04d", i)); err != nil {
+			return err
+		}
+	}
+	st := c.Report()
+	fmt.Printf("day 1: %d chunks placed, lambdas %v, max host load %d\n",
+		st.Objects, st.Lambdas, st.MaxLoad)
+
+	// Day 2: the dataset doubles — capacity grows adaptively.
+	for i := 20; i < 40; i++ {
+		if err := c.AddObject(fmt.Sprintf("chunk-%04d", i)); err != nil {
+			return err
+		}
+	}
+	st = c.Report()
+	fmt.Printf("day 2: %d chunks placed, lambdas grew to %v\n", st.Objects, st.Lambdas)
+
+	// A rack with three hosts burns down.
+	for _, host := range []int{2, 5, 8} {
+		if err := c.FailNode(host); err != nil {
+			return err
+		}
+	}
+	st = c.Report()
+	fmt.Printf("after losing hosts {2, 5, 8}: %d available, %d lost\n",
+		st.AvailableObjects, st.FailedObjects)
+
+	// What would the WORST 3-host failure have done?
+	worst, err := c.WorstCase(3, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worst possible 3-host failure would lose %d chunks (hosts %v)\n",
+		worst.Failed, worst.Nodes)
+
+	// Repair: hosts come back, chunks revive.
+	for _, host := range []int{2, 5, 8} {
+		if err := c.RestoreNode(host); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("after repair: %d available\n", c.Report().AvailableObjects)
+
+	// Retention: old chunks are deleted; their replica slots recycle.
+	for i := 0; i < 10; i++ {
+		if err := c.RemoveObject(fmt.Sprintf("chunk-%04d", i)); err != nil {
+			return err
+		}
+	}
+	for i := 40; i < 50; i++ {
+		if err := c.AddObject(fmt.Sprintf("chunk-%04d", i)); err != nil {
+			return err
+		}
+	}
+	st = c.Report()
+	fmt.Printf("after retention churn: %d chunks, lambdas %v (slots recycled)\n",
+		st.Objects, st.Lambdas)
+	return nil
+}

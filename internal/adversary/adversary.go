@@ -1,0 +1,376 @@
+// Package adversary computes (or bounds) the worst-case k-node failure
+// against a placement: the set K of k nodes maximizing the number of
+// failed objects, where an object fails once s of its replicas lie in K
+// (paper Definition 1: Avail(π) is b minus this maximum).
+//
+// The problem generalizes maximum coverage and is NP-hard, so three
+// engines are provided:
+//
+//   - Exhaustive: enumerate all C(n, k) subsets. Reference oracle for
+//     tests and tiny instances.
+//   - Greedy: greedy marginal-gain selection followed by swap-based local
+//     search. Fast; yields a lower bound on the damage (upper bound on
+//     availability).
+//   - WorstCase: branch-and-bound over candidates ordered by load, seeded
+//     with the greedy incumbent, pruned with the replica-counting bound
+//     failed(K) <= ⌊(Σ_{nd∈K} load(nd)) / s⌋. Exact when it completes
+//     within its node budget; otherwise it degrades gracefully and
+//     reports Exact = false.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/combin"
+	"repro/internal/placement"
+)
+
+// Result reports the outcome of a worst-case search.
+type Result struct {
+	Failed  int   // objects failed by the best attack found
+	Nodes   []int // the attacking node set, sorted
+	Exact   bool  // true if Failed is provably the maximum
+	Visited int64 // search nodes visited (diagnostics/ablation)
+}
+
+// Avail returns b - Failed for the placement the result was computed on.
+func (r Result) Avail(b int) int { return b - r.Failed }
+
+// instance is the preprocessed search state shared by all engines.
+type instance struct {
+	s, k       int
+	candidates []int   // nodes hosting at least one replica, by descending load
+	loads      []int64 // static load per candidate (aligned with candidates)
+	prefix     []int64 // prefix[i] = sum of loads[0:i]
+	objsOf     [][]int32
+	cnt        []int32 // replicas of each object currently failed
+	n          int
+	b          int
+}
+
+func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if s < 1 || s > pl.R {
+		return nil, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
+	}
+	if k < 1 || k >= pl.N {
+		return nil, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
+	}
+	inst := &instance{s: s, k: k, n: pl.N, b: pl.B()}
+	inst.objsOf = make([][]int32, pl.N)
+	var buf []int
+	for obj := 0; obj < pl.B(); obj++ {
+		buf = pl.Objects[obj].Members(buf[:0])
+		for _, nd := range buf {
+			inst.objsOf[nd] = append(inst.objsOf[nd], int32(obj))
+		}
+	}
+	loadsByNode := pl.NodeLoads()
+	for nd, l := range loadsByNode {
+		if l > 0 {
+			inst.candidates = append(inst.candidates, nd)
+		}
+	}
+	sort.Slice(inst.candidates, func(i, j int) bool {
+		return loadsByNode[inst.candidates[i]] > loadsByNode[inst.candidates[j]]
+	})
+	// If fewer than k nodes carry load, pad with empty nodes (they do no
+	// harm, but the attack set must have k members).
+	for nd := 0; nd < pl.N && len(inst.candidates) < k; nd++ {
+		if loadsByNode[nd] == 0 {
+			inst.candidates = append(inst.candidates, nd)
+		}
+	}
+	inst.loads = make([]int64, len(inst.candidates))
+	inst.prefix = make([]int64, len(inst.candidates)+1)
+	for i, nd := range inst.candidates {
+		inst.loads[i] = int64(loadsByNode[nd])
+		inst.prefix[i+1] = inst.prefix[i] + inst.loads[i]
+	}
+	inst.cnt = make([]int32, pl.B())
+	return inst, nil
+}
+
+// add fails candidate i, returning the number of newly failed objects.
+func (in *instance) add(i int) int {
+	newly := 0
+	s := int32(in.s)
+	for _, obj := range in.objsOf[in.candidates[i]] {
+		in.cnt[obj]++
+		if in.cnt[obj] == s {
+			newly++
+		}
+	}
+	return newly
+}
+
+// remove reverts add(i).
+func (in *instance) remove(i int) {
+	for _, obj := range in.objsOf[in.candidates[i]] {
+		in.cnt[obj]--
+	}
+}
+
+// marginal returns how many additional objects fail if candidate i is
+// added to the current set, without mutating state.
+func (in *instance) marginal(i int) int {
+	gain := 0
+	target := int32(in.s - 1)
+	for _, obj := range in.objsOf[in.candidates[i]] {
+		if in.cnt[obj] == target {
+			gain++
+		}
+	}
+	return gain
+}
+
+func (in *instance) reset() {
+	for i := range in.cnt {
+		in.cnt[i] = 0
+	}
+}
+
+// Exhaustive enumerates every k-subset of nodes. Cost is C(n, k) times the
+// incremental update cost; use only when that product is small.
+func Exhaustive(pl *placement.Placement, s, k int) (Result, error) {
+	in, err := newInstance(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(in.candidates)
+	if m < k {
+		// Fewer candidates than k: fail all of them (plus arbitrary nodes).
+		return exhaustTiny(pl, s, k)
+	}
+	best := Result{Failed: -1, Exact: true}
+	cur := make([]int, 0, k)
+	var visited int64
+	var dfs func(start, failed int)
+	dfs = func(start, failed int) {
+		visited++
+		if len(cur) == k {
+			if failed > best.Failed {
+				best.Failed = failed
+				best.Nodes = candidateNodes(in, cur)
+			}
+			return
+		}
+		rem := k - len(cur)
+		for i := start; i <= m-rem; i++ {
+			newly := in.add(i)
+			cur = append(cur, i)
+			dfs(i+1, failed+newly)
+			cur = cur[:len(cur)-1]
+			in.remove(i)
+		}
+	}
+	dfs(0, 0)
+	best.Visited = visited
+	if best.Failed < 0 {
+		best.Failed = 0
+	}
+	return best, nil
+}
+
+// exhaustTiny handles the degenerate case of fewer loaded candidates than
+// k by failing all loaded nodes.
+func exhaustTiny(pl *placement.Placement, s, k int) (Result, error) {
+	failedSet := combin.NewBitset(pl.N)
+	nodes := make([]int, 0, k)
+	loads := pl.NodeLoads()
+	for nd := 0; nd < pl.N && len(nodes) < k; nd++ {
+		if loads[nd] > 0 {
+			failedSet.Set(nd)
+			nodes = append(nodes, nd)
+		}
+	}
+	for nd := 0; nd < pl.N && len(nodes) < k; nd++ {
+		if loads[nd] == 0 {
+			failedSet.Set(nd)
+			nodes = append(nodes, nd)
+		}
+	}
+	sort.Ints(nodes)
+	return Result{
+		Failed: pl.FailedObjects(failedSet, s),
+		Nodes:  nodes,
+		Exact:  true,
+	}, nil
+}
+
+// Greedy picks k nodes by maximum marginal damage, then improves the set
+// with single-swap local search. The result is a valid attack (its damage
+// is a lower bound on the worst case) but is not guaranteed optimal.
+func Greedy(pl *placement.Placement, s, k int) (Result, error) {
+	in, err := newInstance(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(in.candidates)
+	if m < k {
+		return exhaustTiny(pl, s, k)
+	}
+	chosen := make([]bool, m)
+	sel := make([]int, 0, k)
+	failed := 0
+	for len(sel) < k {
+		bestI, bestGain := -1, -1
+		for i := 0; i < m; i++ {
+			if chosen[i] {
+				continue
+			}
+			if g := in.marginal(i); g > bestGain {
+				bestGain = g
+				bestI = i
+			}
+		}
+		failed += in.add(bestI)
+		chosen[bestI] = true
+		sel = append(sel, bestI)
+	}
+	// Swap local search: replace one chosen node with one unchosen node
+	// when it strictly increases damage.
+	improved := true
+	rounds := 0
+	for improved && rounds < 4*k {
+		improved = false
+		rounds++
+		for si, ci := range sel {
+			in.remove(ci)
+			lost := in.marginal(ci) // damage this node was contributing
+			bestI, bestGain := ci, lost
+			for i := 0; i < m; i++ {
+				if chosen[i] { // includes ci itself
+					continue
+				}
+				if g := in.marginal(i); g > bestGain {
+					bestGain = g
+					bestI = i
+				}
+			}
+			in.add(bestI)
+			if bestI != ci {
+				chosen[ci] = false
+				chosen[bestI] = true
+				sel[si] = bestI
+				failed += bestGain - lost
+				improved = true
+			}
+		}
+	}
+	return Result{
+		Failed:  failed,
+		Nodes:   candidateNodes(in, sel),
+		Exact:   false,
+		Visited: int64(rounds) * int64(m),
+	}, nil
+}
+
+// WorstCase runs branch-and-bound seeded with the greedy incumbent. With
+// budget <= 0 the search is unbounded and the result is exact; otherwise
+// the search stops after visiting budget nodes and the incumbent is
+// returned with Exact reflecting whether the search completed.
+func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) {
+	seed, err := Greedy(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	in, err := newInstance(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(in.candidates)
+	if m < k {
+		return seed, nil
+	}
+	best := seed
+	best.Exact = true // until proven otherwise by budget exhaustion
+	cur := make([]int, 0, k)
+	var visited int64
+	exhausted := false
+
+	var dfs func(start int, failed int, loadSum int64)
+	dfs = func(start int, failed int, loadSum int64) {
+		if exhausted {
+			return
+		}
+		visited++
+		if budget > 0 && visited > budget {
+			exhausted = true
+			return
+		}
+		rem := k - len(cur)
+		if rem == 0 {
+			if failed > best.Failed {
+				best.Failed = failed
+				best.Nodes = candidateNodes(in, cur)
+			}
+			return
+		}
+		// Replica-counting bound: any completion adds at most the top rem
+		// remaining loads; s replicas in K are needed per failed object.
+		if start+rem > m {
+			return
+		}
+		maxLoad := loadSum + in.prefix[start+rem] - in.prefix[start]
+		if int(maxLoad/int64(in.s)) <= best.Failed {
+			return
+		}
+		if rem == 1 {
+			// Final level: scan candidates for the best single extension.
+			bestI, bestGain := -1, -1
+			for i := start; i < m; i++ {
+				if g := in.marginal(i); g > bestGain {
+					bestGain = g
+					bestI = i
+				}
+			}
+			if bestI >= 0 && failed+bestGain > best.Failed {
+				cur = append(cur, bestI)
+				best.Failed = failed + bestGain
+				best.Nodes = candidateNodes(in, cur)
+				cur = cur[:len(cur)-1]
+			}
+			return
+		}
+		for i := start; i <= m-rem; i++ {
+			newly := in.add(i)
+			cur = append(cur, i)
+			dfs(i+1, failed+newly, loadSum+in.loads[i])
+			cur = cur[:len(cur)-1]
+			in.remove(i)
+			if exhausted {
+				return
+			}
+		}
+	}
+	dfs(0, 0, 0)
+	best.Visited = visited
+	if exhausted {
+		best.Exact = false
+	}
+	return best, nil
+}
+
+func candidateNodes(in *instance, idxs []int) []int {
+	nodes := make([]int, len(idxs))
+	for i, ci := range idxs {
+		nodes[i] = in.candidates[ci]
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// Avail computes Avail(π) = b − WorstCase damage. It returns the
+// availability, the witnessing failure set, and whether the value is
+// exact.
+func Avail(pl *placement.Placement, s, k int, budget int64) (int, Result, error) {
+	res, err := WorstCase(pl, s, k, budget)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	return pl.B() - res.Failed, res, nil
+}

@@ -1,0 +1,142 @@
+package adversary
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/placement"
+)
+
+// WorstCaseParallel is WorstCase fanned out over worker goroutines: the
+// top-level branches of the search tree (the choice of the first failed
+// candidate) are distributed across workers, which share the incumbent
+// bound through an atomic so that a strong attack found by one worker
+// prunes the others. workers <= 0 selects GOMAXPROCS. The budget, when
+// positive, is shared (approximately) across the whole search.
+//
+// The result equals WorstCase's on exact runs; with a budget, the set of
+// states visited differs between runs, so budgeted results may vary
+// (each is still a valid attack and lower bound on the damage).
+func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers int) (Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seed, err := Greedy(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	// Probe instance to size the search; each worker builds its own.
+	probe, err := newInstance(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(probe.candidates)
+	if m < k || workers == 1 {
+		return WorstCase(pl, s, k, budget)
+	}
+
+	var (
+		mu        sync.Mutex
+		best      = seed
+		bestScore atomic.Int64 // mirror of best.Failed for lock-free pruning
+		visited   atomic.Int64
+		exhausted atomic.Bool
+	)
+	bestScore.Store(int64(seed.Failed))
+	report := func(failed int, nodes []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed > best.Failed {
+			best.Failed = failed
+			best.Nodes = nodes
+			bestScore.Store(int64(failed))
+		}
+	}
+
+	// Top-level branches: first chosen candidate index. Starts are
+	// consumed from a shared counter so fast workers steal work.
+	var nextStart atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in, ierr := newInstance(pl, s, k)
+			if ierr != nil {
+				return // cannot happen: probe succeeded
+			}
+			cur := make([]int, 0, k)
+			var dfs func(start, failed int, loadSum int64)
+			dfs = func(start, failed int, loadSum int64) {
+				if exhausted.Load() {
+					return
+				}
+				if v := visited.Add(1); budget > 0 && v > budget {
+					exhausted.Store(true)
+					return
+				}
+				rem := k - len(cur)
+				if rem == 0 {
+					if int64(failed) > bestScore.Load() {
+						report(failed, candidateNodes(in, cur))
+					}
+					return
+				}
+				if start+rem > m {
+					return
+				}
+				maxLoad := loadSum + in.prefix[start+rem] - in.prefix[start]
+				if maxLoad/int64(in.s) <= bestScore.Load() {
+					return
+				}
+				if rem == 1 {
+					bestI, bestGain := -1, -1
+					for i := start; i < m; i++ {
+						if g := in.marginal(i); g > bestGain {
+							bestGain = g
+							bestI = i
+						}
+					}
+					if bestI >= 0 && int64(failed+bestGain) > bestScore.Load() {
+						cur = append(cur, bestI)
+						report(failed+bestGain, candidateNodes(in, cur))
+						cur = cur[:len(cur)-1]
+					}
+					return
+				}
+				for i := start; i <= m-rem; i++ {
+					newly := in.add(i)
+					cur = append(cur, i)
+					dfs(i+1, failed+newly, loadSum+in.loads[i])
+					cur = cur[:len(cur)-1]
+					in.remove(i)
+					if exhausted.Load() {
+						return
+					}
+				}
+			}
+			for {
+				first := int(nextStart.Add(1)) - 1
+				if first > m-k || exhausted.Load() {
+					return
+				}
+				newly := in.add(first)
+				cur = append(cur[:0], first)
+				dfs(first+1, newly, in.loads[first])
+				cur = cur[:0]
+				in.remove(first)
+			}
+		}()
+	}
+	wg.Wait()
+
+	best.Visited = visited.Load()
+	best.Exact = !exhausted.Load()
+	if best.Nodes == nil {
+		best.Nodes = seed.Nodes
+	}
+	sort.Ints(best.Nodes)
+	return best, nil
+}

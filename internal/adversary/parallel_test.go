@@ -1,0 +1,111 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/combin"
+	"repro/internal/placement"
+)
+
+func TestWorstCaseParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := 10 + rng.Intn(8)
+		r := 2 + rng.Intn(3)
+		b := 20 + rng.Intn(60)
+		s := 1 + rng.Intn(r)
+		k := s + rng.Intn(3)
+		if k >= n {
+			k = n - 1
+		}
+		pl := randomPlacement(rng, n, r, b)
+		seq, err := WorstCase(pl, s, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := WorstCaseParallel(pl, s, k, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Failed != seq.Failed {
+				t.Errorf("trial %d (n=%d r=%d b=%d s=%d k=%d, %d workers): parallel %d != sequential %d",
+					trial, n, r, b, s, k, workers, par.Failed, seq.Failed)
+			}
+			if !par.Exact {
+				t.Error("unbounded parallel search must be exact")
+			}
+			// The witness reproduces the damage.
+			failedSet := combin.NewBitsetFrom(n, par.Nodes)
+			if f := pl.FailedObjects(failedSet, s); f != par.Failed {
+				t.Errorf("parallel witness reproduces %d, reported %d", f, par.Failed)
+			}
+		}
+	}
+}
+
+func TestWorstCaseParallelBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pl := randomPlacement(rng, 24, 3, 300)
+	res, err := WorstCaseParallel(pl, 2, 5, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("tiny budget should not complete exactly")
+	}
+	if res.Failed <= 0 {
+		t.Error("budgeted parallel search lost the greedy incumbent")
+	}
+	exact, err := WorstCase(pl, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > exact.Failed {
+		t.Errorf("budgeted result %d exceeds exact %d", res.Failed, exact.Failed)
+	}
+}
+
+func TestWorstCaseParallelDegenerate(t *testing.T) {
+	// Fewer loaded candidates than k falls back to the sequential path.
+	pl := placement.NewPlacement(10, 2)
+	for i := 0; i < 3; i++ {
+		if err := pl.Add([]int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := WorstCaseParallel(pl, 2, 4, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 3 {
+		t.Errorf("Failed = %d, want 3", res.Failed)
+	}
+	// Single worker delegates to WorstCase.
+	res, err = WorstCaseParallel(pl, 2, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 3 {
+		t.Errorf("single worker Failed = %d, want 3", res.Failed)
+	}
+}
+
+func TestWorstCaseParallelOnStructuredPlacement(t *testing.T) {
+	pl, err := placement.BuildSimple(19, 3, 1, 2, 100, placement.SimpleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := WorstCase(pl, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := WorstCaseParallel(pl, 2, 4, 0, 0) // 0 => GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Failed != seq.Failed {
+		t.Errorf("parallel %d != sequential %d", par.Failed, seq.Failed)
+	}
+}

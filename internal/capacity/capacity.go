@@ -1,0 +1,185 @@
+// Package capacity implements the paper's parameter-selection machinery
+// (Sec. III-C): given a system size n, how close can a Simple(x, λ)
+// placement built from up to m chunks of known Steiner systems
+// (Observation 2) come to the ideal capacity ⌊λ·C(n, x+1)/C(r, x+1)⌋?
+//
+// The "capacity gap" of Figs. 5 and 6 is (ideal − achieved)/ideal, where
+// achieved is maximized over decompositions of the n nodes into at most m
+// chunks whose orders admit designs. Fig. 5 restricts to μ = 1 Steiner
+// systems; Fig. 6 widens the catalog to multiplicities μ ≤ 5 or μ ≤ 10
+// (per-order admissibility is used as the availability criterion for
+// μ > 1, a documented substitution for the survey table the paper cites).
+package capacity
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+	"repro/internal/design"
+)
+
+// Gap describes the best chunk decomposition found for one system size.
+type Gap struct {
+	N        int     // total nodes available
+	Orders   []int   // chosen chunk orders (descending), Σ <= N
+	Ideal    int64   // ideal capacity numerator: C(n, t) (per λ, scaled by C(r,t))
+	Achieved int64   // achieved capacity numerator: Σ C(n_i, t)
+	Frac     float64 // (Ideal − Achieved)/Ideal in [0, 1]; 0 is best
+}
+
+// AvailableOrders returns the orders v in [k, maxV] usable as chunk
+// orders for an (x+1)-(v, r, μ) design with t = x+1 and μ constrained to
+// maxMu:
+//
+//   - maxMu == 1: orders with known μ = 1 Steiner systems (the design
+//     catalog's spectrum knowledge);
+//   - maxMu > 1: orders admissible for some μ <= maxMu (divisibility
+//     conditions), the Fig. 6 relaxation.
+//
+// For t == 1 the usable orders are the multiples of r (partitions), and
+// for t == r every order is usable (complete designs).
+func AvailableOrders(t, r, maxV, maxMu int) ([]int, error) {
+	if t < 1 || t > r {
+		return nil, fmt.Errorf("capacity: t = %d must satisfy 1 <= t <= r = %d", t, r)
+	}
+	if maxMu < 1 {
+		return nil, fmt.Errorf("capacity: maxMu = %d must be positive", maxMu)
+	}
+	var orders []int
+	for v := r; v <= maxV; v++ {
+		usable := false
+		switch {
+		case t == 1:
+			usable = v%r == 0
+		case t == r:
+			usable = true
+		case maxMu == 1:
+			usable = design.SteinerExists(t, v, r)
+		default:
+			for mu := 1; mu <= maxMu && !usable; mu++ {
+				if mu == 1 {
+					usable = design.SteinerExists(t, v, r)
+				} else {
+					usable = design.Admissible(t, v, r, mu)
+				}
+			}
+		}
+		if usable {
+			orders = append(orders, v)
+		}
+	}
+	return orders, nil
+}
+
+// BestDecompositions computes, for every budget 0..maxN, the maximum
+// achievable capacity numerator Σ C(n_i, t) over decompositions into at
+// most m chunks drawn (with repetition) from orders. It returns the DP
+// table achieved[budget] and a choice table for reconstruction.
+func BestDecompositions(t int, orders []int, maxN, m int) (achieved []int64, choose [][]int32) {
+	caps := make([]int64, len(orders))
+	for i, v := range orders {
+		caps[i] = combin.Choose(v, t)
+	}
+	prev := make([]int64, maxN+1)
+	choose = make([][]int32, m+1)
+	for j := 1; j <= m; j++ {
+		cur := make([]int64, maxN+1)
+		choice := make([]int32, maxN+1)
+		for c := 0; c <= maxN; c++ {
+			cur[c] = prev[c]
+			choice[c] = -1
+			for oi, v := range orders {
+				if v > c {
+					break // orders ascend
+				}
+				if cand := caps[oi] + prev[c-v]; cand > cur[c] {
+					cur[c] = cand
+					choice[c] = int32(oi)
+				}
+			}
+		}
+		choose[j] = choice
+		prev = cur
+	}
+	return prev, choose
+}
+
+// BestGap returns the best decomposition of n nodes into at most m chunks
+// for an (x+1)-(·, r, ·) family with t = x+1, using the given order
+// catalog.
+func BestGap(t, r, n, m int, orders []int) (Gap, error) {
+	if n < 1 || m < 1 {
+		return Gap{}, fmt.Errorf("capacity: n = %d and m = %d must be positive", n, m)
+	}
+	achieved, choose := BestDecompositions(t, orders, n, m)
+	g := Gap{
+		N:        n,
+		Ideal:    combin.Choose(n, t),
+		Achieved: achieved[n],
+	}
+	// Reconstruct the chunk orders.
+	budget := n
+	for j := m; j >= 1 && budget > 0; j-- {
+		oi := choose[j][budget]
+		if oi < 0 {
+			continue
+		}
+		g.Orders = append(g.Orders, orders[oi])
+		budget -= orders[oi]
+	}
+	if g.Ideal > 0 {
+		g.Frac = float64(g.Ideal-g.Achieved) / float64(g.Ideal)
+	}
+	return g, nil
+}
+
+// GapCurve computes the capacity gap for every n in [nLo, nHi], sharing
+// one DP pass across all sizes. It reproduces one curve of Fig. 5
+// (maxMu = 1) or Fig. 6 (maxMu > 1).
+func GapCurve(t, r, nLo, nHi, m, maxMu int) ([]Gap, error) {
+	if nLo < 1 || nHi < nLo {
+		return nil, fmt.Errorf("capacity: invalid range [%d, %d]", nLo, nHi)
+	}
+	orders, err := AvailableOrders(t, r, nHi, maxMu)
+	if err != nil {
+		return nil, err
+	}
+	achieved, choose := BestDecompositions(t, orders, nHi, m)
+	gaps := make([]Gap, 0, nHi-nLo+1)
+	for n := nLo; n <= nHi; n++ {
+		g := Gap{N: n, Ideal: combin.Choose(n, t), Achieved: achieved[n]}
+		budget := n
+		for j := m; j >= 1 && budget > 0; j-- {
+			oi := choose[j][budget]
+			if oi < 0 {
+				continue
+			}
+			g.Orders = append(g.Orders, orders[oi])
+			budget -= orders[oi]
+		}
+		if g.Ideal > 0 {
+			g.Frac = float64(g.Ideal-g.Achieved) / float64(g.Ideal)
+		}
+		gaps = append(gaps, g)
+	}
+	return gaps, nil
+}
+
+// CDF summarizes gap values as the fraction of system sizes whose gap is
+// at most each threshold. Thresholds must be ascending.
+func CDF(gaps []Gap, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(gaps) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		count := 0
+		for _, g := range gaps {
+			if g.Frac <= th+1e-12 {
+				count++
+			}
+		}
+		out[i] = float64(count) / float64(len(gaps))
+	}
+	return out
+}

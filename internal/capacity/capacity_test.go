@@ -1,0 +1,221 @@
+package capacity
+
+import (
+	"testing"
+
+	"repro/internal/combin"
+)
+
+func TestAvailableOrders(t *testing.T) {
+	// STS orders within [3, 22].
+	got, err := AvailableOrders(2, 3, 22, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 7, 9, 13, 15, 19, 21}
+	if len(got) != len(want) {
+		t.Fatalf("orders = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("orders = %v, want %v", got, want)
+		}
+	}
+
+	// t = 1: multiples of r.
+	got, err = AvailableOrders(1, 4, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{4, 8, 12, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("t=1 orders = %v, want %v", got, want)
+		}
+	}
+
+	// t = r: every order.
+	got, err = AvailableOrders(3, 3, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // 3, 4, 5, 6
+		t.Fatalf("t=r orders = %v", got)
+	}
+
+	// μ > 1 widens the catalog: 3-(v,5,μ) for μ <= 10 admits far more
+	// orders than the short μ=1 list.
+	mu1, err := AvailableOrders(3, 5, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu10, err := AvailableOrders(3, 5, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mu10) <= len(mu1) {
+		t.Errorf("μ<=10 catalog (%d orders) not larger than μ=1 (%d orders)",
+			len(mu10), len(mu1))
+	}
+
+	if _, err := AvailableOrders(0, 3, 10, 1); err == nil {
+		t.Error("t = 0 accepted")
+	}
+	if _, err := AvailableOrders(2, 3, 10, 0); err == nil {
+		t.Error("maxMu = 0 accepted")
+	}
+}
+
+func TestBestGapSingleChunkExact(t *testing.T) {
+	// n exactly an STS order: gap 0 with one chunk.
+	orders, err := AvailableOrders(2, 3, 21, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BestGap(2, 3, 21, 1, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Frac != 0 {
+		t.Errorf("gap at an exact order = %g, want 0 (got orders %v)", g.Frac, g.Orders)
+	}
+	if len(g.Orders) != 1 || g.Orders[0] != 21 {
+		t.Errorf("decomposition = %v, want [21]", g.Orders)
+	}
+}
+
+func TestBestGapUsesChunks(t *testing.T) {
+	// n = 22 with m = 2: best is 15 + 7 = 22 exactly (C(15,2)+C(7,2) = 126),
+	// beating the single chunk 21 (C(21,2) = 210)... single 21 wins on
+	// capacity. Verify the DP picks the true maximum.
+	orders, err := AvailableOrders(2, 3, 22, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := BestGap(2, 3, 22, 1, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BestGap(2, 3, 22, 2, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Achieved < g1.Achieved {
+		t.Errorf("m=2 achieved %d < m=1 achieved %d", g2.Achieved, g1.Achieved)
+	}
+	// Exhaustive check of the m=2 optimum.
+	var best int64
+	for _, a := range orders {
+		for _, b := range orders {
+			if a+b <= 22 {
+				if c := combin.Choose(a, 2) + combin.Choose(b, 2); c > best {
+					best = c
+				}
+			}
+		}
+		if c := combin.Choose(a, 2); c > best {
+			best = c
+		}
+	}
+	if g2.Achieved != best {
+		t.Errorf("m=2 DP achieved %d, exhaustive best %d", g2.Achieved, best)
+	}
+}
+
+func TestGapCurveMonotoneCoverage(t *testing.T) {
+	// More chunks can only help.
+	g1, err := GapCurve(2, 4, 50, 120, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := GapCurve(2, 4, 50, 120, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1) != len(g3) {
+		t.Fatal("length mismatch")
+	}
+	for i := range g1 {
+		if g3[i].Achieved < g1[i].Achieved {
+			t.Errorf("n=%d: m=3 achieved %d < m=1 achieved %d",
+				g1[i].N, g3[i].Achieved, g1[i].Achieved)
+		}
+		if g3[i].Frac < 0 || g3[i].Frac > 1 {
+			t.Errorf("n=%d: gap %g outside [0,1]", g3[i].N, g3[i].Frac)
+		}
+	}
+}
+
+func TestGapCurvePaperShape(t *testing.T) {
+	// Fig. 5, r=3 panel: with up to 3 chunks of Steiner triple systems,
+	// nearly all system sizes in [50, 800] achieve a very low gap for
+	// x=1 (STS orders are dense: 1,3 mod 6).
+	gaps, err := GapCurve(2, 3, 50, 800, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowGap := 0
+	for _, g := range gaps {
+		if g.Frac <= 0.1 {
+			lowGap++
+		}
+	}
+	if frac := float64(lowGap) / float64(len(gaps)); frac < 0.95 {
+		t.Errorf("r=3, x=1: only %.2f of sizes achieve gap <= 0.1; paper shows nearly all", frac)
+	}
+
+	// Fig. 5, r=5, x=2 panel: the μ=1 catalog for 3-(v,5,1) is sparse, so
+	// most sizes have a large gap.
+	gaps52, err := GapCurve(3, 5, 50, 800, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigGap := 0
+	for _, g := range gaps52 {
+		if g.Frac > 0.3 {
+			bigGap++
+		}
+	}
+	if frac := float64(bigGap) / float64(len(gaps52)); frac < 0.5 {
+		t.Errorf("r=5, x=2, μ=1: only %.2f of sizes have gap > 0.3; paper shows most do", frac)
+	}
+
+	// Fig. 6: allowing μ <= 10 must shrink gaps substantially vs μ = 1.
+	gapsMu10, err := GapCurve(3, 5, 50, 800, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for i := range gaps52 {
+		if gapsMu10[i].Frac < gaps52[i].Frac-1e-9 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("μ <= 10 never improves on μ = 1, contradicting Fig. 6")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	gaps := []Gap{{Frac: 0.0}, {Frac: 0.05}, {Frac: 0.2}, {Frac: 0.9}}
+	out := CDF(gaps, []float64{0, 0.1, 0.5, 1})
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("CDF = %v, want %v", out, want)
+			break
+		}
+	}
+	if got := CDF(nil, []float64{0.5}); got[0] != 0 {
+		t.Error("empty CDF should be zero")
+	}
+}
+
+func TestGapCurveInvalidRange(t *testing.T) {
+	if _, err := GapCurve(2, 3, 10, 5, 1, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := BestGap(2, 3, 0, 1, []int{7}); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func comboConfig() Config {
+	return Config{
+		Nodes:             13,
+		Replicas:          3,
+		FatalityThreshold: 2,
+		PlannedFailures:   3,
+		ExpectedObjects:   20,
+		Strategy:          StrategyCombo,
+		Seed:              1,
+	}
+}
+
+func TestClusterAddRemoveLifecycle(t *testing.T) {
+	c, err := New(comboConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.AddObject(fmt.Sprintf("obj-%d", i)); err != nil {
+			t.Fatalf("AddObject(%d): %v", i, err)
+		}
+	}
+	if err := c.AddObject("obj-3"); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	st := c.Report()
+	if st.Objects != 20 || st.AvailableObjects != 20 || st.FailedObjects != 0 {
+		t.Errorf("Report = %+v", st)
+	}
+	if err := c.RemoveObject("obj-3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveObject("obj-3"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if got := c.Report().Objects; got != 19 {
+		t.Errorf("Objects = %d, want 19", got)
+	}
+	// The freed replica set must be reusable.
+	if err := c.AddObject("obj-3b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterFailureSemantics(t *testing.T) {
+	c, err := New(comboConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddObject("a"); err != nil {
+		t.Fatal(err)
+	}
+	pl, ids, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("Snapshot ids = %v", ids)
+	}
+	replicas := pl.ReplicaNodes(0)
+
+	// Fail s-1 replicas: object stays available.
+	if err := c.FailNode(replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.ObjectAvailable("a"); err != nil || !ok {
+		t.Errorf("object should survive 1 replica failure (s=2): ok=%v err=%v", ok, err)
+	}
+	// Fail the s-th replica: object fails.
+	if err := c.FailNode(replicas[1]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.ObjectAvailable("a"); ok {
+		t.Error("object should fail at s=2 failed replicas")
+	}
+	st := c.Report()
+	if st.FailedObjects != 1 || st.AvailableObjects != 0 {
+		t.Errorf("Report = %+v", st)
+	}
+	// Restore: object revives.
+	if err := c.RestoreNode(replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.ObjectAvailable("a"); !ok {
+		t.Error("object should revive after restore")
+	}
+	// Unknown object and out-of-range nodes error.
+	if _, err := c.ObjectAvailable("zzz"); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if err := c.FailNode(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := c.RestoreNode(99); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestClusterGrowsBeyondPlan(t *testing.T) {
+	cfg := comboConfig()
+	cfg.ExpectedObjects = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admit 4x the planned objects; λ growth must kick in.
+	for i := 0; i < 20; i++ {
+		if err := c.AddObject(fmt.Sprintf("o%d", i)); err != nil {
+			t.Fatalf("AddObject(%d): %v", i, err)
+		}
+	}
+	st := c.Report()
+	if st.Objects != 20 {
+		t.Fatalf("Objects = %d, want 20", st.Objects)
+	}
+	total := 0
+	for _, l := range st.Lambdas {
+		total += l
+	}
+	if total == 0 {
+		t.Error("λ never grew despite exceeding planned capacity")
+	}
+}
+
+func TestClusterRandomStrategy(t *testing.T) {
+	cfg := comboConfig()
+	cfg.Strategy = StrategyRandom
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.AddObject(fmt.Sprintf("o%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Report()
+	if st.Objects != 20 {
+		t.Fatalf("Objects = %d", st.Objects)
+	}
+	// Load stays within the (possibly organically grown) cap; with the
+	// planned b=20, r=3, n=13 the cap is ceil(60/13) = 5.
+	if st.MaxLoad > 6 {
+		t.Errorf("MaxLoad = %d, suspiciously above cap", st.MaxLoad)
+	}
+	if st.Lambdas != nil {
+		t.Error("Random strategy should not report lambdas")
+	}
+}
+
+func TestClusterWorstCase(t *testing.T) {
+	c, err := New(comboConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty cluster: nothing to fail.
+	res, err := c.WorstCase(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Errorf("empty cluster worst case = %d", res.Failed)
+	}
+	for i := 0; i < 15; i++ {
+		if err := c.AddObject(fmt.Sprintf("o%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = c.WorstCase(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Error("small instance should be exact")
+	}
+	if res.Failed < 1 || res.Failed > 15 {
+		t.Errorf("worst case = %d out of range", res.Failed)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	bad := comboConfig()
+	bad.Strategy = 0
+	if _, err := New(bad); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	bad = comboConfig()
+	bad.Replicas = 99
+	if _, err := New(bad); err == nil {
+		t.Error("r > n accepted")
+	}
+}
+
+func TestClusterComboBeatsRandomWorstCase(t *testing.T) {
+	// The paper's headline: for suitable parameters, Combo's worst case
+	// preserves at least as many objects as Random's. Run both at the
+	// same size and compare exactly.
+	mk := func(strategy Strategy) int {
+		cfg := comboConfig()
+		cfg.Strategy = strategy
+		cfg.ExpectedObjects = 26
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 26; i++ {
+			if err := c.AddObject(fmt.Sprintf("o%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.WorstCase(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Failed
+	}
+	comboFailed := mk(StrategyCombo)
+	randomFailed := mk(StrategyRandom)
+	if comboFailed > randomFailed {
+		t.Errorf("Combo worst case fails %d > Random %d objects at n=13 b=26 (paper expects Combo <= Random here)",
+			comboFailed, randomFailed)
+	}
+}

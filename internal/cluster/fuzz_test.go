@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// model is an independent, trivially-correct reference for the cluster's
+// availability reporting: it tracks object replica sets and failed nodes
+// in plain maps.
+type model struct {
+	s       int
+	objects map[string][]int
+	failed  map[int]bool
+}
+
+func (m *model) available() int {
+	count := 0
+	for _, nodes := range m.objects {
+		failedReplicas := 0
+		for _, nd := range nodes {
+			if m.failed[nd] {
+				failedReplicas++
+			}
+		}
+		if failedReplicas < m.s {
+			count++
+		}
+	}
+	return count
+}
+
+// TestClusterRandomOpsAgainstModel drives random operation sequences
+// against both the cluster and the reference model and cross-checks the
+// availability report after every step.
+func TestClusterRandomOpsAgainstModel(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyCombo, StrategyRandom} {
+		strategy := strategy
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := Config{
+				Nodes:             13,
+				Replicas:          3,
+				FatalityThreshold: 1 + rng.Intn(3),
+				PlannedFailures:   3,
+				ExpectedObjects:   10,
+				Strategy:          strategy,
+				Seed:              seed,
+			}
+			if cfg.PlannedFailures < cfg.FatalityThreshold {
+				cfg.PlannedFailures = cfg.FatalityThreshold
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Logf("New: %v", err)
+				return false
+			}
+			m := &model{s: cfg.FatalityThreshold,
+				objects: make(map[string][]int), failed: make(map[int]bool)}
+			next := 0
+			var live []string
+			for op := 0; op < 60; op++ {
+				switch choice := rng.Intn(10); {
+				case choice < 4: // add
+					id := fmt.Sprintf("o%d", next)
+					next++
+					if err := c.AddObject(id); err != nil {
+						t.Logf("AddObject: %v", err)
+						return false
+					}
+					pl, ids, err := c.Snapshot()
+					if err != nil {
+						return false
+					}
+					// Locate the new object's replica set.
+					for i, sid := range ids {
+						if sid == id {
+							m.objects[id] = pl.ReplicaNodes(i)
+						}
+					}
+					live = append(live, id)
+				case choice < 6 && len(live) > 0: // remove
+					i := rng.Intn(len(live))
+					id := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := c.RemoveObject(id); err != nil {
+						t.Logf("RemoveObject: %v", err)
+						return false
+					}
+					delete(m.objects, id)
+				case choice < 8: // fail a node
+					nd := rng.Intn(cfg.Nodes)
+					if err := c.FailNode(nd); err != nil {
+						return false
+					}
+					m.failed[nd] = true
+				default: // restore a node
+					nd := rng.Intn(cfg.Nodes)
+					if err := c.RestoreNode(nd); err != nil {
+						return false
+					}
+					delete(m.failed, nd)
+				}
+				st := c.Report()
+				if st.Objects != len(m.objects) {
+					t.Logf("objects: cluster %d, model %d", st.Objects, len(m.objects))
+					return false
+				}
+				if st.AvailableObjects != m.available() {
+					t.Logf("available: cluster %d, model %d", st.AvailableObjects, m.available())
+					return false
+				}
+				if st.AvailableObjects+st.FailedObjects != st.Objects {
+					t.Log("report does not partition objects")
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Errorf("strategy %v: %v", strategy, err)
+		}
+	}
+}

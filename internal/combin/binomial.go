@@ -1,0 +1,206 @@
+// Package combin provides the combinatorial substrate used throughout the
+// repository: exact and log-space binomial coefficients, numerically stable
+// binomial tail probabilities, k-subset enumeration and (un)ranking, and
+// dense bitsets with fast intersection counting.
+//
+// Every quantity in the paper's analysis (capacities of t-packings,
+// availability lower bounds, the vulnerability of random placement) reduces
+// to expressions over binomial coefficients; this package is the single
+// source of truth for those primitives.
+package combin
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOverflow reports that an exact integer computation would exceed the
+// range of int64.
+var ErrOverflow = errors.New("combin: int64 overflow")
+
+// Binomial returns the binomial coefficient C(n, k) exactly.
+//
+// Following the standard convention it returns 0 (and no error) when k < 0
+// or k > n. Negative n is rejected. If the exact value does not fit in an
+// int64, Binomial returns ErrOverflow.
+func Binomial(n, k int) (int64, error) {
+	if n < 0 {
+		return 0, errors.New("combin: negative n")
+	}
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	if k > n-k {
+		k = n - k
+	}
+	// Multiplicative formula, keeping intermediate values exact:
+	// C(n, i) = C(n, i-1) * (n - i + 1) / i, which always divides evenly.
+	var result int64 = 1
+	for i := 1; i <= k; i++ {
+		factor := int64(n - i + 1)
+		if result > math.MaxInt64/factor {
+			// The multiplication may still be fine after the division,
+			// so retry with the divide-first split via GCD reduction.
+			r, err := binomialCareful(n, k)
+			if err != nil {
+				return 0, err
+			}
+			return r, nil
+		}
+		result = result * factor / int64(i)
+	}
+	return result, nil
+}
+
+// binomialCareful computes C(n, k) with per-step GCD reduction so that it
+// only fails when the true result overflows int64.
+func binomialCareful(n, k int) (int64, error) {
+	var result int64 = 1
+	for i := 1; i <= k; i++ {
+		num := int64(n - i + 1)
+		den := int64(i)
+		g := gcd64(result, den)
+		r := result / g
+		den /= g
+		g = gcd64(num, den)
+		num /= g
+		den /= g
+		if den != 1 {
+			// Cannot happen: C(n, i) is integral, so after reducing against
+			// both factors the denominator must cancel.
+			return 0, errors.New("combin: internal error in binomial reduction")
+		}
+		if r > math.MaxInt64/num {
+			return 0, ErrOverflow
+		}
+		result = r * num
+	}
+	return result, nil
+}
+
+// Choose returns C(n, k), or 0 if the value is undefined or overflows.
+// It is a convenience wrapper for call sites that have already validated
+// their parameter ranges; prefer Binomial when overflow must be detected.
+func Choose(n, k int) int64 {
+	v, err := Binomial(n, k)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// LogBinomial returns ln C(n, k). It returns math.Inf(-1) when k < 0 or
+// k > n (i.e. ln 0), matching the convention of Binomial.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// Multinomial returns n! / (k1! k2! ... km!) for the parts ks, which must
+// sum to n. It returns ErrOverflow if the value exceeds int64.
+func Multinomial(n int, ks ...int) (int64, error) {
+	sum := 0
+	for _, k := range ks {
+		if k < 0 {
+			return 0, errors.New("combin: negative part")
+		}
+		sum += k
+	}
+	if sum != n {
+		return 0, errors.New("combin: parts do not sum to n")
+	}
+	var result int64 = 1
+	remaining := n
+	for _, k := range ks {
+		c, err := Binomial(remaining, k)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 && result > math.MaxInt64/c {
+			return 0, ErrOverflow
+		}
+		result *= c
+		remaining -= k
+	}
+	return result, nil
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// GCD returns the greatest common divisor of a and b, with GCD(0, 0) = 0.
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, with LCM(x, 0) = 0.
+// It returns ErrOverflow if the value exceeds int64 range when computed
+// in int; parameters are expected to be small multiplicities.
+func LCM(a, b int) (int, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	g := GCD(a, b)
+	q := a / g
+	if q != 0 && abs(b) > math.MaxInt/abs(q) {
+		return 0, ErrOverflow
+	}
+	l := q * b
+	if l < 0 {
+		l = -l
+	}
+	return l, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CeilDiv returns ceil(a / b) for b > 0.
+func CeilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return -((-a) / b)
+	}
+	return (a + b - 1) / b
+}
+
+// FloorDiv returns floor(a / b) for b > 0.
+func FloorDiv(a, b int64) int64 {
+	if a < 0 {
+		return -CeilDiv(-a, b)
+	}
+	return a / b
+}

@@ -1,0 +1,187 @@
+package combin
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity dense bit set over {0, ..., n-1}. The zero
+// value is an empty set of capacity 0; use NewBitset to size one.
+//
+// Bitsets are the hot-path representation for replica sets and failure
+// sets: counting how many of an object's replicas lie inside a failed-node
+// set is a word-wise AND plus popcount.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bit set with capacity for n bits.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewBitsetFrom returns a bit set of capacity n with the given members set.
+func NewBitsetFrom(n int, members []int) *Bitset {
+	b := NewBitset(n)
+	for _, m := range members {
+		b.Set(m)
+	}
+	return b
+}
+
+// Len returns the capacity (number of addressable bits).
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i. Out-of-range indices are ignored.
+func (b *Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. Out-of-range indices are ignored.
+func (b *Bitset) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// IntersectCount returns |b ∩ o|. The two sets may have different
+// capacities; bits beyond the shorter capacity do not intersect.
+func (b *Bitset) IntersectCount(o *Bitset) int {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return total
+}
+
+// Intersects reports whether b and o share any member.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every member of b is also a member of o.
+func (b *Bitset) SubsetOf(o *Bitset) bool {
+	for i, w := range b.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o contain exactly the same members.
+func (b *Bitset) Equal(o *Bitset) bool {
+	longer, shorter := b.words, o.words
+	if len(shorter) > len(longer) {
+		longer, shorter = shorter, longer
+	}
+	for i, w := range shorter {
+		if w != longer[i] {
+			return false
+		}
+	}
+	for _, w := range longer[len(shorter):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// UnionWith sets b = b ∪ o in place. o must not exceed b's capacity.
+func (b *Bitset) UnionWith(o *Bitset) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Members appends the members of b to dst and returns the result.
+func (b *Bitset) Members(dst []int) []int {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+bit)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// String renders the set as "{a, b, c}".
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, m := range b.Members(nil) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(m))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package combin
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		b.Set(i)
+	}
+	if got := b.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if !b.Get(64) || b.Get(2) {
+		t.Error("Get returned wrong membership")
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("Clear(64) did not clear")
+	}
+	if got := b.Count(); got != 5 {
+		t.Errorf("Count after clear = %d, want 5", got)
+	}
+}
+
+func TestBitsetOutOfRangeIgnored(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(-1)
+	b.Set(10)
+	b.Clear(-5)
+	b.Clear(99)
+	if b.Count() != 0 {
+		t.Error("out-of-range Set should be ignored")
+	}
+	if b.Get(-1) || b.Get(10) {
+		t.Error("out-of-range Get should be false")
+	}
+}
+
+func TestBitsetIntersectCount(t *testing.T) {
+	a := NewBitsetFrom(200, []int{1, 5, 70, 130, 199})
+	b := NewBitsetFrom(200, []int{5, 70, 131, 199})
+	if got := a.IntersectCount(b); got != 3 {
+		t.Errorf("IntersectCount = %d, want 3", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	c := NewBitsetFrom(200, []int{2, 3})
+	if a.Intersects(c) {
+		t.Error("Intersects disjoint = true, want false")
+	}
+	// Different capacities.
+	d := NewBitsetFrom(64, []int{5})
+	if got := a.IntersectCount(d); got != 1 {
+		t.Errorf("IntersectCount mixed capacity = %d, want 1", got)
+	}
+}
+
+func TestBitsetSubsetEqualClone(t *testing.T) {
+	a := NewBitsetFrom(100, []int{3, 50, 99})
+	b := NewBitsetFrom(100, []int{3, 50, 99, 7})
+	if !a.SubsetOf(b) {
+		t.Error("a should be a subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be a subset of a")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c.Set(0)
+	if a.Equal(c) {
+		t.Error("mutating clone must not affect original")
+	}
+	// Equal across different capacities with same members.
+	d := NewBitsetFrom(300, []int{3, 50, 99})
+	if !a.Equal(d) || !d.Equal(a) {
+		t.Error("Equal should ignore trailing zero words")
+	}
+}
+
+func TestBitsetMembersRoundTrip(t *testing.T) {
+	members := []int{0, 17, 63, 64, 100}
+	b := NewBitsetFrom(128, members)
+	got := b.Members(nil)
+	if !reflect.DeepEqual(got, members) {
+		t.Errorf("Members = %v, want %v", got, members)
+	}
+	if s := b.String(); s != "{0, 17, 63, 64, 100}" {
+		t.Errorf("String = %q", s)
+	}
+	var empty Bitset
+	if s := empty.String(); s != "{}" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+func TestBitsetUnionReset(t *testing.T) {
+	a := NewBitsetFrom(70, []int{1, 2})
+	b := NewBitsetFrom(70, []int{2, 69})
+	a.UnionWith(b)
+	if got := a.Members(nil); !reflect.DeepEqual(got, []int{1, 2, 69}) {
+		t.Errorf("UnionWith = %v", got)
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestBitsetIntersectCountProperty(t *testing.T) {
+	// |A ∩ B| computed via bitset equals the map-based reference.
+	f := func(xs, ys []uint8) bool {
+		a := NewBitset(256)
+		b := NewBitset(256)
+		inA := make(map[int]bool)
+		for _, x := range xs {
+			a.Set(int(x))
+			inA[int(x)] = true
+		}
+		shared := make(map[int]bool)
+		for _, y := range ys {
+			b.Set(int(y))
+			if inA[int(y)] {
+				shared[int(y)] = true
+			}
+		}
+		return a.IntersectCount(b) == len(shared)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetCountProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := NewBitset(256)
+		distinct := make(map[uint8]bool)
+		for _, x := range xs {
+			b.Set(int(x))
+			distinct[x] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBitsetNegative(t *testing.T) {
+	b := NewBitset(-5)
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Error("NewBitset(-5) should be empty with zero capacity")
+	}
+}

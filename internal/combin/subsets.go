@@ -1,0 +1,131 @@
+package combin
+
+// FirstSubset fills dst with the lexicographically first k-subset of
+// {0, ..., n-1}, namely {0, 1, ..., k-1}, and reports whether such a subset
+// exists (k <= n, k >= 0). dst must have length k.
+func FirstSubset(n int, dst []int) bool {
+	k := len(dst)
+	if k > n {
+		return false
+	}
+	for i := range dst {
+		dst[i] = i
+	}
+	return true
+}
+
+// NextSubset advances s, a strictly increasing k-subset of {0, ..., n-1},
+// to its lexicographic successor in place. It reports false when s was the
+// last subset (in which case s is left unchanged).
+func NextSubset(n int, s []int) bool {
+	k := len(s)
+	i := k - 1
+	for i >= 0 && s[i] == n-k+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	s[i]++
+	for j := i + 1; j < k; j++ {
+		s[j] = s[j-1] + 1
+	}
+	return true
+}
+
+// ForEachSubset invokes fn for every k-subset of {0, ..., n-1} in
+// lexicographic order. The slice passed to fn is reused between calls and
+// must not be retained. Iteration stops early if fn returns false.
+func ForEachSubset(n, k int, fn func(s []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	s := make([]int, k)
+	if !FirstSubset(n, s) {
+		return
+	}
+	for {
+		if !fn(s) {
+			return
+		}
+		if !NextSubset(n, s) {
+			return
+		}
+	}
+}
+
+// SubsetRank returns the lexicographic rank (0-based) of the strictly
+// increasing k-subset s of {0, ..., n-1}.
+func SubsetRank(n int, s []int) int64 {
+	k := len(s)
+	var rank int64
+	prev := -1
+	for i, si := range s {
+		for v := prev + 1; v < si; v++ {
+			rank += Choose(n-v-1, k-i-1)
+		}
+		prev = si
+	}
+	return rank
+}
+
+// SubsetUnrank fills dst with the k-subset of {0, ..., n-1} that has the
+// given lexicographic rank, where k = len(dst). It reports false if rank is
+// out of range.
+func SubsetUnrank(n int, rank int64, dst []int) bool {
+	k := len(dst)
+	total := Choose(n, k)
+	if rank < 0 || rank >= total {
+		return false
+	}
+	v := 0
+	for i := 0; i < k; i++ {
+		for {
+			c := Choose(n-v-1, k-i-1)
+			if rank < c {
+				dst[i] = v
+				v++
+				break
+			}
+			rank -= c
+			v++
+		}
+	}
+	return true
+}
+
+// Permutations invokes fn for every permutation of {0, ..., n-1} using
+// Heap's algorithm. The slice passed to fn is reused between calls.
+// Iteration stops early if fn returns false.
+func Permutations(n int, fn func(p []int) bool) {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	if n == 0 {
+		fn(p)
+		return
+	}
+	c := make([]int, n)
+	if !fn(p) {
+		return
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				p[0], p[i] = p[i], p[0]
+			} else {
+				p[c[i]], p[i] = p[i], p[c[i]]
+			}
+			if !fn(p) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}

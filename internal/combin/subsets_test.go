@@ -1,0 +1,171 @@
+package combin
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachSubsetCountsAndOrder(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			var count int64
+			var prev []int
+			ForEachSubset(n, k, func(s []int) bool {
+				count++
+				// Strictly increasing within the subset.
+				for i := 1; i < len(s); i++ {
+					if s[i] <= s[i-1] {
+						t.Fatalf("n=%d k=%d: subset %v not increasing", n, k, s)
+					}
+				}
+				// Lexicographically after the previous subset.
+				if prev != nil && !lexLess(prev, s) {
+					t.Fatalf("n=%d k=%d: %v not after %v", n, k, s, prev)
+				}
+				prev = append(prev[:0], s...)
+				return true
+			})
+			want := Choose(n, k)
+			if count != want {
+				t.Errorf("n=%d k=%d: enumerated %d subsets, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	count := 0
+	ForEachSubset(10, 3, func(s []int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d subsets, want 5", count)
+	}
+}
+
+func TestForEachSubsetInvalidK(t *testing.T) {
+	called := false
+	ForEachSubset(3, 5, func(s []int) bool { called = true; return true })
+	if called {
+		t.Error("ForEachSubset(3, 5) should not invoke fn")
+	}
+	ForEachSubset(3, -1, func(s []int) bool { called = true; return true })
+	if called {
+		t.Error("ForEachSubset(3, -1) should not invoke fn")
+	}
+}
+
+func TestSubsetRankUnrankRoundTrip(t *testing.T) {
+	n, k := 12, 4
+	var rank int64
+	ForEachSubset(n, k, func(s []int) bool {
+		if got := SubsetRank(n, s); got != rank {
+			t.Fatalf("SubsetRank(%v) = %d, want %d", s, got, rank)
+		}
+		dst := make([]int, k)
+		if !SubsetUnrank(n, rank, dst) {
+			t.Fatalf("SubsetUnrank(%d) failed", rank)
+		}
+		if !reflect.DeepEqual(dst, s) {
+			t.Fatalf("SubsetUnrank(%d) = %v, want %v", rank, dst, s)
+		}
+		rank++
+		return true
+	})
+	if rank != Choose(n, k) {
+		t.Fatalf("enumerated %d ranks, want %d", rank, Choose(n, k))
+	}
+}
+
+func TestSubsetUnrankOutOfRange(t *testing.T) {
+	dst := make([]int, 3)
+	if SubsetUnrank(5, -1, dst) {
+		t.Error("SubsetUnrank with negative rank should fail")
+	}
+	if SubsetUnrank(5, Choose(5, 3), dst) {
+		t.Error("SubsetUnrank past the last rank should fail")
+	}
+}
+
+func TestSubsetRankUnrankProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 5 + int(seed%20)
+		k := 1 + int(seed/20)%5
+		if k > n {
+			k = n
+		}
+		total := Choose(n, k)
+		rank := int64(seed) % total
+		dst := make([]int, k)
+		if !SubsetUnrank(n, rank, dst) {
+			return false
+		}
+		return SubsetRank(n, dst) == rank
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstNextSubset(t *testing.T) {
+	s := make([]int, 3)
+	if !FirstSubset(5, s) {
+		t.Fatal("FirstSubset(5, len 3) failed")
+	}
+	if !reflect.DeepEqual(s, []int{0, 1, 2}) {
+		t.Fatalf("FirstSubset = %v", s)
+	}
+	last := []int{2, 3, 4}
+	copy(s, last)
+	if NextSubset(5, s) {
+		t.Errorf("NextSubset past the end returned true, s = %v", s)
+	}
+	if FirstSubset(2, make([]int, 3)) {
+		t.Error("FirstSubset(2, len 3) should fail")
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n := 0; n <= 6; n++ {
+		seen := make(map[string]bool)
+		count := 0
+		Permutations(n, func(p []int) bool {
+			count++
+			key := ""
+			for _, v := range p {
+				key += string(rune('a' + v))
+			}
+			seen[key] = true
+			return true
+		})
+		if int64(count) != want[n] {
+			t.Errorf("Permutations(%d): %d calls, want %d", n, count, want[n])
+		}
+		if int64(len(seen)) != want[n] {
+			t.Errorf("Permutations(%d): %d distinct, want %d", n, len(seen), want[n])
+		}
+	}
+}
+
+func TestPermutationsEarlyStop(t *testing.T) {
+	count := 0
+	Permutations(5, func(p []int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop after %d permutations, want 7", count)
+	}
+}

@@ -1,0 +1,177 @@
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+)
+
+// BacktrackDesign searches for a *complete* t-(v, k, lambda) design by
+// exhaustive backtracking: repeatedly pick the lexicographically smallest
+// under-covered t-subset and try every block through it that keeps the
+// packing property. The search is exact — if it returns ok, the result
+// is a true design; if it exhausts the space within budget, no design
+// exists; if the node budget runs out first, ok is false and the error
+// distinguishes the outcome.
+//
+// This complements the algebraic constructions for small orders outside
+// their families (e.g. 2-(13,4,1) can be *searched* as well as built as
+// PG(2,3)), and upgrades the greedy fallback when exactness matters more
+// than time. Budgets make the worst case (which is super-exponential)
+// explicit.
+func BacktrackDesign(t, v, k, lambda int, budget int64) (*Packing, bool, error) {
+	if t < 1 || k < t || v < k || lambda < 1 {
+		return nil, false, fmt.Errorf("design: invalid parameters t=%d v=%d k=%d lambda=%d", t, v, k, lambda)
+	}
+	if !Admissible(t, v, k, lambda) {
+		return nil, false, fmt.Errorf("design: %d-(%d, %d, %d) fails divisibility", t, v, k, lambda)
+	}
+	target, _ := DesignBlocks(t, v, k, lambda)
+	if budget <= 0 {
+		budget = 1 << 22
+	}
+	// In a complete design every point lies in exactly
+	// λ·C(v-1, t-1)/C(k-1, t-1) blocks; exceeding that is a dead end.
+	degMax := int(combin.FloorDiv(int64(lambda)*combin.Choose(v-1, t-1), combin.Choose(k-1, t-1)))
+	deg := make([]int, v)
+
+	counts := make(map[uint64]int)
+	sub := make([]int, t)
+	forEachTSubset := func(b []int, fn func(key uint64) bool) {
+		combin.ForEachSubset(len(b), t, func(idx []int) bool {
+			for i, j := range idx {
+				sub[i] = b[j]
+			}
+			return fn(encodeSubset(sub))
+		})
+	}
+	canAdd := func(b []int) bool {
+		for _, p := range b {
+			if deg[p] >= degMax {
+				return false
+			}
+		}
+		ok := true
+		forEachTSubset(b, func(key uint64) bool {
+			if counts[key] >= lambda {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	apply := func(b []int, delta int) {
+		for _, p := range b {
+			deg[p] += delta
+		}
+		forEachTSubset(b, func(key uint64) bool {
+			counts[key] += delta
+			return true
+		})
+	}
+
+	// firstOpen returns the smallest t-subset still below lambda.
+	tsub := make([]int, t)
+	firstOpen := func() ([]int, bool) {
+		found := false
+		combin.ForEachSubset(v, t, func(s []int) bool {
+			for i, x := range s {
+				tsub[i] = x
+			}
+			if counts[encodeSubset(tsub)] < lambda {
+				found = true
+				return false
+			}
+			return true
+		})
+		return tsub, found
+	}
+
+	var (
+		blocks  [][]int
+		visited int64
+		out     *Packing
+	)
+	var rec func() (bool, error)
+	rec = func() (bool, error) {
+		visited++
+		if visited > budget {
+			return false, fmt.Errorf("design: backtracking budget %d exhausted", budget)
+		}
+		open, any := firstOpen()
+		if !any {
+			// Every t-subset fully covered: a design.
+			out = &Packing{V: v, K: k, T: t, Lambda: lambda, Blocks: cloneBlocks(blocks)}
+			return true, nil
+		}
+		if int64(len(blocks)) >= target {
+			return false, nil // block budget spent but subsets remain
+		}
+		// Extend `open` to every possible block, choosing the k-t extra
+		// points above-or-around in lexicographic order.
+		base := make([]int, t)
+		copy(base, open)
+		var extend func(b []int, next int) (bool, error)
+		extend = func(b []int, next int) (bool, error) {
+			if len(b) == k {
+				blk := make([]int, k)
+				copy(blk, b)
+				sortBlock(blk)
+				if !canAdd(blk) {
+					return false, nil
+				}
+				apply(blk, +1)
+				blocks = append(blocks, blk)
+				done, err := rec()
+				if err != nil {
+					return false, err
+				}
+				if done {
+					return true, nil
+				}
+				blocks = blocks[:len(blocks)-1]
+				apply(blk, -1)
+				return false, nil
+			}
+			for p := next; p < v; p++ {
+				if containsPoint(b, p) {
+					continue
+				}
+				done, err := extend(append(b, p), p+1)
+				if err != nil || done {
+					return done, err
+				}
+			}
+			return false, nil
+		}
+		return extend(base, 0)
+	}
+	done, err := rec()
+	if err != nil {
+		return nil, false, err
+	}
+	if !done {
+		return nil, false, nil // exhaustive: no such design
+	}
+	return out, true, nil
+}
+
+func cloneBlocks(blocks [][]int) [][]int {
+	out := make([][]int, len(blocks))
+	for i, b := range blocks {
+		nb := make([]int, len(b))
+		copy(nb, b)
+		out[i] = nb
+	}
+	return out
+}
+
+func containsPoint(b []int, p int) bool {
+	for _, x := range b {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package design
+
+import (
+	"testing"
+)
+
+func TestBacktrackFindsSmallSteinerSystems(t *testing.T) {
+	cases := []struct {
+		t_, v, k, lambda int
+	}{
+		{2, 7, 3, 1},  // Fano plane
+		{2, 9, 3, 1},  // STS(9)
+		{2, 13, 3, 1}, // STS(13)
+		{3, 8, 4, 1},  // SQS(8)
+		{2, 13, 4, 1}, // PG(2,3)
+		{2, 7, 3, 2},  // doubled Fano (λ = 2)
+		{1, 12, 4, 1}, // partition
+	}
+	for _, tc := range cases {
+		p, ok, err := BacktrackDesign(tc.t_, tc.v, tc.k, tc.lambda, 0)
+		if err != nil {
+			t.Fatalf("BacktrackDesign(%d,%d,%d,%d): %v", tc.t_, tc.v, tc.k, tc.lambda, err)
+		}
+		if !ok {
+			t.Fatalf("BacktrackDesign(%d,%d,%d,%d): no design found", tc.t_, tc.v, tc.k, tc.lambda)
+		}
+		requireDesign(t, p, "BacktrackDesign")
+	}
+}
+
+func TestBacktrackProvesNonexistence(t *testing.T) {
+	// 2-(6,3,1) fails the point-level divisibility condition.
+	if _, _, err := BacktrackDesign(2, 6, 3, 1, 0); err == nil {
+		t.Error("divisibility-violating parameters accepted")
+	}
+	// 2-(8,3,1) fails the block-level condition.
+	if _, _, err := BacktrackDesign(2, 8, 3, 1, 0); err == nil {
+		t.Error("divisibility-violating parameters accepted")
+	}
+	if testing.Short() {
+		t.Skip("skipping the 2-(16,6,1) exhaustive nonexistence proof in short mode")
+	}
+	// 2-(16,6,1) passes divisibility (16·15/30 = 8 blocks, 3 per point)
+	// but no such design exists; exhaustive search must report that.
+	p, ok, err := BacktrackDesign(2, 16, 6, 1, 1<<24)
+	if err != nil {
+		t.Fatalf("BacktrackDesign(2,16,6,1): %v", err)
+	}
+	if ok {
+		t.Fatalf("BacktrackDesign found a 2-(16,6,1) design, which must not exist: %v", p.Blocks)
+	}
+}
+
+func TestBacktrackBudgetExhaustion(t *testing.T) {
+	// A hard instance with a tiny budget errors rather than spins.
+	_, _, err := BacktrackDesign(3, 14, 4, 1, 50)
+	if err == nil {
+		t.Error("expected budget exhaustion error")
+	}
+}
+
+func TestBacktrackRejectsBadParams(t *testing.T) {
+	if _, _, err := BacktrackDesign(0, 7, 3, 1, 0); err == nil {
+		t.Error("t = 0 accepted")
+	}
+	if _, _, err := BacktrackDesign(2, 2, 3, 1, 0); err == nil {
+		t.Error("v < k accepted")
+	}
+}

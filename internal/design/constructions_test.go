@@ -1,0 +1,323 @@
+package design
+
+import (
+	"testing"
+)
+
+// requireDesign validates p and asserts it is a true t-design.
+func requireDesign(t *testing.T, p *Packing, name string) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: invalid packing: %v", name, err)
+	}
+	if !p.IsDesign() {
+		t.Fatalf("%s: not a design (blocks=%d, want %d)", name, len(p.Blocks),
+			func() int64 { n, _ := DesignBlocks(p.T, p.V, p.K, p.Lambda); return n }())
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p, err := Partition(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Errorf("Partition(13, 4): %d blocks, want 3", len(p.Blocks))
+	}
+	// Exact division: a true 1-design.
+	p2, err := Partition(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p2, "Partition(12,4)")
+	if _, err := Partition(3, 4); err == nil {
+		t.Error("Partition(3, 4) should fail")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	p, err := Complete(6, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p, "Complete(6,3)")
+	if len(p.Blocks) != 20 {
+		t.Errorf("Complete(6,3): %d blocks, want 20", len(p.Blocks))
+	}
+	// Truncated: still a valid packing.
+	p2, err := Complete(6, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Blocks) != 7 {
+		t.Errorf("Complete(6,3,7): %d blocks, want 7", len(p2.Blocks))
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Complete(2, 3, 0); err == nil {
+		t.Error("Complete(2,3) should fail")
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	p, err := AllPairs(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p, "AllPairs(9)")
+	if len(p.Blocks) != 36 {
+		t.Errorf("AllPairs(9): %d blocks, want 36", len(p.Blocks))
+	}
+}
+
+func TestSteinerTripleSystems(t *testing.T) {
+	for _, v := range []int{3, 7, 9, 13, 15, 19, 21, 25, 27, 31, 33, 37, 39, 63, 69} {
+		p, err := SteinerTriple(v)
+		if err != nil {
+			t.Fatalf("SteinerTriple(%d): %v", v, err)
+		}
+		requireDesign(t, p, "STS")
+		if p.V != v {
+			t.Errorf("STS(%d) reports V = %d", v, p.V)
+		}
+	}
+}
+
+func TestSteinerTripleLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping STS(255) in short mode")
+	}
+	p, err := SteinerTriple(255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p, "STS(255)")
+}
+
+func TestSteinerTripleInvalidOrders(t *testing.T) {
+	for _, v := range []int{2, 4, 5, 6, 8, 11, 12, 14, 70} {
+		if _, err := SteinerTriple(v); err == nil {
+			t.Errorf("SteinerTriple(%d): want error", v)
+		}
+	}
+}
+
+func TestBooleanSQS(t *testing.T) {
+	for m := 2; m <= 5; m++ {
+		p, err := BooleanSQS(m)
+		if err != nil {
+			t.Fatalf("BooleanSQS(%d): %v", m, err)
+		}
+		requireDesign(t, p, "BooleanSQS")
+	}
+	if _, err := BooleanSQS(1); err == nil {
+		t.Error("BooleanSQS(1): want error")
+	}
+}
+
+func TestOneFactorization(t *testing.T) {
+	for _, v := range []int{2, 4, 6, 10, 14, 20} {
+		factors, err := OneFactorization(v)
+		if err != nil {
+			t.Fatalf("OneFactorization(%d): %v", v, err)
+		}
+		if len(factors) != v-1 {
+			t.Fatalf("OneFactorization(%d): %d factors, want %d", v, len(factors), v-1)
+		}
+		edgeSeen := make(map[[2]int]int)
+		for fi, factor := range factors {
+			if len(factor) != v/2 {
+				t.Fatalf("v=%d factor %d has %d edges, want %d", v, fi, len(factor), v/2)
+			}
+			vertexSeen := make(map[int]bool)
+			for _, e := range factor {
+				if e[0] >= e[1] {
+					t.Fatalf("v=%d: edge %v not ordered", v, e)
+				}
+				if vertexSeen[e[0]] || vertexSeen[e[1]] {
+					t.Fatalf("v=%d factor %d: vertex repeated", v, fi)
+				}
+				vertexSeen[e[0]] = true
+				vertexSeen[e[1]] = true
+				edgeSeen[e]++
+			}
+		}
+		// Union must be exactly K_v.
+		if len(edgeSeen) != v*(v-1)/2 {
+			t.Fatalf("v=%d: %d distinct edges, want %d", v, len(edgeSeen), v*(v-1)/2)
+		}
+		for e, c := range edgeSeen {
+			if c != 1 {
+				t.Fatalf("v=%d: edge %v appears %d times", v, e, c)
+			}
+		}
+	}
+	if _, err := OneFactorization(5); err == nil {
+		t.Error("OneFactorization(5): want error")
+	}
+}
+
+func TestDoubleSQS(t *testing.T) {
+	sqs4, err := SQS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqs8, err := DoubleSQS(sqs4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, sqs8, "DoubleSQS(4)")
+
+	sqs10, err := Spherical(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqs20, err := DoubleSQS(sqs10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, sqs20, "DoubleSQS(10)")
+
+	sts, _ := SteinerTriple(7)
+	if _, err := DoubleSQS(sts); err == nil {
+		t.Error("DoubleSQS of an STS should fail")
+	}
+}
+
+func TestSQSDispatcher(t *testing.T) {
+	for _, v := range []int{4, 8, 10, 16, 20, 28, 32, 40} {
+		p, err := SQS(v)
+		if err != nil {
+			t.Fatalf("SQS(%d): %v", v, err)
+		}
+		requireDesign(t, p, "SQS")
+		if p.V != v {
+			t.Errorf("SQS(%d) reports V = %d", v, p.V)
+		}
+	}
+	// Existing but not constructible here.
+	for _, v := range []int{14, 26, 70} {
+		if !SQSExists(v) {
+			t.Errorf("SQSExists(%d) = false, want true", v)
+		}
+		if SQSConstructible(v) {
+			t.Errorf("SQSConstructible(%d) = true, want false", v)
+		}
+		if _, err := SQS(v); err == nil {
+			t.Errorf("SQS(%d): want error", v)
+		}
+	}
+	// Non-existing orders.
+	for _, v := range []int{6, 9, 12, 18} {
+		if SQSExists(v) {
+			t.Errorf("SQSExists(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestAGLines(t *testing.T) {
+	tests := []struct{ d, q int }{{2, 3}, {3, 3}, {2, 4}, {3, 4}, {2, 5}, {2, 7}}
+	for _, tt := range tests {
+		p, err := AGLines(tt.d, tt.q)
+		if err != nil {
+			t.Fatalf("AGLines(%d, %d): %v", tt.d, tt.q, err)
+		}
+		requireDesign(t, p, "AGLines")
+		wantV := 1
+		for i := 0; i < tt.d; i++ {
+			wantV *= tt.q
+		}
+		if p.V != wantV || p.K != tt.q || p.T != 2 {
+			t.Errorf("AGLines(%d, %d): got %d-(%d, %d)", tt.d, tt.q, p.T, p.V, p.K)
+		}
+	}
+	if _, err := AGLines(1, 3); err == nil {
+		t.Error("AGLines(1, 3): want error")
+	}
+	if _, err := AGLines(2, 6); err == nil {
+		t.Error("AGLines(2, 6): want error for non prime power")
+	}
+}
+
+func TestPGLines(t *testing.T) {
+	tests := []struct {
+		d, q, wantV int
+	}{{2, 2, 7}, {2, 3, 13}, {3, 3, 40}, {2, 4, 21}, {3, 4, 85}}
+	for _, tt := range tests {
+		p, err := PGLines(tt.d, tt.q)
+		if err != nil {
+			t.Fatalf("PGLines(%d, %d): %v", tt.d, tt.q, err)
+		}
+		requireDesign(t, p, "PGLines")
+		if p.V != tt.wantV || p.K != tt.q+1 || p.T != 2 {
+			t.Errorf("PGLines(%d, %d): got %d-(%d, %d), want v=%d", tt.d, tt.q, p.T, p.V, p.K, tt.wantV)
+		}
+	}
+	if _, err := PGLines(1, 3); err == nil {
+		t.Error("PGLines(1, 3): want error")
+	}
+}
+
+func TestSpherical(t *testing.T) {
+	tests := []struct {
+		q, d, wantV int
+	}{{3, 2, 10}, {4, 2, 17}, {3, 3, 28}, {5, 2, 26}}
+	for _, tt := range tests {
+		p, err := Spherical(tt.q, tt.d)
+		if err != nil {
+			t.Fatalf("Spherical(%d, %d): %v", tt.q, tt.d, err)
+		}
+		requireDesign(t, p, "Spherical")
+		if p.V != tt.wantV || p.K != tt.q+1 || p.T != 3 {
+			t.Errorf("Spherical(%d, %d): got %d-(%d, %d), want v=%d",
+				tt.q, tt.d, p.T, p.V, p.K, tt.wantV)
+		}
+	}
+	if _, err := Spherical(3, 1); err == nil {
+		t.Error("Spherical(3, 1): want error")
+	}
+	if _, err := Spherical(6, 2); err == nil {
+		t.Error("Spherical(6, 2): want error for non prime power")
+	}
+}
+
+func TestSphericalMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 3-(65,5,1) in short mode")
+	}
+	p, err := Spherical(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p, "Spherical(4,3) = 3-(65,5,1)")
+}
+
+func TestSphericalLargePaperOrders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 3-(82,4,1) and 3-(257,5,1) in short mode")
+	}
+	// The SQS(82) used by the doubling closure.
+	p82, err := Spherical(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDesign(t, p82, "Spherical(3,4) = 3-(82,4,1)")
+	// The n = 257, r = 5, x = 2 system of Fig. 4.
+	p257, err := Spherical(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p257.V != 257 || len(p257.Blocks) != 279616 {
+		t.Fatalf("3-(257,5,1): v=%d blocks=%d, want 257 and 279616", p257.V, len(p257.Blocks))
+	}
+	if err := p257.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p257.IsDesign() {
+		t.Error("3-(257,5,1) is not a design")
+	}
+}

@@ -1,0 +1,47 @@
+package design_test
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+)
+
+// ExampleSteinerTriple builds the Fano plane, the smallest nontrivial
+// Steiner triple system.
+func ExampleSteinerTriple() {
+	sts, err := design.SteinerTriple(7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("blocks:", len(sts.Blocks))
+	fmt.Println("is design:", sts.IsDesign())
+	// Output:
+	// blocks: 7
+	// is design: true
+}
+
+// ExampleBuildSteiner dispatches to the construction families by
+// parameters: here the projective plane of order 3 (2-(13,4,1)).
+func ExampleBuildSteiner() {
+	d, err := design.BuildSteiner(2, 13, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d-(%d, %d, %d) with %d blocks\n", d.T, d.V, d.K, d.Lambda, len(d.Blocks))
+	// Output:
+	// 2-(13, 4, 1) with 13 blocks
+}
+
+// ExampleGreedyPacking builds a maximal packing for an order with no
+// algebraic construction; the packing property still holds.
+func ExampleGreedyPacking() {
+	p, err := design.GreedyPacking(3, 14, 4, 1, 42, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("valid:", p.Validate() == nil)
+	fmt.Println("within bound:", int64(len(p.Blocks)) <= p.MaxBlocks())
+	// Output:
+	// valid: true
+	// within bound: true
+}

@@ -1,0 +1,271 @@
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+)
+
+// AGLines returns the 2-(q^d, q, 1) design whose points are the vectors of
+// the affine space AG(d, q) and whose blocks are its lines
+// {p + t·dir : t ∈ GF(q)}. q must be a prime power and d >= 2.
+func AGLines(d, q int) (*Packing, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("design: AGLines needs d >= 2, got %d", d)
+	}
+	field, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("design: AGLines: %w", err)
+	}
+	v := 1
+	for i := 0; i < d; i++ {
+		if v > gf.MaxOrder {
+			return nil, fmt.Errorf("design: AGLines(%d, %d) too large", d, q)
+		}
+		v *= q
+	}
+
+	encode := func(vec []int) int {
+		e := 0
+		for i := d - 1; i >= 0; i-- {
+			e = e*q + vec[i]
+		}
+		return e
+	}
+	decode := func(e int, vec []int) {
+		for i := 0; i < d; i++ {
+			vec[i] = e % q
+			e /= q
+		}
+	}
+
+	directions := canonicalVectors(d, q)
+	blocks := make([][]int, 0, int64(v/q)*int64(len(directions)))
+	visited := make([]bool, v)
+	p := make([]int, d)
+	pt := make([]int, d)
+	for _, dir := range directions {
+		for i := range visited {
+			visited[i] = false
+		}
+		for start := 0; start < v; start++ {
+			if visited[start] {
+				continue
+			}
+			decode(start, p)
+			line := make([]int, 0, q)
+			for t := 0; t < q; t++ {
+				for i := 0; i < d; i++ {
+					pt[i] = field.Add(p[i], field.Mul(t, dir[i]))
+				}
+				e := encode(pt)
+				visited[e] = true
+				line = append(line, e)
+			}
+			blocks = append(blocks, sortBlock(line))
+		}
+	}
+	return &Packing{V: v, K: q, T: 2, Lambda: 1, Blocks: blocks}, nil
+}
+
+// PGLines returns the 2-((q^{d+1}-1)/(q-1), q+1, 1) design whose points are
+// the points of the projective space PG(d, q) and whose blocks are its
+// lines. q must be a prime power and d >= 2.
+func PGLines(d, q int) (*Packing, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("design: PGLines needs d >= 2, got %d", d)
+	}
+	field, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("design: PGLines: %w", err)
+	}
+	points := canonicalVectors(d+1, q)
+	v := len(points)
+	index := make(map[string]int, v)
+	for i, p := range points {
+		index[vecKey(p)] = i
+	}
+	canonIndex := func(vec []int) int {
+		// Scale so the first nonzero coordinate is 1.
+		lead := -1
+		for i, c := range vec {
+			if c != 0 {
+				lead = i
+				break
+			}
+		}
+		inv, _ := field.Inv(vec[lead])
+		canon := make([]int, len(vec))
+		for i, c := range vec {
+			canon[i] = field.Mul(c, inv)
+		}
+		return index[vecKey(canon)]
+	}
+
+	var blocks [][]int
+	tmp := make([]int, d+1)
+	line := make([]int, 0, q+1)
+	for i := 0; i < v; i++ {
+		for j := i + 1; j < v; j++ {
+			// The line through points i and j: {P_i} ∪ {P_j + t·P_i}.
+			line = line[:0]
+			line = append(line, i)
+			for t := 0; t < q; t++ {
+				for c := range tmp {
+					tmp[c] = field.Add(points[j][c], field.Mul(t, points[i][c]))
+				}
+				line = append(line, canonIndex(tmp))
+			}
+			sort.Ints(line)
+			// Keep each line exactly once: when (i, j) are its two
+			// smallest points.
+			if line[0] != i || line[1] != j {
+				continue
+			}
+			b := make([]int, len(line))
+			copy(b, line)
+			blocks = append(blocks, b)
+		}
+	}
+	return &Packing{V: v, K: q + 1, T: 2, Lambda: 1, Blocks: blocks}, nil
+}
+
+// Spherical returns the 3-(q^d + 1, q+1, 1) design (a Möbius or
+// "spherical" design) whose points are GF(q^d) ∪ {∞} and whose blocks are
+// the images of the subline GF(q) ∪ {∞} under Möbius transformations, for
+// q a prime power and d >= 2. For q = 3 these are Steiner quadruple
+// systems; for q = 4 they are the 3-(17,5,1), 3-(65,5,1), 3-(257,5,1)
+// systems the paper uses for r = 5.
+//
+// Generation uses 3-transitivity: every triple of points lies in exactly
+// one block, and the block through (a, b, c) is the image of the base
+// subline under the Möbius map sending (0, 1, ∞) to (a, b, c). A block is
+// emitted when the triple examined is its three smallest points.
+func Spherical(q, d int) (*Packing, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("design: Spherical needs d >= 2, got %d", d)
+	}
+	order := 1
+	for i := 0; i < d; i++ {
+		if order > gf.MaxOrder {
+			return nil, fmt.Errorf("design: Spherical(%d, %d) too large", q, d)
+		}
+		order *= q
+	}
+	field, err := gf.New(order)
+	if err != nil {
+		return nil, fmt.Errorf("design: Spherical: %w", err)
+	}
+	// The subfield GF(q) inside GF(q^d): fixed points of x -> x^q.
+	subline := make([]int, 0, q+1)
+	for x := 0; x < order; x++ {
+		if field.Pow(x, q) == x {
+			subline = append(subline, x)
+		}
+	}
+	if len(subline) != q {
+		return nil, fmt.Errorf("design: subfield of GF(%d) has %d elements, want %d",
+			order, len(subline), q)
+	}
+	infinity := order // the point ∞
+	v := order + 1
+
+	// blockThrough fills dst with the q+1 points of the unique block
+	// through the distinct points a < b < c (so only c may be ∞).
+	blockThrough := func(a, b, c int, dst []int) []int {
+		dst = dst[:0]
+		if c == infinity {
+			// M(x) = (b-a)·x + a maps (0,1,∞) to (a,b,∞).
+			slope := field.Sub(b, a)
+			for _, x := range subline {
+				dst = append(dst, field.Add(field.Mul(slope, x), a))
+			}
+			dst = append(dst, infinity)
+			return dst
+		}
+		// All finite: M(x) = (c·t·x + a) / (t·x + 1) with
+		// t = (b-a)/(c-b), mapping (0,1,∞) to (a,b,c).
+		t, err := field.Div(field.Sub(b, a), field.Sub(c, b))
+		if err != nil || t == 0 {
+			// Unreachable for distinct a, b, c; guard regardless.
+			return dst
+		}
+		ct := field.Mul(c, t)
+		for _, x := range subline {
+			den := field.Add(field.Mul(t, x), 1)
+			if den == 0 {
+				dst = append(dst, infinity)
+				continue
+			}
+			num := field.Add(field.Mul(ct, x), a)
+			val, _ := field.Div(num, den)
+			dst = append(dst, val)
+		}
+		dst = append(dst, c) // M(∞) = c·t/t = c
+		return dst
+	}
+
+	count, _ := DesignBlocks(3, v, q+1, 1)
+	blocks := make([][]int, 0, count)
+	buf := make([]int, 0, q+1)
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			for c := b + 1; c < v; c++ {
+				buf = blockThrough(a, b, c, buf)
+				sort.Ints(buf)
+				if len(buf) != q+1 || buf[0] != a || buf[1] != b || buf[2] != c {
+					continue
+				}
+				blk := make([]int, q+1)
+				copy(blk, buf)
+				blocks = append(blocks, blk)
+			}
+		}
+	}
+	return &Packing{V: v, K: q + 1, T: 3, Lambda: 1, Blocks: blocks}, nil
+}
+
+// canonicalVectors enumerates the nonzero vectors of GF(q)^n whose first
+// nonzero coordinate is 1 — canonical representatives of projective
+// points.
+func canonicalVectors(n, q int) [][]int {
+	var out [][]int
+	vec := make([]int, n)
+	var rec func(i int, leadSeen bool)
+	rec = func(i int, leadSeen bool) {
+		if i == n {
+			if leadSeen {
+				cp := make([]int, n)
+				copy(cp, vec)
+				out = append(out, cp)
+			}
+			return
+		}
+		if !leadSeen {
+			// Coordinate may be 0 (still waiting for the lead) or 1 (lead).
+			vec[i] = 0
+			rec(i+1, false)
+			vec[i] = 1
+			rec(i+1, true)
+			vec[i] = 0
+			return
+		}
+		for c := 0; c < q; c++ {
+			vec[i] = c
+			rec(i+1, true)
+		}
+		vec[i] = 0
+	}
+	rec(0, false)
+	return out
+}
+
+func vecKey(vec []int) string {
+	b := make([]byte, 2*len(vec))
+	for i, c := range vec {
+		b[2*i] = byte(c >> 8)
+		b[2*i+1] = byte(c)
+	}
+	return string(b)
+}

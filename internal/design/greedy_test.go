@@ -1,0 +1,104 @@
+package design
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyPackingIsValid(t *testing.T) {
+	tests := []struct {
+		t_, v, k, lambda int
+	}{
+		{2, 14, 4, 1},
+		{2, 26, 5, 1},
+		{3, 14, 4, 1},
+		{3, 26, 5, 1},
+		{4, 23, 5, 1},
+		{2, 19, 3, 2},
+		{3, 12, 4, 3},
+	}
+	for _, tt := range tests {
+		p, err := GreedyPacking(tt.t_, tt.v, tt.k, tt.lambda, 1, 0)
+		if err != nil {
+			t.Fatalf("GreedyPacking(%d,%d,%d,%d): %v", tt.t_, tt.v, tt.k, tt.lambda, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("GreedyPacking(%d,%d,%d,%d) invalid: %v", tt.t_, tt.v, tt.k, tt.lambda, err)
+		}
+		if len(p.Blocks) == 0 {
+			t.Errorf("GreedyPacking(%d,%d,%d,%d): no blocks", tt.t_, tt.v, tt.k, tt.lambda)
+		}
+		if int64(len(p.Blocks)) > p.MaxBlocks() {
+			t.Errorf("GreedyPacking exceeds the Lemma 1 bound: %d > %d",
+				len(p.Blocks), p.MaxBlocks())
+		}
+	}
+}
+
+func TestGreedyPackingCapacityQuality(t *testing.T) {
+	// For STS orders, greedy should reach a substantial fraction of the
+	// design bound (it cannot reach it exactly in general, but far-off
+	// results indicate a bug in the sweep phase).
+	p, err := GreedyPacking(2, 15, 3, 1, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := p.MaxBlocks() // 35 for STS(15)
+	if int64(len(p.Blocks)) < bound*6/10 {
+		t.Errorf("greedy 2-(15,3,1) reached %d blocks, bound %d: below 60%%", len(p.Blocks), bound)
+	}
+}
+
+func TestGreedyPackingDeterministic(t *testing.T) {
+	a, err := GreedyPacking(3, 14, 4, 1, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyPacking(3, 14, 4, 1, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Blocks, b.Blocks) {
+		t.Error("GreedyPacking not deterministic for a fixed seed")
+	}
+}
+
+func TestGreedyPackingMaxBlocks(t *testing.T) {
+	p, err := GreedyPacking(2, 15, 3, 1, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 5 {
+		t.Errorf("maxBlocks=5: got %d blocks", len(p.Blocks))
+	}
+}
+
+func TestGreedyPackingRejectsBadParameters(t *testing.T) {
+	bad := [][4]int{{0, 10, 3, 1}, {2, 2, 3, 1}, {4, 10, 3, 1}, {2, 10, 3, 0}}
+	for _, b := range bad {
+		if _, err := GreedyPacking(b[0], b[1], b[2], b[3], 1, 0); err == nil {
+			t.Errorf("GreedyPacking(%v): want error", b)
+		}
+	}
+}
+
+func TestGreedyPackingPropertyRandomParams(t *testing.T) {
+	f := func(seed int64, raw uint32) bool {
+		v := 6 + int(raw%12)
+		k := 3 + int(raw/12)%3
+		if k > v {
+			k = v
+		}
+		tt := 2
+		lambda := 1 + int(raw/100)%2
+		p, err := GreedyPacking(tt, v, k, lambda, seed, 0)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

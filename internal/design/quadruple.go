@@ -1,0 +1,166 @@
+package design
+
+import (
+	"fmt"
+)
+
+// BooleanSQS returns the Steiner quadruple system SQS(2^m), the
+// 3-(2^m, 4, 1) design whose blocks are the 4-subsets {a, b, c, d} of
+// GF(2)^m (encoded as integers) with a ⊕ b ⊕ c ⊕ d = 0 — the planes of the
+// Boolean affine geometry AG(m, 2).
+func BooleanSQS(m int) (*Packing, error) {
+	if m < 2 || m > 12 {
+		return nil, fmt.Errorf("design: BooleanSQS needs 2 <= m <= 12, got %d", m)
+	}
+	v := 1 << m
+	var blocks [][]int
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			for c := b + 1; c < v; c++ {
+				d := a ^ b ^ c
+				if d > c {
+					blocks = append(blocks, []int{a, b, c, d})
+				}
+			}
+		}
+	}
+	return &Packing{V: v, K: 4, T: 3, Lambda: 1, Blocks: blocks}, nil
+}
+
+// OneFactorization returns a partition of the edge set of the complete
+// graph K_v (v even) into v-1 perfect matchings ("1-factors") using the
+// standard round-robin circle method. Factor f contains the edge
+// {v-1, f} and the edges {(f+j) mod (v-1), (f-j) mod (v-1)} for
+// 1 <= j <= v/2 - 1.
+func OneFactorization(v int) ([][][2]int, error) {
+	if v < 2 || v%2 != 0 {
+		return nil, fmt.Errorf("design: 1-factorization needs even v >= 2, got %d", v)
+	}
+	m := v - 1
+	factors := make([][][2]int, m)
+	for f := 0; f < m; f++ {
+		pairs := make([][2]int, 0, v/2)
+		pairs = append(pairs, orderedPair(v-1, f))
+		for j := 1; j <= v/2-1; j++ {
+			a := ((f+j)%m + m) % m
+			b := ((f-j)%m + m) % m
+			pairs = append(pairs, orderedPair(a, b))
+		}
+		factors[f] = pairs
+	}
+	return factors, nil
+}
+
+func orderedPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// DoubleSQS builds SQS(2v) from SQS(v) using Hanani's doubling
+// construction: on the point set V x {0, 1}, take (i) two disjoint copies
+// of the inner system, and (ii) for every 1-factor F of K_v and every two
+// edges {x, y}, {z, w} of F, the block {x₀, y₀, z₁, w₁}.
+func DoubleSQS(inner *Packing) (*Packing, error) {
+	if inner.T != 3 || inner.K != 4 || inner.Lambda != 1 {
+		return nil, fmt.Errorf("design: DoubleSQS needs an SQS, got %d-(%d,%d,%d)",
+			inner.T, inner.V, inner.K, inner.Lambda)
+	}
+	v := inner.V
+	factors, err := OneFactorization(v)
+	if err != nil {
+		return nil, err
+	}
+	level := func(x, lvl int) int { return x + lvl*v }
+
+	var blocks [][]int
+	for _, b := range inner.Blocks {
+		for lvl := 0; lvl < 2; lvl++ {
+			nb := make([]int, 4)
+			for i, pt := range b {
+				nb[i] = level(pt, lvl)
+			}
+			blocks = append(blocks, sortBlock(nb))
+		}
+	}
+	for _, factor := range factors {
+		for _, e0 := range factor {
+			for _, e1 := range factor {
+				blocks = append(blocks, sortBlock([]int{
+					level(e0[0], 0), level(e0[1], 0),
+					level(e1[0], 1), level(e1[1], 1),
+				}))
+			}
+		}
+	}
+	return &Packing{V: 2 * v, K: 4, T: 3, Lambda: 1, Blocks: blocks}, nil
+}
+
+// SQS returns a Steiner quadruple system of order v from the constructible
+// closure of this package: the trivial SQS(4), Boolean systems 2^m,
+// spherical systems 3^d + 1 (Möbius designs over GF(3^d)), and Hanani
+// doubling of any of these. Orders v ≡ 2, 4 (mod 6) outside the closure
+// (e.g. 14, 26, 70) exist by Hanani's theorem but have no implemented
+// construction; use GreedyPacking for those.
+func SQS(v int) (*Packing, error) {
+	if !SQSConstructible(v) {
+		return nil, fmt.Errorf("design: no implemented SQS(%d) construction", v)
+	}
+	switch {
+	case v == 4:
+		return &Packing{V: 4, K: 4, T: 3, Lambda: 1, Blocks: [][]int{{0, 1, 2, 3}}}, nil
+	case isPowerOfTwo(v):
+		m := 0
+		for 1<<m < v {
+			m++
+		}
+		return BooleanSQS(m)
+	case isSpherical3(v):
+		d := 0
+		for p := 1; p < v-1; p *= 3 {
+			d++
+		}
+		return Spherical(3, d)
+	case v%2 == 0 && SQSConstructible(v/2):
+		inner, err := SQS(v / 2)
+		if err != nil {
+			return nil, err
+		}
+		return DoubleSQS(inner)
+	}
+	return nil, fmt.Errorf("design: no implemented SQS(%d) construction", v)
+}
+
+// SQSConstructible reports whether SQS(v) is in this package's
+// constructible closure.
+func SQSConstructible(v int) bool {
+	if v < 4 {
+		return false
+	}
+	if v == 4 || isPowerOfTwo(v) || isSpherical3(v) {
+		return true
+	}
+	return v%2 == 0 && SQSConstructible(v/2)
+}
+
+// SQSExists reports whether SQS(v) exists: Hanani's theorem says exactly
+// the orders v ≡ 2 or 4 (mod 6), v >= 4 (plus trivial small cases).
+func SQSExists(v int) bool {
+	if v == 4 {
+		return true
+	}
+	return v >= 8 && (v%6 == 2 || v%6 == 4)
+}
+
+func isPowerOfTwo(v int) bool { return v >= 2 && v&(v-1) == 0 }
+
+// isSpherical3 reports whether v = 3^d + 1 for some d >= 2.
+func isSpherical3(v int) bool {
+	for p := 9; p <= 1<<20; p *= 3 {
+		if v == p+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+)
+
+// Partition returns the 1-(v, k, 1) packing whose blocks are
+// floor(v/k) disjoint k-sets: {0..k-1}, {k..2k-1}, .... This is the
+// Simple(0, 1) building block (no node hosts two of the packed replicas).
+func Partition(v, k int) (*Packing, error) {
+	if k < 1 || v < k {
+		return nil, fmt.Errorf("design: partition needs 1 <= k <= v, got k=%d v=%d", k, v)
+	}
+	count := v / k
+	blocks := make([][]int, 0, count)
+	for i := 0; i < count; i++ {
+		b := make([]int, k)
+		for j := range b {
+			b[j] = i*k + j
+		}
+		blocks = append(blocks, b)
+	}
+	return &Packing{V: v, K: k, T: 1, Lambda: 1, Blocks: blocks}, nil
+}
+
+// Complete returns the k-(v, k, 1) design consisting of every k-subset of
+// {0..v-1}, up to the limit maxBlocks (<= 0 means no limit). Any prefix of
+// the enumeration is itself a valid k-(v, k, 1) packing, which is what the
+// Simple(r-1, λ) strategy needs: blocks that simply never repeat more than
+// λ times.
+func Complete(v, k int, maxBlocks int64) (*Packing, error) {
+	if k < 1 || v < k {
+		return nil, fmt.Errorf("design: complete needs 1 <= k <= v, got k=%d v=%d", k, v)
+	}
+	total := combin.Choose(v, k)
+	if total == 0 {
+		return nil, fmt.Errorf("design: C(%d, %d) overflows", v, k)
+	}
+	if maxBlocks > 0 && maxBlocks < total {
+		total = maxBlocks
+	}
+	blocks := make([][]int, 0, total)
+	combin.ForEachSubset(v, k, func(s []int) bool {
+		b := make([]int, k)
+		copy(b, s)
+		blocks = append(blocks, b)
+		return int64(len(blocks)) < total
+	})
+	return &Packing{V: v, K: k, T: k, Lambda: 1, Blocks: blocks}, nil
+}
+
+// AllPairs returns the 2-(v, 2, 1) design of all pairs: the degenerate
+// Steiner system used for r = 2 placements.
+func AllPairs(v int) (*Packing, error) {
+	return Complete(v, 2, 0)
+}
+
+// SteinerTriple returns a Steiner triple system STS(v), a 2-(v, 3, 1)
+// design. STS(v) exists if and only if v ≡ 1 or 3 (mod 6); the Bose
+// construction handles v = 6t+3 and the Skolem construction handles
+// v = 6t+1 (both after Lindner & Rodger, "Design Theory").
+func SteinerTriple(v int) (*Packing, error) {
+	switch {
+	case v == 3:
+		return &Packing{V: 3, K: 3, T: 2, Lambda: 1, Blocks: [][]int{{0, 1, 2}}}, nil
+	case v < 7:
+		return nil, fmt.Errorf("design: no STS(%d)", v)
+	case v%6 == 3:
+		return bose(v), nil
+	case v%6 == 1:
+		return skolem(v), nil
+	default:
+		return nil, fmt.Errorf("design: no STS(%d): order must be 1 or 3 mod 6", v)
+	}
+}
+
+// bose builds STS(6t+3) on Z_{2t+1} x {0,1,2} using the idempotent
+// commutative quasigroup x∘y = (t+1)(x+y) mod (2t+1).
+func bose(v int) *Packing {
+	t := (v - 3) / 6
+	m := 2*t + 1
+	point := func(i, level int) int { return 3*i + level }
+	op := func(x, y int) int { return (t + 1) * (x + y) % m }
+
+	var blocks [][]int
+	for i := 0; i < m; i++ {
+		blocks = append(blocks, sortBlock([]int{point(i, 0), point(i, 1), point(i, 2)}))
+	}
+	for level := 0; level < 3; level++ {
+		next := (level + 1) % 3
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				blocks = append(blocks, sortBlock([]int{
+					point(i, level), point(j, level), point(op(i, j), next),
+				}))
+			}
+		}
+	}
+	return &Packing{V: v, K: 3, T: 2, Lambda: 1, Blocks: blocks}
+}
+
+// skolem builds STS(6t+1) on (Z_{2t} x {0,1,2}) ∪ {∞} using the
+// half-idempotent commutative quasigroup on Z_{2t} defined by
+// x∘y = σ(x+y mod 2t), σ(2i) = i, σ(2i+1) = t+i.
+func skolem(v int) *Packing {
+	t := (v - 1) / 6
+	m := 2 * t
+	inf := v - 1 // the ∞ point
+	point := func(i, level int) int { return 3*i + level }
+	sigma := func(z int) int {
+		if z%2 == 0 {
+			return z / 2
+		}
+		return t + (z-1)/2
+	}
+	op := func(x, y int) int { return sigma((x + y) % m) }
+
+	var blocks [][]int
+	// (a) {(i,0), (i,1), (i,2)} for 0 <= i < t.
+	for i := 0; i < t; i++ {
+		blocks = append(blocks, sortBlock([]int{point(i, 0), point(i, 1), point(i, 2)}))
+	}
+	// (b) {∞, (t+i, level), (i, level+1)} for 0 <= i < t.
+	for i := 0; i < t; i++ {
+		for level := 0; level < 3; level++ {
+			next := (level + 1) % 3
+			blocks = append(blocks, sortBlock([]int{inf, point(t+i, level), point(i, next)}))
+		}
+	}
+	// (c) {(i,level), (j,level), (i∘j, level+1)} for i < j.
+	for level := 0; level < 3; level++ {
+		next := (level + 1) % 3
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				blocks = append(blocks, sortBlock([]int{
+					point(i, level), point(j, level), point(op(i, j), next),
+				}))
+			}
+		}
+	}
+	return &Packing{V: v, K: 3, T: 2, Lambda: 1, Blocks: blocks}
+}

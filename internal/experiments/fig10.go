@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// Fig10Cell is one entry of the Fig. 10 breakdown: how an individual
+// Simple(x, λ) placement (with the minimal λ per Eqn. 1) or the best
+// Combo compares against Random.
+type Fig10Cell struct {
+	N, B, K int
+	X       int   // the Simple overlap bound; -1 for the Combo column
+	Lambda  int   // minimal λ per Eqn. 1 (0 for Combo)
+	LB      int64 // lbAvail_si (or lbAvail_co for Combo)
+	PrAvail int
+	Percent float64
+}
+
+// Fig10Opts configures the breakdown. Zero values choose the paper's
+// setting r = s = 3 with b doubling from 600 to BMax = 38400.
+type Fig10Opts struct {
+	N    int // 31, 71 or 257 in the paper
+	BMax int
+	KMin int // default s = 3
+	KMax int // default: 6 for n = 31, 7 for 71, 8 for 257
+}
+
+// Fig10 reproduces one panel of Fig. 10 (r = s = 3): for each b, the
+// percentages for Simple(1, λ1), Simple(2, λ2), and the optimized Combo.
+func Fig10(opts Fig10Opts) ([]Fig10Cell, error) {
+	const r, s = 3, 3
+	if opts.N == 0 {
+		opts.N = 71
+	}
+	if opts.BMax == 0 {
+		opts.BMax = 38400
+	}
+	if opts.KMin == 0 {
+		opts.KMin = s
+	}
+	if opts.KMax == 0 {
+		switch opts.N {
+		case 31:
+			opts.KMax = 6
+		case 257:
+			opts.KMax = 8
+		default:
+			opts.KMax = 7
+		}
+	}
+	units, err := placement.DefaultUnits(opts.N, r, s, false)
+	if err != nil {
+		return nil, err
+	}
+	bs := doublings(600, opts.BMax)
+	var out []Fig10Cell
+	for k := opts.KMin; k <= opts.KMax; k++ {
+		sweep, err := placement.ComboBoundSweep(bs[len(bs)-1], k, s, units)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bs {
+			pr, err := randplace.PrAvailTable(placement.Params{N: opts.N, B: b, R: r, S: s, K: k})
+			if err != nil {
+				return nil, err
+			}
+			percent := func(lb int64) float64 {
+				if b == pr {
+					return 0
+				}
+				return float64(lb-int64(pr)) / float64(int64(b)-int64(pr)) * 100
+			}
+			// Simple(x, λx) columns for x = 1, 2.
+			for _, x := range []int{1, 2} {
+				u := units[x]
+				lambda, err := placement.MinimalLambda(int64(b), u.CapPerMu, u.Mu)
+				if err != nil {
+					return nil, err
+				}
+				lb := placement.LBAvailSimple(int64(b), k, s, x, lambda)
+				out = append(out, Fig10Cell{
+					N: opts.N, B: b, K: k, X: x, Lambda: lambda,
+					LB: lb, PrAvail: pr, Percent: percent(lb),
+				})
+			}
+			// Combo column.
+			out = append(out, Fig10Cell{
+				N: opts.N, B: b, K: k, X: -1,
+				LB: sweep[b], PrAvail: pr, Percent: percent(sweep[b]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig10 writes the breakdown in the paper's layout.
+func RenderFig10(w io.Writer, cells []Fig10Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "Fig. 10 (n = %d, r = s = 3): Simple(x, λ) and Combo vs Random, %% of max improvement\n",
+		cells[0].N); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		col := "Combo"
+		lambda := ""
+		if c.X >= 0 {
+			col = fmt.Sprintf("x=%d", c.X)
+			lambda = fmt.Sprintf("%d", c.Lambda)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.B), fmt.Sprintf("%d", c.K), col, lambda, pct(c.Percent),
+		})
+	}
+	return renderTable(w, []string{"b", "k", "placement", "lambda", "%"}, rows)
+}

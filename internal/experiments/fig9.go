@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// Fig9Cell is one entry of the paper's main result tables (Figs. 9a/9b):
+// the advantage of the optimized Combo placement over Random placement,
+// expressed as a percentage of the maximum possible improvement.
+type Fig9Cell struct {
+	R, S, K, B int
+	LB         int64   // lbAvail_co of the DP-optimized Combo
+	PrAvail    int     // prAvail^rnd of Random (Theorem 2 limit)
+	Percent    float64 // (LB − PrAvail)/(B − PrAvail)·100; 0 when B = PrAvail
+	Outcome    byte    // 'W' Combo wins, 'T' tie, 'L' Random wins
+}
+
+// Fig9Opts scales the experiment. Zero values select the paper's full
+// configuration for the given N.
+type Fig9Opts struct {
+	N    int   // 71 or 257 (paper); any valid n works
+	KMax int   // default: 7 for n = 71, 8 otherwise
+	BMax int   // default: 38400
+	Rs   []int // default: 2, 3, 4, 5
+}
+
+// Fig9Result holds all cells of one table (one value of n).
+type Fig9Result struct {
+	N     int
+	Cells []Fig9Cell
+}
+
+// Fig9 reproduces the paper's main comparison (Fig. 9a for n = 71,
+// Fig. 9b for n = 257): for every r, every s in 2..r, every k in s..KMax
+// and every b in {600, 1200, ..., BMax}, the Combo lower bound against
+// Random's probable availability.
+func Fig9(opts Fig9Opts) (*Fig9Result, error) {
+	if opts.N == 0 {
+		opts.N = 71
+	}
+	if opts.KMax == 0 {
+		if opts.N == 71 {
+			opts.KMax = 7
+		} else {
+			opts.KMax = 8
+		}
+	}
+	if opts.BMax == 0 {
+		opts.BMax = 38400
+	}
+	if len(opts.Rs) == 0 {
+		opts.Rs = []int{2, 3, 4, 5}
+	}
+	bs := doublings(600, opts.BMax)
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("experiments: BMax = %d below 600", opts.BMax)
+	}
+	res := &Fig9Result{N: opts.N}
+	for _, r := range opts.Rs {
+		for s := 2; s <= r; s++ {
+			units, err := placement.DefaultUnits(opts.N, r, s, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: units for n=%d r=%d s=%d: %w", opts.N, r, s, err)
+			}
+			for k := s; k <= opts.KMax; k++ {
+				sweep, err := placement.ComboBoundSweep(bs[len(bs)-1], k, s, units)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range bs {
+					params := placement.Params{N: opts.N, B: b, R: r, S: s, K: k}
+					pr, err := randplace.PrAvailTable(params)
+					if err != nil {
+						return nil, err
+					}
+					cell := Fig9Cell{R: r, S: s, K: k, B: b, LB: sweep[b], PrAvail: pr}
+					diff := cell.LB - int64(pr)
+					switch {
+					case diff > 0:
+						cell.Outcome = 'W'
+					case diff == 0:
+						cell.Outcome = 'T'
+					default:
+						cell.Outcome = 'L'
+					}
+					if int64(b) != int64(pr) {
+						cell.Percent = float64(diff) / float64(int64(b)-int64(pr)) * 100
+					}
+					res.Cells = append(res.Cells, cell)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the cell for (r, s, k, b), if present.
+func (r *Fig9Result) Cell(rr, s, k, b int) (Fig9Cell, bool) {
+	for _, c := range r.Cells {
+		if c.R == rr && c.S == s && c.K == k && c.B == b {
+			return c, true
+		}
+	}
+	return Fig9Cell{}, false
+}
+
+// Render writes the tables in the paper's layout: one sub-table per
+// (r, s), rows indexed by b and columns by k.
+func (r *Fig9Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 9 (n = %d): lbAvail_co − prAvail_rnd as %% of (b − prAvail_rnd)\n", r.N); err != nil {
+		return err
+	}
+	type key struct{ r, s int }
+	groups := make(map[key][]Fig9Cell)
+	var order []key
+	for _, c := range r.Cells {
+		k := key{c.R, c.S}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, grp := range order {
+		cells := groups[grp]
+		ks := sortedUnique(cells, func(c Fig9Cell) int { return c.K })
+		bs := sortedUnique(cells, func(c Fig9Cell) int { return c.B })
+		if _, err := fmt.Fprintf(w, "\nr = %d, s = %d (cells: %%; W=Combo wins, T=tie, L=Random wins)\n", grp.r, grp.s); err != nil {
+			return err
+		}
+		headers := []string{"b \\ k"}
+		for _, k := range ks {
+			headers = append(headers, fmt.Sprintf("%d", k))
+		}
+		var rows [][]string
+		for _, b := range bs {
+			row := []string{fmt.Sprintf("%d", b)}
+			for _, k := range ks {
+				var text string
+				for _, c := range cells {
+					if c.B == b && c.K == k {
+						text = fmt.Sprintf("%s%c", pct(c.Percent), c.Outcome)
+						break
+					}
+				}
+				row = append(row, text)
+			}
+			rows = append(rows, row)
+		}
+		if err := renderTable(w, headers, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedUnique(cells []Fig9Cell, get func(Fig9Cell) int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range cells {
+		v := get(c)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/design"
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — sensitivity of the Combo configuration to the planned k.
+// ---------------------------------------------------------------------------
+
+// Fig3Point is one plotted point: the availability bound of a Combo tuned
+// for K, evaluated under KPrime failures, relative to the bound of a
+// Combo tuned for KPrime itself.
+type Fig3Point struct {
+	N, B, KPrime int
+	TunedBound   int64   // lbAvail_co at KPrime of the spec tuned for K
+	OptimalBound int64   // lbAvail_co at KPrime of the spec tuned for KPrime
+	RatioPercent float64 // 100·Tuned/Optimal
+}
+
+// Fig3Opts configures the sensitivity sweep; zeros mean the paper values
+// (r = 5, s = 3, k = 6, k′ = 4..8, the three (n, b) curves of Fig. 3).
+type Fig3Opts struct {
+	R, S, K        int
+	KPrimes        []int
+	Configurations []struct{ N, B int }
+}
+
+// Fig3 reproduces Fig. 3.
+func Fig3(opts Fig3Opts) ([]Fig3Point, error) {
+	if opts.R == 0 {
+		opts.R, opts.S, opts.K = 5, 3, 6
+	}
+	if len(opts.KPrimes) == 0 {
+		opts.KPrimes = []int{4, 5, 6, 7, 8}
+	}
+	if len(opts.Configurations) == 0 {
+		opts.Configurations = []struct{ N, B int }{{31, 4800}, {71, 1200}, {257, 9600}}
+	}
+	var out []Fig3Point
+	for _, cfg := range opts.Configurations {
+		units, err := placement.DefaultUnits(cfg.N, opts.R, opts.S, false)
+		if err != nil {
+			return nil, err
+		}
+		tuned, _, err := placement.OptimizeCombo(cfg.B, opts.K, opts.S, units)
+		if err != nil {
+			return nil, err
+		}
+		for _, kp := range opts.KPrimes {
+			_, optimal, err := placement.OptimizeCombo(cfg.B, kp, opts.S, units)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig3Point{
+				N: cfg.N, B: cfg.B, KPrime: kp,
+				TunedBound:   placement.LBAvailCombo(int64(cfg.B), kp, opts.S, tuned.Lambdas),
+				OptimalBound: optimal,
+			}
+			if pt.OptimalBound > 0 {
+				pt.RatioPercent = 100 * float64(pt.TunedBound) / float64(pt.OptimalBound)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// RenderFig3 writes the Fig. 3 series.
+func RenderFig3(w io.Writer, points []Fig3Point) error {
+	if _, err := fmt.Fprintln(w, "Fig. 3: lbAvail_co(tuned for k)/lbAvail_co(tuned for k') as %, r=5 s=3 k=6"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.N), fmt.Sprintf("%d", p.B), fmt.Sprintf("%d", p.KPrime),
+			fmt.Sprintf("%.2f", p.RatioPercent),
+		})
+	}
+	return renderTable(w, []string{"n", "b", "k'", "ratio %"}, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — the Steiner-system orders used for each (n, r, x).
+// ---------------------------------------------------------------------------
+
+// Fig4Entry is one table entry: the order n_x chosen for (n, r, x).
+type Fig4Entry struct {
+	N, R, X       int
+	Order         int  // largest known order <= N
+	Constructible bool // whether this repository can build it
+}
+
+// Fig4 reproduces the order table (Fig. 4) from the design catalog, for
+// x = 1..r-1 (x = 0 and x+1 = r are degenerate and not tabulated in the
+// paper).
+func Fig4(ns []int) ([]Fig4Entry, error) {
+	if len(ns) == 0 {
+		ns = []int{31, 71, 257}
+	}
+	var out []Fig4Entry
+	for _, n := range ns {
+		for r := 2; r <= 5; r++ {
+			for x := 1; x < r; x++ {
+				order, ok := design.BestKnownOrder(x+1, r, n)
+				if !ok {
+					return nil, fmt.Errorf("experiments: no known %d-(·,%d,1) order <= %d", x+1, r, n)
+				}
+				out = append(out, Fig4Entry{
+					N: n, R: r, X: x, Order: order,
+					Constructible: design.SteinerConstructible(x+1, order, r),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFig4 writes the order table.
+func RenderFig4(w io.Writer, entries []Fig4Entry) error {
+	if _, err := fmt.Fprintln(w, "Fig. 4: Steiner-system orders n_x (+ = constructible in this repo)"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(entries))
+	for _, e := range entries {
+		mark := ""
+		if e.Constructible {
+			mark = "+"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", e.N), fmt.Sprintf("%d", e.R), fmt.Sprintf("%d", e.X),
+			fmt.Sprintf("%d%s", e.Order, mark),
+		})
+	}
+	return renderTable(w, []string{"n", "r", "x", "n_x"}, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — prAvail/b of Random placement.
+// ---------------------------------------------------------------------------
+
+// Fig8Point is one curve sample of Fig. 8.
+type Fig8Point struct {
+	N, R, S, K int
+	Fraction   float64 // prAvail / b
+}
+
+// Fig8Opts configures the sweep; zero values select the paper settings
+// (b = 38400, curves (n, r) ∈ {71, 257} × {3, 5}, k up to 10).
+type Fig8Opts struct {
+	B    int
+	KMax int
+	NRs  []struct{ N, R int }
+	Ss   []int
+}
+
+// Fig8 reproduces Fig. 8: the fraction of objects probably available
+// under Random placement, per s and k.
+func Fig8(opts Fig8Opts) ([]Fig8Point, error) {
+	if opts.B == 0 {
+		opts.B = 38400
+	}
+	if opts.KMax == 0 {
+		opts.KMax = 10
+	}
+	if len(opts.NRs) == 0 {
+		opts.NRs = []struct{ N, R int }{{71, 3}, {71, 5}, {257, 3}, {257, 5}}
+	}
+	if len(opts.Ss) == 0 {
+		opts.Ss = []int{1, 2, 3, 4, 5}
+	}
+	var out []Fig8Point
+	for _, s := range opts.Ss {
+		for _, nr := range opts.NRs {
+			if s > nr.R {
+				continue // s <= r required
+			}
+			for k := s; k <= opts.KMax; k++ {
+				p := placement.Params{N: nr.N, B: opts.B, R: nr.R, S: s, K: k}
+				pr, err := randplace.PrAvailTable(p)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig8Point{
+					N: nr.N, R: nr.R, S: s, K: k,
+					Fraction: float64(pr) / float64(opts.B),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFig8 writes the Fig. 8 series.
+func RenderFig8(w io.Writer, points []Fig8Point) error {
+	if _, err := fmt.Fprintln(w, "Fig. 8: prAvail_rnd/b for Random placement (b = 38400)"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.S), fmt.Sprintf("%d", p.N), fmt.Sprintf("%d", p.R),
+			fmt.Sprintf("%d", p.K), fmt.Sprintf("%.4f", p.Fraction),
+		})
+	}
+	return renderTable(w, []string{"s", "n", "r", "k", "prAvail/b"}, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — the s = 1 decay law (Lemma 4).
+// ---------------------------------------------------------------------------
+
+// Fig11Point samples the Lemma 4 bound (1 − 1/b)^{k·ℓ}.
+type Fig11Point struct {
+	N, R, K  int
+	Fraction float64
+}
+
+// Fig11 reproduces Fig. 11 for b objects (default 38400).
+func Fig11(b int) []Fig11Point {
+	if b == 0 {
+		b = 38400
+	}
+	var out []Fig11Point
+	for _, nr := range []struct{ N, R int }{{71, 3}, {71, 5}, {257, 3}, {257, 5}} {
+		for k := 1; k <= 10; k++ {
+			load := int(math.Ceil(float64(nr.R) * float64(b) / float64(nr.N)))
+			out = append(out, Fig11Point{
+				N: nr.N, R: nr.R, K: k,
+				Fraction: math.Pow(1-1/float64(b), float64(k*load)),
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig11 writes the Fig. 11 series.
+func RenderFig11(w io.Writer, points []Fig11Point) error {
+	if _, err := fmt.Fprintln(w, "Fig. 11: (1 − 1/b)^{k·ℓ} decay of Random for s = 1 (b = 38400)"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.N), fmt.Sprintf("%d", p.R), fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%.4f", p.Fraction),
+		})
+	}
+	return renderTable(w, []string{"n", "r", "k", "(1-1/b)^kl"}, rows)
+}

@@ -1,0 +1,353 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+	"repro/internal/design"
+)
+
+// ComboSpec is a configured Combo(⟨λx⟩) placement strategy: Lambdas[x] is
+// λ_x for x = 0..s-1 (Definition 3), and Units[x] describes the building
+// block that backs it. Objects are divided across Simple(x, λ_x)
+// placements; Eqn. 3 (total capacity >= b) must hold.
+type ComboSpec struct {
+	Lambdas []int
+	Units   []Unit
+}
+
+// S returns the fatality threshold the spec was built for.
+func (cs ComboSpec) S() int { return len(cs.Lambdas) }
+
+// Capacity returns Σ_x (λ_x/μ_x)·capPerMu_x, the number of objects the
+// spec can place (left side of Eqn. 3).
+func (cs ComboSpec) Capacity() int64 {
+	var total int64
+	for x, lambda := range cs.Lambdas {
+		if lambda == 0 {
+			continue
+		}
+		u := cs.Units[x]
+		total += int64(lambda/u.Mu) * u.CapPerMu
+	}
+	return total
+}
+
+// Validate checks structural consistency: one unit per x, λ_x a
+// non-negative multiple of μ_x.
+func (cs ComboSpec) Validate() error {
+	if len(cs.Lambdas) != len(cs.Units) {
+		return fmt.Errorf("placement: %d lambdas but %d units", len(cs.Lambdas), len(cs.Units))
+	}
+	for x, u := range cs.Units {
+		if u.X != x {
+			return fmt.Errorf("placement: unit %d has x = %d", x, u.X)
+		}
+		if err := u.Validate(); err != nil {
+			return err
+		}
+		if cs.Lambdas[x] < 0 || cs.Lambdas[x]%u.Mu != 0 {
+			return fmt.Errorf("placement: λ_%d = %d not a non-negative multiple of μ = %d",
+				x, cs.Lambdas[x], u.Mu)
+		}
+	}
+	return nil
+}
+
+// LBAvailCombo returns lbAvail_co(⟨λx⟩) = b − Σ_x ⌊λ_x·C(k, x+1)/C(s, x+1)⌋,
+// the Lemma 3 lower bound on the availability of a Combo placement of b
+// objects under k failures. Unlike the DP (which clamps at zero via its
+// base case), the raw bound may be negative.
+func LBAvailCombo(b int64, k, s int, lambdas []int) int64 {
+	var failed int64
+	for x, lambda := range lambdas {
+		if lambda == 0 {
+			continue
+		}
+		t := x + 1
+		den := combin.Choose(s, t)
+		if den == 0 {
+			continue
+		}
+		failed += combin.FloorDiv(int64(lambda)*combin.Choose(k, t), den)
+	}
+	if failed > b {
+		failed = b
+	}
+	return b - failed
+}
+
+// OptimizeCombo computes the ⟨λx⟩ maximizing the Lemma 3 lower bound for
+// placing b objects under k failures, via the dynamic program of
+// Sec. III-B1 (Eqns. 5–7). units must supply one Unit per x in 0..s-1.
+// It returns the optimal spec together with lbav(s-1, b), which is always
+// >= 0 (the DP's base case clamps at zero).
+//
+// The DP runs in O(s·b·d_max) time where d_max is the largest multiple of
+// μ_x needed to cover b alone — O(s·b) treating capacities as constants,
+// as the paper states.
+func OptimizeCombo(b, k, s int, units []Unit) (ComboSpec, int64, error) {
+	if s < 1 {
+		return ComboSpec{}, 0, fmt.Errorf("placement: s = %d must be positive", s)
+	}
+	if len(units) != s {
+		return ComboSpec{}, 0, fmt.Errorf("placement: need %d units (one per x), got %d", s, len(units))
+	}
+	for x, u := range units {
+		if u.X != x {
+			return ComboSpec{}, 0, fmt.Errorf("placement: units[%d].X = %d, want %d", x, u.X, x)
+		}
+		if err := u.Validate(); err != nil {
+			return ComboSpec{}, 0, err
+		}
+	}
+	if b < 0 {
+		return ComboSpec{}, 0, fmt.Errorf("placement: b = %d negative", b)
+	}
+
+	// failPerMu[x] = ⌊d·μ_x·C(k,x+1)/C(s,x+1)⌋ is computed on the fly;
+	// precompute the numerator factor μ_x·C(k,x+1) and denominator C(s,x+1).
+	type xconst struct {
+		capPerMu int64
+		failNum  int64 // μ_x·C(k, x+1)
+		failDen  int64 // C(s, x+1)
+	}
+	consts := make([]xconst, s)
+	for x, u := range units {
+		t := x + 1
+		consts[x] = xconst{
+			capPerMu: u.CapPerMu,
+			failNum:  int64(u.Mu) * combin.Choose(k, t),
+			failDen:  combin.Choose(s, t),
+		}
+	}
+
+	// lbav(0, b′) per Eqn. 6, in closed form.
+	base := func(bPrime int64) int64 {
+		if bPrime <= 0 {
+			return 0
+		}
+		copies := combin.CeilDiv(bPrime, consts[0].capPerMu) // λ_0/μ_0
+		failed := combin.FloorDiv(copies*consts[0].failNum, consts[0].failDen)
+		v := bPrime - failed
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	// copiesFor0 returns the λ_0/μ_0 implied by Eqn. 6 for bPrime objects.
+	copiesFor0 := func(bPrime int64) int64 {
+		if bPrime <= 0 {
+			return 0
+		}
+		return combin.CeilDiv(bPrime, consts[0].capPerMu)
+	}
+
+	if s == 1 {
+		lambda0 := copiesFor0(int64(b)) * int64(units[0].Mu)
+		spec := ComboSpec{Lambdas: []int{int(lambda0)}, Units: append([]Unit(nil), units...)}
+		return spec, base(int64(b)), nil
+	}
+
+	// Layered DP over x′ = 1..s-1; prev[bPrime] = lbav(x′-1, bPrime).
+	prev := make([]int64, b+1)
+	for bPrime := 0; bPrime <= b; bPrime++ {
+		prev[bPrime] = base(int64(bPrime))
+	}
+	// choice[x′][bPrime] records the optimal d (λ_{x′} = d·μ_{x′}).
+	choice := make([][]int32, s)
+	cur := make([]int64, b+1)
+	for x := 1; x < s; x++ {
+		choice[x] = make([]int32, b+1)
+		cc := consts[x]
+		for bPrime := 0; bPrime <= b; bPrime++ {
+			bestVal := int64(-1 << 62)
+			bestD := int32(0)
+			dMax := combin.CeilDiv(int64(bPrime), cc.capPerMu)
+			for d := int64(0); d <= dMax; d++ {
+				placed := d * cc.capPerMu
+				contribution := placed
+				if int64(bPrime) < placed {
+					contribution = int64(bPrime)
+				}
+				contribution -= combin.FloorDiv(d*cc.failNum, cc.failDen)
+				rest := int64(bPrime) - placed
+				var below int64
+				if rest > 0 {
+					below = prev[rest]
+				}
+				if v := contribution + below; v > bestVal {
+					bestVal = v
+					bestD = int32(d)
+				}
+			}
+			cur[bPrime] = bestVal
+			choice[x][bPrime] = bestD
+		}
+		prev, cur = cur, prev
+	}
+	best := prev[b]
+
+	// Reconstruct ⟨λx⟩ by walking the recorded choices back down.
+	lambdas := make([]int, s)
+	remaining := int64(b)
+	for x := s - 1; x >= 1; x-- {
+		var d int64
+		if remaining > 0 {
+			d = int64(choice[x][remaining])
+		}
+		lambdas[x] = int(d) * units[x].Mu
+		remaining -= d * consts[x].capPerMu
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	lambdas[0] = int(copiesFor0(remaining)) * units[0].Mu
+
+	spec := ComboSpec{Lambdas: lambdas, Units: append([]Unit(nil), units...)}
+	return spec, best, nil
+}
+
+// ComboBoundSweep computes the optimal DP bound lbav(s-1, b′) for every
+// object count b′ = 0..bMax in a single pass — the batched form of
+// OptimizeCombo used by the experiment harness, where one (n, r, s, k)
+// table row needs the bound at many values of b. Only the bound values
+// are produced (no ⟨λx⟩ reconstruction).
+func ComboBoundSweep(bMax, k, s int, units []Unit) ([]int64, error) {
+	if s < 1 || len(units) != s {
+		return nil, fmt.Errorf("placement: need %d units, got %d", s, len(units))
+	}
+	for x, u := range units {
+		if u.X != x {
+			return nil, fmt.Errorf("placement: units[%d].X = %d, want %d", x, u.X, x)
+		}
+		if err := u.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if bMax < 0 {
+		return nil, fmt.Errorf("placement: bMax = %d negative", bMax)
+	}
+	prev := make([]int64, bMax+1)
+	cap0 := units[0].CapPerMu
+	failNum0 := int64(units[0].Mu) * combin.Choose(k, 1)
+	failDen0 := combin.Choose(s, 1)
+	for bPrime := int64(1); bPrime <= int64(bMax); bPrime++ {
+		copies := combin.CeilDiv(bPrime, cap0)
+		v := bPrime - combin.FloorDiv(copies*failNum0, failDen0)
+		if v < 0 {
+			v = 0
+		}
+		prev[bPrime] = v
+	}
+	cur := make([]int64, bMax+1)
+	for x := 1; x < s; x++ {
+		u := units[x]
+		t := x + 1
+		capX := u.CapPerMu
+		failNum := int64(u.Mu) * combin.Choose(k, t)
+		failDen := combin.Choose(s, t)
+		for bPrime := 0; bPrime <= bMax; bPrime++ {
+			best := prev[bPrime] // d = 0
+			dMax := combin.CeilDiv(int64(bPrime), capX)
+			for d := int64(1); d <= dMax; d++ {
+				placed := d * capX
+				contribution := placed
+				if int64(bPrime) < placed {
+					contribution = int64(bPrime)
+				}
+				contribution -= combin.FloorDiv(d*failNum, failDen)
+				rest := int64(bPrime) - placed
+				var below int64
+				if rest > 0 {
+					below = prev[rest]
+				}
+				if v := contribution + below; v > best {
+					best = v
+				}
+			}
+			cur[bPrime] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev, nil
+}
+
+// DefaultUnits derives catalog-backed units for each x in 0..s-1 on n
+// nodes with r replicas: the largest known Steiner order <= n per the
+// design catalog (μ = 1), matching the paper's parameter selection
+// (Sec. III-C, Fig. 4). When constructibleOnly is set, orders are limited
+// to systems this repository can actually build, for materializing
+// concrete placements.
+func DefaultUnits(n, r, s int, constructibleOnly bool) ([]Unit, error) {
+	if s < 1 || s > r || r > n {
+		return nil, fmt.Errorf("placement: invalid unit parameters n=%d r=%d s=%d", n, r, s)
+	}
+	units := make([]Unit, s)
+	for x := 0; x < s; x++ {
+		t := x + 1
+		var (
+			nx int
+			ok bool
+		)
+		switch {
+		case t == 1:
+			// Partition chunks: μ=1 requires r | n_0.
+			nx, ok = (n/r)*r, n >= r
+		case t == r:
+			// Complete designs exist for every order.
+			nx, ok = n, true
+		case constructibleOnly:
+			nx, ok = design.BestConstructibleOrder(t, r, n)
+		default:
+			nx, ok = design.BestKnownOrder(t, r, n)
+		}
+		if !ok {
+			return nil, fmt.Errorf("placement: no %d-(·, %d, 1) order available <= %d", t, r, n)
+		}
+		capPerMu, integral := SimpleCapacity([]int{nx}, r, x, 1, 1)
+		if !integral || capPerMu < 1 {
+			return nil, fmt.Errorf("placement: order n_%d = %d gives non-integral capacity", x, nx)
+		}
+		units[x] = Unit{X: x, Mu: 1, CapPerMu: capPerMu}
+	}
+	return units, nil
+}
+
+// BuildCombo materializes a concrete Combo placement of b objects on n
+// nodes following spec: objects are assigned to Simple(x, λ_x)
+// sub-placements from the largest x down (matching how the DP allocates
+// capacity). All sub-placements share the same n nodes — overlaps between
+// sub-placements do not affect the Lemma 3 bound, which sums worst cases.
+func BuildCombo(n, r int, spec ComboSpec, b int, opts SimpleOptions) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Capacity() < int64(b) {
+		return nil, fmt.Errorf("placement: spec capacity %d < b = %d (violates Eqn. 3)",
+			spec.Capacity(), b)
+	}
+	pl := NewPlacement(n, r)
+	remaining := int64(b)
+	for x := len(spec.Lambdas) - 1; x >= 0 && remaining > 0; x-- {
+		lambda := spec.Lambdas[x]
+		if lambda == 0 {
+			continue
+		}
+		u := spec.Units[x]
+		quota := int64(lambda/u.Mu) * u.CapPerMu
+		if quota > remaining {
+			quota = remaining
+		}
+		sub, err := BuildSimple(n, r, x, lambda, int(quota), opts)
+		if err != nil {
+			return nil, fmt.Errorf("placement: Simple(%d, %d) sub-placement: %w", x, lambda, err)
+		}
+		pl.Objects = append(pl.Objects, sub.Objects...)
+		remaining -= quota
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("placement: %d objects unplaced", remaining)
+	}
+	return pl, nil
+}

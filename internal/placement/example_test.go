@@ -1,0 +1,49 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
+
+// ExampleOptimizeCombo plans the paper's headline configuration: the DP
+// places all 600 objects in a Simple(1, 1) packing (a Steiner triple
+// system on 69 of the 71 nodes), guaranteeing at most 6 objects lost to
+// any 4 node failures.
+func ExampleOptimizeCombo() {
+	units, err := placement.DefaultUnits(71, 3, 2, false)
+	if err != nil {
+		panic(err)
+	}
+	spec, bound, err := placement.OptimizeCombo(600, 4, 2, units)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("lambdas:", spec.Lambdas)
+	fmt.Println("guaranteed available:", bound)
+	// Output:
+	// lambdas: [0 1]
+	// guaranteed available: 594
+}
+
+// ExampleLBAvailSimple evaluates Lemma 2: a Simple(1, 13) placement of
+// 9600 objects loses at most 130 objects to 5 failures when s = 2.
+func ExampleLBAvailSimple() {
+	fmt.Println(placement.LBAvailSimple(9600, 5, 2, 1, 13))
+	// Output:
+	// 9470
+}
+
+// ExampleBuildSimple materializes a Simple(1, 1) placement on STS(13)
+// and verifies Definition 2 directly.
+func ExampleBuildSimple() {
+	pl, err := placement.BuildSimple(13, 3, 1, 1, 26, placement.SimpleOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("objects:", pl.B())
+	fmt.Println("max pair overlap:", pl.MaxOverlap(1))
+	// Output:
+	// objects: 26
+	// max pair overlap: 1
+}

@@ -1,0 +1,44 @@
+package placement
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// placementJSON is the on-disk form of a Placement: replica node lists
+// per object. It is the interchange format of the replicaplace CLI.
+type placementJSON struct {
+	N       int     `json:"n"`
+	R       int     `json:"r"`
+	Objects [][]int `json:"objects"`
+}
+
+// EncodeJSON writes the placement as JSON.
+func (p *Placement) EncodeJSON(w io.Writer) error {
+	out := placementJSON{N: p.N, R: p.R, Objects: make([][]int, p.B())}
+	for i := range p.Objects {
+		out.Objects[i] = p.ReplicaNodes(i)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DecodeJSON reads a placement written by EncodeJSON and validates it.
+func DecodeJSON(r io.Reader) (*Placement, error) {
+	var in placementJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("placement: decoding JSON: %w", err)
+	}
+	pl := NewPlacement(in.N, in.R)
+	for i, nodes := range in.Objects {
+		if err := pl.Add(nodes); err != nil {
+			return nil, fmt.Errorf("placement: object %d: %w", i, err)
+		}
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}

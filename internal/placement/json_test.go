@@ -1,0 +1,44 @@
+package placement
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	pl := NewPlacement(10, 3)
+	mustAdd(t, pl, []int{0, 4, 7})
+	mustAdd(t, pl, []int{1, 2, 9})
+	var buf bytes.Buffer
+	if err := pl.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 10 || got.R != 3 || got.B() != 2 {
+		t.Fatalf("round trip shape: n=%d r=%d b=%d", got.N, got.R, got.B())
+	}
+	for i := 0; i < 2; i++ {
+		if !got.Objects[i].Equal(pl.Objects[i]) {
+			t.Errorf("object %d differs after round trip", i)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"n": 5, "r": 3, "objects": [[0, 1]]}`,    // wrong replica count
+		`{"n": 5, "r": 3, "objects": [[0, 1, 9]]}`, // node out of range
+		`{"n": 5, "r": 3, "objects": [[0, 1, 1]]}`, // duplicate node
+		`{"n": 0, "r": 3, "objects": []}`,          // bad shape
+	}
+	for _, c := range cases {
+		if _, err := DecodeJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("DecodeJSON accepted %q", c)
+		}
+	}
+}

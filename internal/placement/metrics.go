@@ -1,0 +1,99 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OverlapHistogram reports how strongly objects' replica sets overlap:
+// result[o] counts object pairs sharing exactly o nodes. This is the
+// placement-level view of the "inter-object correlation" that Yu &
+// Gibbons identified as the driver of multi-object availability (the
+// paper's Sec. II/III motivation): Simple(x, λ) placements cap the
+// number of pairs with overlap > x by construction, while Random only
+// makes large overlaps improbable.
+//
+// All pairs are examined when their number is at most samplePairs;
+// otherwise samplePairs random pairs are drawn (deterministically from
+// seed) and the counts are scaled estimates. samplePairs <= 0 selects a
+// default of 2^20.
+func (p *Placement) OverlapHistogram(samplePairs int64, seed int64) ([]int64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if samplePairs <= 0 {
+		samplePairs = 1 << 20
+	}
+	hist := make([]int64, p.R+1)
+	b := int64(p.B())
+	totalPairs := b * (b - 1) / 2
+	if totalPairs == 0 {
+		return hist, nil
+	}
+	if totalPairs <= samplePairs {
+		for i := 0; i < p.B(); i++ {
+			for j := i + 1; j < p.B(); j++ {
+				hist[p.Objects[i].IntersectCount(p.Objects[j])]++
+			}
+		}
+		return hist, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for draw := int64(0); draw < samplePairs; draw++ {
+		i := rng.Int63n(b)
+		j := rng.Int63n(b - 1)
+		if j >= i {
+			j++
+		}
+		hist[p.Objects[i].IntersectCount(p.Objects[j])]++
+	}
+	// Scale the sample back to the full pair population.
+	for o := range hist {
+		hist[o] = hist[o] * totalPairs / samplePairs
+	}
+	return hist, nil
+}
+
+// MaxPairOverlap returns the largest replica-set overlap between any two
+// objects (exact; O(b²) — intended for analysis, not hot paths).
+func (p *Placement) MaxPairOverlap() (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	maxO := 0
+	for i := 0; i < p.B(); i++ {
+		for j := i + 1; j < p.B(); j++ {
+			if o := p.Objects[i].IntersectCount(p.Objects[j]); o > maxO {
+				maxO = o
+				if maxO == p.R {
+					return maxO, nil
+				}
+			}
+		}
+	}
+	return maxO, nil
+}
+
+// LoadImbalance returns max load minus min load across nodes that the
+// placement was allowed to use, and the mean load, as a quick fairness
+// diagnostic.
+func (p *Placement) LoadImbalance() (spread int, mean float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	loads := p.NodeLoads()
+	if len(loads) == 0 {
+		return 0, 0, fmt.Errorf("placement: no nodes")
+	}
+	minL, maxL, sum := loads[0], loads[0], 0
+	for _, l := range loads {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+		sum += l
+	}
+	return maxL - minL, float64(sum) / float64(len(loads)), nil
+}

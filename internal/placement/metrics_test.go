@@ -1,0 +1,100 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOverlapHistogramExact(t *testing.T) {
+	pl := NewPlacement(8, 3)
+	mustAdd(t, pl, []int{0, 1, 2})
+	mustAdd(t, pl, []int{0, 1, 3}) // overlap 2 with first
+	mustAdd(t, pl, []int{4, 5, 6}) // overlap 0 with both
+	hist, err := pl.OverlapHistogram(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (0,1) overlap 2; (0,2) overlap 0; (1,2) overlap 0.
+	want := []int64{2, 0, 1, 0}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", hist, want)
+		}
+	}
+}
+
+func TestOverlapHistogramSimpleRespectsX(t *testing.T) {
+	// Simple(1, 1) placements: no two objects share more than 1 node,
+	// so the histogram above overlap 1 must be empty.
+	pl, err := BuildSimple(13, 3, 1, 1, 26, SimpleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := pl.OverlapHistogram(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 2; o < len(hist); o++ {
+		if hist[o] != 0 {
+			t.Errorf("Simple(1,1) has %d pairs with overlap %d", hist[o], o)
+		}
+	}
+	maxO, err := pl.MaxPairOverlap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxO > 1 {
+		t.Errorf("MaxPairOverlap = %d, want <= 1", maxO)
+	}
+}
+
+func TestOverlapHistogramSampledSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pl := NewPlacement(20, 3)
+	for i := 0; i < 200; i++ {
+		perm := rng.Perm(20)
+		mustAdd(t, pl, perm[:3])
+	}
+	// 200 objects -> 19900 pairs; sample 1000.
+	hist, err := pl.OverlapHistogram(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	// Scaled estimates should land near the true pair count.
+	if total < 19000 || total > 20000 {
+		t.Errorf("sampled histogram total = %d, want ~19900", total)
+	}
+}
+
+func TestOverlapHistogramEmpty(t *testing.T) {
+	pl := NewPlacement(5, 2)
+	hist, err := pl.OverlapHistogram(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range hist {
+		if c != 0 {
+			t.Error("empty placement should have an all-zero histogram")
+		}
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	pl := NewPlacement(4, 2)
+	mustAdd(t, pl, []int{0, 1})
+	mustAdd(t, pl, []int{0, 2})
+	spread, mean, err := pl.LoadImbalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread != 2 { // node 0 has 2, node 3 has 0
+		t.Errorf("spread = %d, want 2", spread)
+	}
+	if mean != 1.0 { // 4 replicas over 4 nodes
+		t.Errorf("mean = %g, want 1", mean)
+	}
+}

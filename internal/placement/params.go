@@ -1,0 +1,58 @@
+// Package placement implements the paper's primary contribution: replica
+// placement strategies that maximize worst-case object availability.
+//
+// The model (paper Fig. 1): n nodes host b objects, each replicated on r
+// distinct nodes; an object fails once s of its replicas sit on failed
+// nodes; an adversary fails k nodes knowing the placement. Avail(π) is the
+// number of objects surviving the worst such failure (Definition 1).
+//
+// Two strategies are provided:
+//
+//   - Simple(x, λ) (Definition 2): an (x+1)-(n, r, λ) packing — no x+1
+//     nodes host replicas of more than λ common objects. Its availability
+//     is lower-bounded by Lemma 2 and is c-competitive with the optimal
+//     placement (Theorem 1).
+//   - Combo(⟨λx⟩) (Definition 3): a partition of the objects across
+//     Simple(x, λx) placements for x = 0..s-1, with ⟨λx⟩ chosen by the
+//     dynamic program of Sec. III-B1 (Eqns. 5–7) to maximize the Lemma 3
+//     lower bound.
+package placement
+
+import (
+	"fmt"
+)
+
+// Params are the system model parameters, using the paper's notation.
+type Params struct {
+	N int // number of nodes
+	B int // number of objects
+	R int // replicas per object
+	S int // replica failures that fail an object; 1 <= S <= R
+	K int // failed nodes planned for; S <= K < N
+}
+
+// Validate checks the parameter constraints of the model.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("placement: n = %d must be positive", p.N)
+	}
+	if p.B < 0 {
+		return fmt.Errorf("placement: b = %d must be non-negative", p.B)
+	}
+	if p.R < 1 || p.R > p.N {
+		return fmt.Errorf("placement: r = %d must satisfy 1 <= r <= n = %d", p.R, p.N)
+	}
+	if p.S < 1 || p.S > p.R {
+		return fmt.Errorf("placement: s = %d must satisfy 1 <= s <= r = %d", p.S, p.R)
+	}
+	if p.K < p.S || p.K >= p.N {
+		return fmt.Errorf("placement: k = %d must satisfy s = %d <= k < n = %d", p.K, p.S, p.N)
+	}
+	return nil
+}
+
+// Load returns the load-balance target ℓ = ceil(r·b/n), the average number
+// of replicas per node rounded up (Sec. IV).
+func (p Params) Load() int {
+	return int((int64(p.R)*int64(p.B) + int64(p.N) - 1) / int64(p.N))
+}

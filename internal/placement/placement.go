@@ -1,0 +1,150 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+)
+
+// Placement assigns each object a replica set: π(obj) ⊆ N with
+// |π(obj)| = R. Replica sets are stored both as bitsets (for fast
+// intersection counting against failure sets) and implicitly as sorted
+// node lists recoverable via ReplicaNodes.
+type Placement struct {
+	N       int              // number of nodes
+	R       int              // replicas per object
+	Objects []*combin.Bitset // replica set per object, each of capacity N
+}
+
+// NewPlacement returns an empty placement for n nodes and r replicas.
+func NewPlacement(n, r int) *Placement {
+	return &Placement{N: n, R: r}
+}
+
+// Add appends an object with the given replica nodes.
+func (p *Placement) Add(nodes []int) error {
+	if len(nodes) != p.R {
+		return fmt.Errorf("placement: object has %d replicas, want %d", len(nodes), p.R)
+	}
+	bs := combin.NewBitset(p.N)
+	for _, nd := range nodes {
+		if nd < 0 || nd >= p.N {
+			return fmt.Errorf("placement: node %d out of range [0, %d)", nd, p.N)
+		}
+		bs.Set(nd)
+	}
+	if bs.Count() != p.R {
+		return fmt.Errorf("placement: replica nodes %v not distinct", nodes)
+	}
+	p.Objects = append(p.Objects, bs)
+	return nil
+}
+
+// B returns the number of placed objects.
+func (p *Placement) B() int { return len(p.Objects) }
+
+// ReplicaNodes returns the sorted replica nodes of object obj.
+func (p *Placement) ReplicaNodes(obj int) []int {
+	return p.Objects[obj].Members(nil)
+}
+
+// Validate checks every object has exactly R distinct in-range replicas.
+func (p *Placement) Validate() error {
+	if p.N < 1 || p.R < 1 || p.R > p.N {
+		return fmt.Errorf("placement: invalid shape n=%d r=%d", p.N, p.R)
+	}
+	for i, o := range p.Objects {
+		if o.Len() != p.N {
+			return fmt.Errorf("placement: object %d bitset capacity %d, want %d", i, o.Len(), p.N)
+		}
+		if o.Count() != p.R {
+			return fmt.Errorf("placement: object %d has %d replicas, want %d", i, o.Count(), p.R)
+		}
+	}
+	return nil
+}
+
+// FailedObjects returns the number of objects with at least s replicas on
+// the failed node set K.
+func (p *Placement) FailedObjects(failed *combin.Bitset, s int) int {
+	count := 0
+	for _, o := range p.Objects {
+		if o.IntersectCount(failed) >= s {
+			count++
+		}
+	}
+	return count
+}
+
+// AvailableObjects returns B() minus FailedObjects.
+func (p *Placement) AvailableObjects(failed *combin.Bitset, s int) int {
+	return p.B() - p.FailedObjects(failed, s)
+}
+
+// NodeLoads returns the number of replicas each node hosts.
+func (p *Placement) NodeLoads() []int {
+	loads := make([]int, p.N)
+	var buf []int
+	for _, o := range p.Objects {
+		buf = o.Members(buf[:0])
+		for _, nd := range buf {
+			loads[nd]++
+		}
+	}
+	return loads
+}
+
+// MaxLoad returns the maximum node load.
+func (p *Placement) MaxLoad() int {
+	maxLoad := 0
+	for _, l := range p.NodeLoads() {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad
+}
+
+// OverlapCounts returns, for every (x+1)-subset of nodes that hosts at
+// least one object's replicas in common, the number of objects whose
+// replica sets contain it. It is the brute-force verifier for the
+// Simple(x, λ) property (Definition 2) used in tests.
+func (p *Placement) OverlapCounts(x int) map[string]int {
+	t := x + 1
+	counts := make(map[string]int)
+	sub := make([]int, t)
+	var nodes []int
+	for _, o := range p.Objects {
+		nodes = o.Members(nodes[:0])
+		combin.ForEachSubset(len(nodes), t, func(idx []int) bool {
+			for i, j := range idx {
+				sub[i] = nodes[j]
+			}
+			counts[subsetKey(sub)]++
+			return true
+		})
+	}
+	return counts
+}
+
+// MaxOverlap returns the largest number of objects sharing any common
+// (x+1)-subset of nodes — the smallest λ for which the placement is
+// Simple(x, λ).
+func (p *Placement) MaxOverlap(x int) int {
+	maxC := 0
+	for _, c := range p.OverlapCounts(x) {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+func subsetKey(s []int) string {
+	b := make([]byte, 2*len(s))
+	for i, v := range s {
+		b[2*i] = byte(v >> 8)
+		b[2*i+1] = byte(v)
+	}
+	return string(b)
+}

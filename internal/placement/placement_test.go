@@ -1,0 +1,118 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/combin"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{N: 71, B: 600, R: 3, S: 2, K: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 0, B: 1, R: 1, S: 1, K: 1},
+		{N: 10, B: -1, R: 3, S: 2, K: 4},
+		{N: 10, B: 5, R: 0, S: 1, K: 2},
+		{N: 10, B: 5, R: 11, S: 1, K: 2},
+		{N: 10, B: 5, R: 3, S: 0, K: 2},
+		{N: 10, B: 5, R: 3, S: 4, K: 4},
+		{N: 10, B: 5, R: 3, S: 2, K: 1},  // k < s
+		{N: 10, B: 5, R: 3, S: 2, K: 10}, // k >= n
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d (%+v) accepted", i, p)
+		}
+	}
+}
+
+func TestParamsLoad(t *testing.T) {
+	p := Params{N: 71, B: 600, R: 3, S: 2, K: 4}
+	// ceil(3*600/71) = ceil(25.35) = 26.
+	if got := p.Load(); got != 26 {
+		t.Errorf("Load = %d, want 26", got)
+	}
+	p2 := Params{N: 10, B: 10, R: 2, S: 1, K: 1}
+	if got := p2.Load(); got != 2 {
+		t.Errorf("Load = %d, want 2", got)
+	}
+}
+
+func TestPlacementAddValidate(t *testing.T) {
+	pl := NewPlacement(10, 3)
+	if err := pl.Add([]int{0, 3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Add([]int{1, 2}); err == nil {
+		t.Error("short replica list accepted")
+	}
+	if err := pl.Add([]int{0, 3, 10}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := pl.Add([]int{0, 3, 3}); err == nil {
+		t.Error("duplicate replica node accepted")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.B() != 1 {
+		t.Errorf("B = %d, want 1", pl.B())
+	}
+	nodes := pl.ReplicaNodes(0)
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[1] != 3 || nodes[2] != 7 {
+		t.Errorf("ReplicaNodes = %v", nodes)
+	}
+}
+
+func TestPlacementFailedObjects(t *testing.T) {
+	pl := NewPlacement(6, 3)
+	mustAdd(t, pl, []int{0, 1, 2})
+	mustAdd(t, pl, []int{0, 3, 4})
+	mustAdd(t, pl, []int{3, 4, 5})
+
+	failed := combin.NewBitsetFrom(6, []int{0, 1})
+	// s = 1: objects 0 and 1 touch {0,1}.
+	if got := pl.FailedObjects(failed, 1); got != 2 {
+		t.Errorf("FailedObjects(s=1) = %d, want 2", got)
+	}
+	// s = 2: only object 0 has two replicas in {0,1}.
+	if got := pl.FailedObjects(failed, 2); got != 1 {
+		t.Errorf("FailedObjects(s=2) = %d, want 1", got)
+	}
+	if got := pl.AvailableObjects(failed, 2); got != 2 {
+		t.Errorf("AvailableObjects(s=2) = %d, want 2", got)
+	}
+}
+
+func TestPlacementNodeLoadsAndOverlap(t *testing.T) {
+	pl := NewPlacement(6, 3)
+	mustAdd(t, pl, []int{0, 1, 2})
+	mustAdd(t, pl, []int{0, 1, 3})
+	loads := pl.NodeLoads()
+	want := []int{2, 2, 1, 1, 0, 0}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("NodeLoads = %v, want %v", loads, want)
+		}
+	}
+	if got := pl.MaxLoad(); got != 2 {
+		t.Errorf("MaxLoad = %d, want 2", got)
+	}
+	// Pair {0,1} shared by both objects.
+	if got := pl.MaxOverlap(1); got != 2 {
+		t.Errorf("MaxOverlap(x=1) = %d, want 2", got)
+	}
+	// No triple shared.
+	if got := pl.MaxOverlap(2); got != 1 {
+		t.Errorf("MaxOverlap(x=2) = %d, want 1", got)
+	}
+}
+
+func mustAdd(t *testing.T, pl *Placement, nodes []int) {
+	t.Helper()
+	if err := pl.Add(nodes); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+	"repro/internal/design"
+)
+
+// Unit describes one Simple(x, ·) building block available for placement:
+// a supply of (x+1)-(n_x, r, μ_x) packings (possibly chunked across
+// several sub-orders per Observation 2). CapPerMu is the number of objects
+// placeable per μ_x worth of λ — for a single chunk this is
+// μ_x·C(n_x, x+1)/C(r, x+1), which the paper requires to be integral.
+type Unit struct {
+	X        int   // overlap bound x (0 <= x < s)
+	Mu       int   // multiplicity granularity μ_x (λ_x must be a multiple)
+	CapPerMu int64 // objects placeable per μ_x of λ_x
+}
+
+// Validate checks unit consistency.
+func (u Unit) Validate() error {
+	if u.X < 0 {
+		return fmt.Errorf("placement: unit x = %d negative", u.X)
+	}
+	if u.Mu < 1 {
+		return fmt.Errorf("placement: unit μ = %d must be positive", u.Mu)
+	}
+	if u.CapPerMu < 1 {
+		return fmt.Errorf("placement: unit capacity %d must be positive", u.CapPerMu)
+	}
+	return nil
+}
+
+// SimpleCapacity returns the Lemma 1 capacity of a Simple(x, λ) placement
+// built from chunks of the given orders: λ·Σ_i C(n_i, x+1)/C(r, x+1)
+// evaluated exactly; the bool result reports whether each chunk's
+// capacity is integral at multiplicity mu (the paper's requirement).
+func SimpleCapacity(orders []int, r, x, lambda, mu int) (int64, bool) {
+	t := x + 1
+	den := combin.Choose(r, t)
+	if den == 0 || lambda%mu != 0 {
+		return 0, false
+	}
+	var perMu int64
+	for _, nx := range orders {
+		num := int64(mu) * combin.Choose(nx, t)
+		if num%den != 0 {
+			return 0, false
+		}
+		perMu += num / den
+	}
+	return int64(lambda/mu) * perMu, true
+}
+
+// MinimalLambda returns the smallest λ that is a positive multiple of μ
+// and satisfies Eqn. 1, i.e. the capacity λ/μ·capPerMu is at least b.
+func MinimalLambda(b int64, capPerMu int64, mu int) (int, error) {
+	if capPerMu < 1 || mu < 1 {
+		return 0, fmt.Errorf("placement: invalid capacity unit cap=%d μ=%d", capPerMu, mu)
+	}
+	if b <= 0 {
+		return 0, nil
+	}
+	copies := combin.CeilDiv(b, capPerMu)
+	lambda := copies * int64(mu)
+	const maxLambda = 1 << 30
+	if lambda > maxLambda {
+		return 0, fmt.Errorf("placement: λ = %d unreasonably large", lambda)
+	}
+	return int(lambda), nil
+}
+
+// LBAvailSimple returns lbAvail_si(x, λ) = b − ⌊λ·C(k, x+1)/C(s, x+1)⌋,
+// the Lemma 2 lower bound on Avail(π) for any Simple(x, λ) placement of b
+// objects facing k node failures with fatality threshold s. The value can
+// be negative (a vacuous bound), which the paper reports as-is in Fig. 10.
+func LBAvailSimple(b int64, k, s, x, lambda int) int64 {
+	t := x + 1
+	den := combin.Choose(s, t)
+	if den == 0 {
+		// x >= s: the bound is vacuous; arbitrarily many objects can share
+		// s nodes, so nothing is guaranteed.
+		return 0
+	}
+	failed := combin.FloorDiv(int64(lambda)*combin.Choose(k, t), den)
+	if failed > b {
+		failed = b // at most b objects can fail
+	}
+	return b - failed
+}
+
+// CompetitiveConstants returns the constants (c, α) of Theorem 1 for which
+// any placement π′ satisfies Avail(π′) < c·Avail(π) + α against any
+// Simple(x, λ) placement π built on n_x nodes with multiplicity μ_x.
+// ok is false when C(r,x+1)·C(k,x+1) >= C(n_x,x+1)·C(s,x+1), in which
+// case the theorem gives no guarantee (c would be <= 0 or undefined).
+func CompetitiveConstants(nx, r, s, k, x, mu int) (c, alpha float64, ok bool) {
+	t := x + 1
+	rr := float64(combin.Choose(r, t))
+	kk := float64(combin.Choose(k, t))
+	nn := float64(combin.Choose(nx, t))
+	ss := float64(combin.Choose(s, t))
+	if nn == 0 || ss == 0 {
+		return 0, 0, false
+	}
+	ratio := rr * kk / (nn * ss)
+	if ratio >= 1 {
+		return 0, 0, false
+	}
+	c = 1 / (1 - ratio)
+	alpha = c * float64(mu) * kk / ss
+	return c, alpha, true
+}
+
+// SimpleOptions configures BuildSimple.
+type SimpleOptions struct {
+	// Orders lists the chunk orders to use (Observation 2). When empty,
+	// the builder picks the largest constructible order <= n as a single
+	// chunk.
+	Orders []int
+	// AllowGreedy permits a greedy maximal packing when no algebraic
+	// construction exists for a chunk order. The capacity may then fall
+	// below the design bound.
+	AllowGreedy bool
+	// Seed feeds the greedy fallback.
+	Seed int64
+}
+
+// BuildSimple materializes a concrete Simple(x, λ) placement of b objects
+// on n nodes with r replicas each: an (x+1)-(n, r, λ) packing. Per
+// Observation 1 the placement is λ copies of μ=1 Steiner systems (or
+// greedy packings when permitted); per Observation 2 it may span several
+// chunks of nodes. It fails if b exceeds the achievable capacity.
+func BuildSimple(n, r, x, lambda, b int, opts SimpleOptions) (*Placement, error) {
+	if x < 0 || x >= r {
+		return nil, fmt.Errorf("placement: x = %d must satisfy 0 <= x < r = %d", x, r)
+	}
+	if lambda < 1 {
+		return nil, fmt.Errorf("placement: λ = %d must be positive", lambda)
+	}
+	t := x + 1
+	orders := opts.Orders
+	if len(orders) == 0 {
+		nx, ok := design.BestConstructibleOrder(t, r, n)
+		if !ok {
+			if !opts.AllowGreedy {
+				return nil, fmt.Errorf("placement: no constructible %d-(·, %d, 1) order <= %d", t, r, n)
+			}
+			nx = n
+		}
+		orders = []int{nx}
+	}
+	total := 0
+	for _, nx := range orders {
+		total += nx
+	}
+	if total > n {
+		return nil, fmt.Errorf("placement: chunk orders sum to %d > n = %d", total, n)
+	}
+
+	pl := NewPlacement(n, r)
+	remaining := b
+	offset := 0
+	for _, nx := range orders {
+		if remaining == 0 {
+			break
+		}
+		base, err := chunkDesign(t, nx, r, remaining, opts)
+		if err != nil {
+			return nil, err
+		}
+		// λ copies of the base packing; stop once b objects are placed.
+		nodes := make([]int, r)
+		for copyIdx := 0; copyIdx < lambda && remaining > 0; copyIdx++ {
+			for _, blk := range base.Blocks {
+				if remaining == 0 {
+					break
+				}
+				for i, pt := range blk {
+					nodes[i] = offset + pt
+				}
+				if err := pl.Add(nodes); err != nil {
+					return nil, err
+				}
+				remaining--
+			}
+		}
+		offset += nx
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("placement: Simple(%d, %d) capacity exhausted with %d of %d objects unplaced",
+			x, lambda, remaining, b)
+	}
+	return pl, nil
+}
+
+// chunkDesign builds the μ=1 base packing for one chunk. need bounds the
+// number of blocks actually consumed, which keeps the degenerate
+// x+1 = r case (the complete design, astronomically many blocks) lazy.
+func chunkDesign(t, nx, r, need int, opts SimpleOptions) (*design.Packing, error) {
+	if t == r {
+		return design.Complete(nx, r, int64(need))
+	}
+	if design.SteinerConstructible(t, nx, r) {
+		return design.BuildSteiner(t, nx, r)
+	}
+	if !opts.AllowGreedy {
+		return nil, fmt.Errorf("placement: no construction for %d-(%d, %d, 1); set AllowGreedy to use a maximal packing", t, nx, r)
+	}
+	return design.GreedyPacking(t, nx, r, 1, opts.Seed, 0)
+}

@@ -1,0 +1,302 @@
+package randplace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combin"
+	"repro/internal/placement"
+)
+
+func TestGenerateRespectsLoadCap(t *testing.T) {
+	for _, p := range []placement.Params{
+		{N: 31, B: 150, R: 5, S: 3, K: 3},
+		{N: 71, B: 600, R: 3, S: 2, K: 4},
+		{N: 10, B: 100, R: 2, S: 1, K: 2},
+	} {
+		pl, err := Generate(p, 42)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", p, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if pl.B() != p.B {
+			t.Errorf("placed %d objects, want %d", pl.B(), p.B)
+		}
+		if got, limit := pl.MaxLoad(), p.Load(); got > limit {
+			t.Errorf("max load %d exceeds cap ℓ = %d", got, limit)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	p := placement.Params{N: 20, B: 50, R: 3, S: 2, K: 3}
+	a, err := Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.B; i++ {
+		if !a.Objects[i].Equal(b.Objects[i]) {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+	c, err := Generate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < p.B; i++ {
+		if !a.Objects[i].Equal(c.Objects[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestGenerateRejectsInvalidParams(t *testing.T) {
+	if _, err := Generate(placement.Params{N: 5, B: 10, R: 6, S: 1, K: 1}, 1); err == nil {
+		t.Error("r > n accepted")
+	}
+}
+
+func TestAlphaMatchesDirectSum(t *testing.T) {
+	// Direct small-number evaluation against the log-space version.
+	for _, tc := range []struct{ n, k, r, s int }{
+		{10, 3, 3, 2}, {20, 5, 4, 2}, {31, 3, 5, 3}, {15, 7, 5, 1},
+	} {
+		var direct, complement float64
+		hi := tc.r
+		if tc.k < hi {
+			hi = tc.k
+		}
+		for sp := 0; sp <= hi; sp++ {
+			v := float64(combin.Choose(tc.k, sp)) * float64(combin.Choose(tc.n-tc.k, tc.r-sp))
+			if sp >= tc.s {
+				direct += v
+			} else {
+				complement += v
+			}
+		}
+		logAlpha, logComp := Alpha(tc.n, tc.k, tc.r, tc.s)
+		if math.Abs(math.Exp(logAlpha)-direct) > 1e-6*direct {
+			t.Errorf("%+v: alpha = %g, want %g", tc, math.Exp(logAlpha), direct)
+		}
+		if math.Abs(math.Exp(logComp)-complement) > 1e-6*complement {
+			t.Errorf("%+v: complement = %g, want %g", tc, math.Exp(logComp), complement)
+		}
+		// α + complement = C(n, r).
+		total := math.Exp(combin.LogSumExp(logAlpha, logComp))
+		want := float64(combin.Choose(tc.n, tc.r))
+		if math.Abs(total-want) > 1e-6*want {
+			t.Errorf("%+v: α + complement = %g, want C(n,r) = %g", tc, total, want)
+		}
+	}
+}
+
+func TestLogVulnMonotoneInF(t *testing.T) {
+	p := placement.Params{N: 71, B: 600, R: 5, S: 2, K: 3}
+	prev := math.Inf(1)
+	for f := 0; f <= p.B; f += 25 {
+		cur := LogVuln(p, f)
+		if cur > prev+1e-9 {
+			t.Fatalf("Vuln increased at f = %d: %g > %g", f, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPrAvailBasicProperties(t *testing.T) {
+	p := placement.Params{N: 71, B: 600, R: 5, S: 2, K: 3}
+	v, err := PrAvail(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > p.B {
+		t.Fatalf("PrAvail = %d out of [0, %d]", v, p.B)
+	}
+
+	// Non-increasing in k: more failures cannot help.
+	prev := p.B + 1
+	for k := 2; k <= 7; k++ {
+		pk := p
+		pk.K = k
+		v, err := PrAvail(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev {
+			t.Errorf("PrAvail increased from %d to %d at k = %d", prev, v, k)
+		}
+		prev = v
+	}
+
+	// Non-decreasing in s: harder-to-kill objects survive more.
+	prev = -1
+	for s := 1; s <= 5; s++ {
+		ps := placement.Params{N: 71, B: 600, R: 5, S: s, K: 5}
+		v, err := PrAvail(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("PrAvail decreased from %d to %d at s = %d", prev, v, s)
+		}
+		prev = v
+	}
+}
+
+func TestPrAvailPaperScaleRuns(t *testing.T) {
+	// The paper's largest configuration must evaluate quickly and sanely.
+	p := placement.Params{N: 257, B: 38400, R: 5, S: 5, K: 8}
+	v, err := PrAvail(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 8 (s=5): availability stays above 99.8% of b.
+	if frac := float64(v) / float64(p.B); frac < 0.99 {
+		t.Errorf("PrAvail fraction = %g, expected > 0.99 per Fig. 8", frac)
+	}
+}
+
+func TestPrAvailS1MatchesLemma4(t *testing.T) {
+	// Lemma 4: prAvail <= b(1 − 1/b)^{kℓ} for s = 1, k < n/2.
+	for _, tc := range []placement.Params{
+		{N: 71, B: 2400, R: 3, S: 1, K: 3},
+		{N: 71, B: 2400, R: 5, S: 1, K: 5},
+		{N: 257, B: 9600, R: 3, S: 1, K: 8},
+	} {
+		v, err := PrAvail(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := Lemma4Bound(tc)
+		// Allow one object of slack for the integer floor in prAvail.
+		if float64(v) > bound+1 {
+			t.Errorf("%+v: prAvail = %d exceeds Lemma 4 bound %g", tc, v, bound)
+		}
+	}
+}
+
+func TestPrAvailTableConvention(t *testing.T) {
+	// The table convention is exactly one below Definition 6 (clamped).
+	for _, p := range []placement.Params{
+		{N: 71, B: 600, R: 3, S: 3, K: 3},
+		{N: 71, B: 2400, R: 2, S: 2, K: 2},
+		{N: 257, B: 38400, R: 5, S: 2, K: 4},
+	} {
+		def6, err := PrAvail(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := PrAvailTable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := def6 - 1
+		if def6 == 0 {
+			want = 0
+		}
+		if table != want {
+			t.Errorf("%+v: PrAvailTable = %d, want %d (PrAvail = %d)", p, table, want, def6)
+		}
+	}
+	// The documented reproduction anchor: n=71 r=3 s=3 k=3 b=600 gives
+	// 598 under Definition 6 and 597 under the paper's tables.
+	p := placement.Params{N: 71, B: 600, R: 3, S: 3, K: 3}
+	if v, _ := PrAvail(p); v != 598 {
+		t.Errorf("PrAvail = %d, want 598", v)
+	}
+	if v, _ := PrAvailTable(p); v != 597 {
+		t.Errorf("PrAvailTable = %d, want 597", v)
+	}
+}
+
+func TestAvgAvailBudgetedNotExact(t *testing.T) {
+	// A large-ish instance with a microscopic budget must degrade to a
+	// non-exact estimate rather than failing.
+	p := placement.Params{N: 31, B: 300, R: 5, S: 2, K: 4}
+	res, err := AvgAvail(p, 2, 11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("budget 5 cannot complete exactly")
+	}
+	if res.Mean <= 0 || res.Mean > float64(p.B) {
+		t.Errorf("mean %g out of range", res.Mean)
+	}
+}
+
+func TestAvgAvailSmallExact(t *testing.T) {
+	p := placement.Params{N: 12, B: 40, R: 3, S: 2, K: 3}
+	res, err := AvgAvail(p, 5, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Error("small instance should be exact")
+	}
+	if res.Min > res.Max || res.Mean < float64(res.Min) || res.Mean > float64(res.Max) {
+		t.Errorf("inconsistent stats: %+v", res)
+	}
+	if res.Max > p.B {
+		t.Errorf("availability %d exceeds b", res.Max)
+	}
+	if res.Busiest > p.Load() {
+		t.Errorf("observed load %d beyond cap %d", res.Busiest, p.Load())
+	}
+	if _, err := AvgAvail(p, 0, 1, 0); err == nil {
+		t.Error("trials = 0 accepted")
+	}
+}
+
+// TestVulnAgainstMonteCarlo spot-checks the Theorem 2 limit against a
+// Monte-Carlo estimate of P(at least f objects fail for a FIXED K) under
+// the Random′ model (independent uniform r-subsets), which is the
+// binomial tail in the theorem. The C(n,k) factor is checked separately
+// by construction.
+func TestVulnAgainstMonteCarlo(t *testing.T) {
+	p := placement.Params{N: 12, B: 30, R: 3, S: 2, K: 3}
+	logAlpha, logComp := Alpha(p.N, p.K, p.R, p.S)
+	logTotal := combin.LogBinomial(p.N, p.R)
+	pFail := math.Exp(logAlpha - logTotal)
+	_ = logComp
+
+	rng := rand.New(rand.NewSource(99))
+	const samples = 20000
+	f := 8
+	hits := 0
+	for i := 0; i < samples; i++ {
+		failures := 0
+		for obj := 0; obj < p.B; obj++ {
+			// Sample an r-subset, count members inside K = {0,1,2}.
+			inK := 0
+			perm := rng.Perm(p.N)
+			for _, nd := range perm[:p.R] {
+				if nd < p.K {
+					inK++
+				}
+			}
+			if inK >= p.S {
+				failures++
+			}
+		}
+		if failures >= f {
+			hits++
+		}
+	}
+	mc := float64(hits) / samples
+	analytic := math.Exp(combin.LogBinomTailGE(p.B, f, math.Log(pFail), math.Log1p(-pFail)))
+	if math.Abs(mc-analytic) > 0.02 {
+		t.Errorf("Monte Carlo tail %g vs analytic %g differ beyond tolerance", mc, analytic)
+	}
+}

@@ -1,0 +1,160 @@
+// Package repro is a Go implementation of the replica placement strategies
+// from Li, Gao & Reiter, "Replica Placement for Availability in the Worst
+// Case" (ICDCS 2015, DOI 10.1109/ICDCS.2015.67).
+//
+// The problem: place b objects, each replicated on r of n nodes, so that
+// as many objects as possible survive when an adversary — who knows the
+// placement — fails the worst possible k nodes. An object fails once s of
+// its replicas are on failed nodes.
+//
+// The library provides:
+//
+//   - Simple(x, λ) placements (combinatorial t-packings: no x+1 nodes
+//     host more than λ common objects), with the Lemma 2 availability
+//     lower bound and the Theorem 1 c-competitiveness constants;
+//   - Combo placements combining Simple(x, λx) for x = 0..s-1, with the
+//     paper's dynamic program for choosing ⟨λx⟩ (PlanCombo);
+//   - concrete constructions backed by real Steiner systems (triple
+//     systems, quadruple systems, affine/projective/spherical geometries)
+//     built from scratch in internal/design;
+//   - the Random load-balanced baseline and its worst-case analysis
+//     (Vuln, prAvail — Theorem 2, Definition 6, Lemma 4);
+//   - an exact/branch-and-bound worst-case adversary for evaluating
+//     Avail(π) on concrete placements;
+//   - a cluster simulation layer (NewCluster) with object lifecycle,
+//     failure injection, and adaptive capacity growth.
+//
+// Quick start:
+//
+//	spec, bound, _ := repro.PlanCombo(71, 3, 2, 4, 600)   // n, r, s, k, b
+//	pl, _ := repro.Materialize(71, 3, spec, 600)
+//	avail, _, _ := repro.Avail(pl, 2, 4, 0)               // exact worst case
+//	fmt.Println(bound <= int64(avail))                     // always true
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every figure.
+package repro
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/cluster"
+	"repro/internal/placement"
+	"repro/internal/randplace"
+)
+
+// Core model types, re-exported from the placement engine.
+type (
+	// Params are the system model parameters (n, b, r, s, k) in the
+	// paper's notation.
+	Params = placement.Params
+	// Placement maps objects to replica sets.
+	Placement = placement.Placement
+	// ComboSpec is a configured Combo(⟨λx⟩) strategy.
+	ComboSpec = placement.ComboSpec
+	// Unit describes one Simple(x, ·) building block available to Combo.
+	Unit = placement.Unit
+	// SimpleOptions configures concrete Simple placement construction.
+	SimpleOptions = placement.SimpleOptions
+	// AttackResult reports a worst-case failure search outcome.
+	AttackResult = adversary.Result
+	// Cluster is a simulated storage cluster using these placements.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures NewCluster.
+	ClusterConfig = cluster.Config
+	// ClusterStrategy selects a cluster's placement policy.
+	ClusterStrategy = cluster.Strategy
+)
+
+// Cluster strategies.
+const (
+	StrategyCombo  = cluster.StrategyCombo
+	StrategyRandom = cluster.StrategyRandom
+)
+
+// PlanCombo chooses the availability-optimal Combo configuration ⟨λx⟩ for
+// placing b objects on n nodes (r replicas, fatality threshold s) against
+// k worst-case node failures, using the design catalog's best known
+// Steiner orders. It returns the spec together with its availability
+// lower bound lbAvail_co (Lemma 3): at least that many objects survive
+// ANY k node failures under the materialized placement.
+func PlanCombo(n, r, s, k, b int) (ComboSpec, int64, error) {
+	units, err := placement.DefaultUnits(n, r, s, false)
+	if err != nil {
+		return ComboSpec{}, 0, err
+	}
+	return placement.OptimizeCombo(b, k, s, units)
+}
+
+// PlanComboConstructible is PlanCombo restricted to Steiner systems this
+// library can actually build, so that the resulting spec can be
+// materialized by Materialize without greedy fallbacks.
+func PlanComboConstructible(n, r, s, k, b int) (ComboSpec, int64, error) {
+	units, err := placement.DefaultUnits(n, r, s, true)
+	if err != nil {
+		return ComboSpec{}, 0, err
+	}
+	return placement.OptimizeCombo(b, k, s, units)
+}
+
+// Materialize builds the concrete placement for a planned Combo spec.
+func Materialize(n, r int, spec ComboSpec, b int) (*Placement, error) {
+	return placement.BuildCombo(n, r, spec, b, placement.SimpleOptions{})
+}
+
+// BuildSimple builds a concrete Simple(x, λ) placement of b objects: an
+// (x+1)-(n, r, λ) packing (no x+1 nodes share more than λ objects).
+func BuildSimple(n, r, x, lambda, b int, opts SimpleOptions) (*Placement, error) {
+	return placement.BuildSimple(n, r, x, lambda, b, opts)
+}
+
+// RandomPlacement builds the load-balanced Random baseline placement
+// (Definition 4) for the given parameters.
+func RandomPlacement(p Params, seed int64) (*Placement, error) {
+	return randplace.Generate(p, seed)
+}
+
+// Avail computes Avail(π) = b minus the worst-case number of objects an
+// adversary can fail with k node failures (Definition 1), via
+// branch-and-bound. budget <= 0 searches exhaustively (exact); a positive
+// budget bounds the search and the result reports whether it stayed
+// exact.
+func Avail(pl *Placement, s, k int, budget int64) (int, AttackResult, error) {
+	return adversary.Avail(pl, s, k, budget)
+}
+
+// WorstAttack returns the most damaging k-node failure found for the
+// placement (see Avail for the budget semantics).
+func WorstAttack(pl *Placement, s, k int, budget int64) (AttackResult, error) {
+	return adversary.WorstCase(pl, s, k, budget)
+}
+
+// WorstAttackParallel is WorstAttack fanned out over worker goroutines
+// (workers <= 0 selects GOMAXPROCS); workers share the incumbent bound,
+// so exact searches often finish super-linearly faster on structured
+// placements.
+func WorstAttackParallel(pl *Placement, s, k int, budget int64, workers int) (AttackResult, error) {
+	return adversary.WorstCaseParallel(pl, s, k, budget, workers)
+}
+
+// LowerBoundSimple returns lbAvail_si(x, λ) (Lemma 2): a floor on
+// Avail(π) for any Simple(x, λ) placement of b objects.
+func LowerBoundSimple(b int64, k, s, x, lambda int) int64 {
+	return placement.LBAvailSimple(b, k, s, x, lambda)
+}
+
+// LowerBoundCombo returns lbAvail_co(⟨λx⟩) (Lemma 3).
+func LowerBoundCombo(b int64, k, s int, lambdas []int) int64 {
+	return placement.LBAvailCombo(b, k, s, lambdas)
+}
+
+// PrAvail returns the number of objects probably available under Random
+// placement facing a worst-case adversary (Definition 6, evaluated with
+// the Theorem 2 limit).
+func PrAvail(p Params) (int, error) {
+	return randplace.PrAvail(p)
+}
+
+// NewCluster builds a simulated storage cluster (see ClusterConfig).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(cfg)
+}
