@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/placement"
 	"repro/internal/randplace"
+	"repro/internal/topology"
 )
 
 // ---------------------------------------------------------------------------
@@ -162,6 +163,18 @@ func BenchmarkFig11(b *testing.B) {
 	}
 }
 
+func BenchmarkFigDomains(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.DomainTable(experiments.DomainOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderDomainTable(io.Discard, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTheorem1 sweeps the c-competitiveness constants across the
 // paper's parameter grid (the analytical content of Theorem 1).
 func BenchmarkTheorem1(b *testing.B) {
@@ -270,6 +283,73 @@ func BenchmarkAblationAdversary(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationDomainAdversary compares the three domain-correlated
+// attack engines on the same instance (accuracy asserted, speed
+// measured), mirroring BenchmarkAblationAdversary at the rack level.
+func BenchmarkAblationDomainAdversary(b *testing.B) {
+	pl, err := placement.BuildSimple(31, 3, 1, 2, 200, placement.SimpleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.Uniform(31, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, d = 2, 3
+	exact, err := adversary.DomainExhaustive(pl, topo, s, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adversary.DomainExhaustive(pl, topo, s, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("branch-and-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != exact.Failed {
+				b.Fatalf("B&B %d != exact %d", res.Failed, exact.Failed)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainGreedy(pl, topo, s, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > exact.Failed {
+				b.Fatalf("greedy %d exceeds exact %d", res.Failed, exact.Failed)
+			}
+		}
+	})
+}
+
+// BenchmarkSpreadAcrossDomains measures the domain-aware relabeling
+// post-pass (candidate generation plus exact evaluation).
+func BenchmarkSpreadAcrossDomains(b *testing.B) {
+	pl, err := placement.BuildSimple(31, 3, 1, 2, 200, placement.SimpleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.Uniform(31, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := placement.SpreadAcrossDomains(pl, topo, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationOverlap contrasts the inter-object correlation of the

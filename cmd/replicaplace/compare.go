@@ -17,10 +17,14 @@ import (
 func cmdCompare(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	mf := addModelFlags(fs)
+	tf := addTopologyFlags(fs, 0)
 	budget := fs.Int64("budget", 5_000_000, "adversary search budget per placement (0 = exact)")
 	trials := fs.Int("trials", 3, "random placements to try")
 	seed := fs.Int64("seed", 1, "base seed for random placements")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.requireRacks(fs); err != nil {
 		return err
 	}
 	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
@@ -28,15 +32,7 @@ func cmdCompare(args []string, w io.Writer) error {
 		return err
 	}
 
-	units, err := placement.DefaultUnits(mf.n, mf.r, mf.s, true)
-	if err != nil {
-		return err
-	}
-	spec, bound, err := placement.OptimizeCombo(mf.b, mf.k, mf.s, units)
-	if err != nil {
-		return err
-	}
-	combo, err := placement.BuildCombo(mf.n, mf.r, spec, mf.b, placement.SimpleOptions{})
+	combo, spec, bound, err := placement.BuildDefaultCombo(mf.n, mf.r, mf.s, mf.k, mf.b)
 	if err != nil {
 		return err
 	}
@@ -75,6 +71,61 @@ func cmdCompare(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  analytic prAvail = %d\n", pr)
 	fmt.Fprintf(w, "\nverdict: combo guarantees %d; random achieved as low as %d\n", bound, worst)
+	if tf.racks != 0 {
+		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, *budget)
+	}
+	return nil
+}
+
+// compareTopologySection appends the correlated-failure comparison:
+// combo (oblivious and spread) and the same random trials as the
+// node-level section, under the worst dfail whole-domain failures.
+func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
+	combo *placement.Placement, p placement.Params, trials int, seed, budget int64) error {
+	topo, err := tf.build(mf.n)
+	if err != nil {
+		return err
+	}
+	aware, _, err := placement.SpreadAcrossDomains(combo, topo, mf.s, tf.dfail)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ndomain adversary (%d racks, worst %d whole-domain failures):\n",
+		topo.NumDomains(), tf.dfail)
+	for _, layout := range []struct {
+		name string
+		pl   *placement.Placement
+	}{
+		{"combo, domain-oblivious", combo},
+		{"combo, domain-aware    ", aware},
+	} {
+		res, err := adversary.DomainWorstCase(layout.pl, topo, mf.s, tf.dfail, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %s: Avail = %d (%s)\n", layout.name, res.Avail(mf.b), exactness(res.Exact))
+	}
+	if trials < 1 {
+		return nil
+	}
+	worst := mf.b + 1
+	allExact := true
+	for trial := 0; trial < trials; trial++ {
+		rp, err := randplace.Generate(p, seed+int64(trial))
+		if err != nil {
+			return err
+		}
+		res, err := adversary.DomainWorstCase(rp, topo, mf.s, tf.dfail, budget)
+		if err != nil {
+			return err
+		}
+		if avail := res.Avail(mf.b); avail < worst {
+			worst = avail
+		}
+		allExact = allExact && res.Exact
+	}
+	fmt.Fprintf(w, "  random (worst of %d)    : Avail = %d (%s)\n",
+		trials, worst, exactness(allExact))
 	return nil
 }
 

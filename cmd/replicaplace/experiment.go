@@ -11,7 +11,7 @@ import (
 // cmdExperiment regenerates the paper's figures.
 func cmdExperiment(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9a,9b,10,11 or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9a,9b,10,11, domains, or all")
 	full := fs.Bool("full", false, "paper-scale runs (slow for figs 2 and 7)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -28,9 +28,11 @@ func cmdExperiment(args []string, w io.Writer) error {
 		"9b": runFig9b,
 		"10": runFig10,
 		"11": runFig11,
+		// Not a paper figure: the correlated failure-domain extension.
+		"domains": runFigDomains,
 	}
 	if *fig == "all" {
-		for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "9a", "9b", "10", "11"} {
+		for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "9a", "9b", "10", "11", "domains"} {
 			fmt.Fprintf(w, "\n===== figure %s =====\n", name)
 			if err := runners[name](w, *full); err != nil {
 				return fmt.Errorf("figure %s: %w", name, err)
@@ -132,4 +134,12 @@ func runFig10(w io.Writer, _ bool) error {
 
 func runFig11(w io.Writer, _ bool) error {
 	return experiments.RenderFig11(w, experiments.Fig11(0))
+}
+
+func runFigDomains(w io.Writer, _ bool) error {
+	cells, err := experiments.DomainTable(experiments.DomainOpts{})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderDomainTable(w, cells)
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// update regenerates the golden files instead of diffing against them:
+//
+//	go test ./cmd/replicaplace -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// attackNodesRE matches the witness node list of an attack. The damage
+// and availability figures are deterministic (exact searches), but among
+// equally-damaging attacks the parallel adversary may report any witness,
+// so golden comparisons normalize the set itself.
+var attackNodesRE = regexp.MustCompile(`attack \[[0-9 ]*\]`)
+
+// goldenCases pins the CLI's stdout for fixed parameter sets, so figure
+// or formatting regressions surface at the command layer, not just in
+// unit tests. Everything runs with exact adversaries (budget 0) to keep
+// the numbers deterministic.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"plan_n71", []string{"plan", "-n", "71", "-r", "3", "-s", "2", "-k", "4", "-b", "600"}},
+	{"plan_racks_n13", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-racks", "4", "-dfail", "1"}},
+	{"compare_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1"}},
+	{"experiment_fig4", []string{"experiment", "-fig", "4"}},
+	{"experiment_fig11", []string{"experiment", "-fig", "11"}},
+	{"experiment_domains", []string{"experiment", "-fig", "domains"}},
+	{"topology_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
+		"-racks", "3", "-dfail", "1", "-budget", "0"}},
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			got := attackNodesRE.ReplaceAll(buf.Bytes(), []byte("attack [...]"))
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("output differs from %s (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

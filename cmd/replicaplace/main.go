@@ -1,14 +1,20 @@
 // Command replicaplace plans, materializes and evaluates worst-case
 // availability-optimal replica placements (Li, Gao & Reiter, ICDCS 2015),
-// and regenerates every figure of the paper's evaluation.
+// and regenerates every figure of the paper's evaluation. Beyond the
+// paper's independent-failure model, the topology subcommand and the
+// -racks/-zones/-dfail flags evaluate correlated whole-domain failures
+// (racks, zones) and the domain-aware spreading post-pass.
 //
 // Usage:
 //
-//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1]
 //	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
 //	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000]
 //	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
+//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1]
+//	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-dfail 1]
 //	replicaplace experiment -fig 9a [-full]
+//	replicaplace experiment -fig domains
 package main
 
 import (
@@ -42,10 +48,12 @@ func run(args []string, w io.Writer) error {
 		return cmdCompare(args[1:], w)
 	case "verify":
 		return cmdVerify(args[1:], w)
+	case "topology":
+		return cmdTopology(args[1:], w)
 	case "experiment":
 		return cmdExperiment(args[1:], w)
 	case "-h", "--help", "help":
-		fmt.Fprintln(w, "subcommands: plan, place, attack, analyze, compare, verify, experiment")
+		fmt.Fprintln(w, "subcommands: plan, place, attack, analyze, compare, verify, topology, experiment")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

@@ -128,6 +128,77 @@ func TestRunVerify(t *testing.T) {
 	}
 }
 
+func TestRunTopology(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
+		"-racks", "3", "-dfail", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"topology: 12 nodes, 3 domains", "domain-oblivious",
+		"domain-aware", "node adversary", "constrained adversary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("topology output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTopologyZoned(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"topology", "-n", "24", "-r", "3", "-s", "2", "-k", "3", "-b", "40",
+		"-racks", "6", "-zones", "3", "-dfail", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"in 3 zones", "zone adversary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zoned topology output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlanWithRacks(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-racks", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"failure domains (4)", "domain-oblivious combo", "domain-aware combo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan -racks output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareWithRacks(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "1", "-budget", "0", "-racks", "4", "-dfail", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"domain adversary (4 racks", "combo, domain-aware", "random placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare -racks output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentDomains(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment", "-fig", "domains"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Avail(rack,d) aware") {
+		t.Error("domains experiment output missing header")
+	}
+}
+
 func TestRunExperimentFig8(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"experiment", "-fig", "8"}, &buf); err != nil {
@@ -160,5 +231,20 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"help"}, &buf); err != nil {
 		t.Errorf("help failed: %v", err)
+	}
+	if err := run([]string{"topology", "-n", "13", "-racks", "20"}, &buf); err == nil {
+		t.Error("more racks than nodes accepted")
+	}
+	if err := run([]string{"topology", "-n", "24", "-racks", "5", "-zones", "2"}, &buf); err == nil {
+		t.Error("racks not divisible by zones accepted")
+	}
+	if err := run([]string{"plan", "-racks", "-1"}, &buf); err == nil {
+		t.Error("negative racks accepted")
+	}
+	if err := run([]string{"plan", "-zones", "2"}, &buf); err == nil {
+		t.Error("-zones without -racks accepted")
+	}
+	if err := run([]string{"compare", "-dfail", "2"}, &buf); err == nil {
+		t.Error("-dfail without -racks accepted")
 	}
 }

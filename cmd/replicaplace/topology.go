@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/adversary"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// topologyFlags registers the shared failure-domain parameters.
+type topologyFlags struct {
+	racks int
+	zones int
+	dfail int
+}
+
+// addTopologyFlags registers the shared failure-domain flags.
+// defaultRacks is 0 for commands where the topology section is opt-in
+// (plan, compare) and positive where it is the point (topology).
+func addTopologyFlags(fs *flag.FlagSet, defaultRacks int) *topologyFlags {
+	tf := &topologyFlags{}
+	help := "failure domains (racks) to spread nodes over"
+	if defaultRacks == 0 {
+		help += " (0 = no topology section)"
+	}
+	fs.IntVar(&tf.racks, "racks", defaultRacks, help)
+	fs.IntVar(&tf.zones, "zones", 0, "group racks into this many zones (0 = flat racks)")
+	fs.IntVar(&tf.dfail, "dfail", 1, "whole-domain failures the correlated adversary may pick")
+	return tf
+}
+
+// requireRacks errors when topology flags were set explicitly but
+// -racks was not, so plan/compare never silently drop -zones/-dfail.
+func (tf *topologyFlags) requireRacks(fs *flag.FlagSet) error {
+	if tf.racks != 0 {
+		return nil
+	}
+	var orphan string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "zones" || f.Name == "dfail" {
+			orphan = f.Name
+		}
+	})
+	if orphan != "" {
+		return fmt.Errorf("topology: -%s has no effect without -racks", orphan)
+	}
+	return nil
+}
+
+// build materializes the topology the flags describe for n nodes.
+func (tf *topologyFlags) build(n int) (*topology.Topology, error) {
+	if tf.racks < 1 {
+		return nil, fmt.Errorf("topology: -racks must be positive")
+	}
+	if tf.zones > 0 {
+		if tf.racks%tf.zones != 0 {
+			return nil, fmt.Errorf("topology: -racks %d not divisible by -zones %d", tf.racks, tf.zones)
+		}
+		return topology.UniformHierarchy(n, tf.zones, tf.racks/tf.zones)
+	}
+	return topology.Uniform(n, tf.racks)
+}
+
+// cmdTopology builds a Combo placement, applies the domain-aware
+// spreading pass, and contrasts the node-level and domain-correlated
+// adversaries on both layouts.
+func cmdTopology(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topology", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	tf := addTopologyFlags(fs, 4)
+	budget := fs.Int64("budget", 0, "adversary search budget (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	topo, err := tf.build(mf.n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "topology: %d nodes, %d domains", topo.N, topo.NumDomains())
+	if len(topo.Zones) > 0 {
+		fmt.Fprintf(w, " in %d zones", len(topo.Zones))
+	}
+	fmt.Fprintf(w, "\n  %s\n", topo.Spec())
+
+	combo, spec, bound, err := placement.BuildDefaultCombo(mf.n, mf.r, mf.s, mf.k, mf.b)
+	if err != nil {
+		return err
+	}
+	aware, _, err := placement.SpreadAcrossDomains(combo, topo, mf.s, tf.dfail)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "combo placement: lambdas %v, node-adversary guarantee >= %d of %d\n",
+		spec.Lambdas, bound, mf.b)
+
+	for _, layout := range []struct {
+		name string
+		pl   *placement.Placement
+	}{{"domain-oblivious", combo}, {"domain-aware   ", aware}} {
+		stats, err := placement.DomainSpread(layout.pl, topo)
+		if err != nil {
+			return err
+		}
+		res, err := adversary.DomainWorstCase(layout.pl, topo, mf.s, tf.dfail, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: replicas span %d-%d domains/object; worst %d-domain failure %v fails %d (Avail = %d, %s)\n",
+			layout.name, stats.MinDomains, stats.MaxDomains, tf.dfail,
+			topo.DomainNames(res.Domains), res.Failed, res.Avail(mf.b), exactness(res.Exact))
+	}
+
+	nodeRes, err := adversary.WorstCase(combo, mf.s, mf.k, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "node adversary (%d free nodes): fails %d (Avail = %d, %s)\n",
+		mf.k, nodeRes.Failed, nodeRes.Avail(mf.b), exactness(nodeRes.Exact))
+	conRes, err := adversary.ConstrainedWorstCase(aware, topo, mf.s, mf.k, tf.dfail, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "constrained adversary (%d nodes in <= %d domains, aware layout): fails %d (Avail = %d, %s)\n",
+		mf.k, tf.dfail, conRes.Failed, conRes.Avail(mf.b), exactness(conRes.Exact))
+
+	if len(topo.Zones) > 0 {
+		zl, err := topo.ZoneLevel()
+		if err != nil {
+			return err
+		}
+		zres, err := adversary.DomainWorstCase(aware, zl, mf.s, min(tf.dfail, zl.NumDomains()), *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "zone adversary (whole zones, aware layout): fails %d (Avail = %d, %s)\n",
+			zres.Failed, zres.Avail(mf.b), exactness(zres.Exact))
+	}
+	return nil
+}

@@ -140,39 +140,11 @@ func Exhaustive(pl *placement.Placement, s, k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m := len(in.candidates)
-	if m < k {
+	if len(in.candidates) < k {
 		// Fewer candidates than k: fail all of them (plus arbitrary nodes).
 		return exhaustTiny(pl, s, k)
 	}
-	best := Result{Failed: -1, Exact: true}
-	cur := make([]int, 0, k)
-	var visited int64
-	var dfs func(start, failed int)
-	dfs = func(start, failed int) {
-		visited++
-		if len(cur) == k {
-			if failed > best.Failed {
-				best.Failed = failed
-				best.Nodes = candidateNodes(in, cur)
-			}
-			return
-		}
-		rem := k - len(cur)
-		for i := start; i <= m-rem; i++ {
-			newly := in.add(i)
-			cur = append(cur, i)
-			dfs(i+1, failed+newly)
-			cur = cur[:len(cur)-1]
-			in.remove(i)
-		}
-	}
-	dfs(0, 0)
-	best.Visited = visited
-	if best.Failed < 0 {
-		best.Failed = 0
-	}
-	return best, nil
+	return exhaustiveOn(in), nil
 }
 
 // exhaustTiny handles the degenerate case of fewer loaded candidates than
@@ -209,10 +181,18 @@ func Greedy(pl *placement.Placement, s, k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m := len(in.candidates)
-	if m < k {
+	if len(in.candidates) < k {
 		return exhaustTiny(pl, s, k)
 	}
+	return greedyOn(in), nil
+}
+
+// greedyOn runs greedy selection plus swap local search on a prepared
+// instance with at least in.k candidates. The instance's failure counters
+// are left dirty; reset before reuse.
+func greedyOn(in *instance) Result {
+	m := len(in.candidates)
+	k := in.k
 	chosen := make([]bool, m)
 	sel := make([]int, 0, k)
 	failed := 0
@@ -266,7 +246,7 @@ func Greedy(pl *placement.Placement, s, k int) (Result, error) {
 		Nodes:   candidateNodes(in, sel),
 		Exact:   false,
 		Visited: int64(rounds) * int64(m),
-	}, nil
+	}
 }
 
 // WorstCase runs branch-and-bound seeded with the greedy incumbent. With
@@ -282,10 +262,18 @@ func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	m := len(in.candidates)
-	if m < k {
+	if len(in.candidates) < k {
 		return seed, nil
 	}
+	return branchAndBoundOn(in, seed, budget), nil
+}
+
+// branchAndBoundOn runs the branch-and-bound search on a prepared
+// instance with at least in.k candidates, starting from the given
+// incumbent. The instance's failure counters must be clean.
+func branchAndBoundOn(in *instance, seed Result, budget int64) Result {
+	m := len(in.candidates)
+	k := in.k
 	best := seed
 	best.Exact = true // until proven otherwise by budget exhaustion
 	cur := make([]int, 0, k)
@@ -352,7 +340,7 @@ func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) 
 	if exhausted {
 		best.Exact = false
 	}
-	return best, nil
+	return best
 }
 
 func candidateNodes(in *instance, idxs []int) []int {

@@ -11,6 +11,11 @@
 //	Fig. 10 — per-x breakdown of Combo's advantage (r = s = 3)
 //	Fig. 11 — the s = 1 decay law of Random placement (Lemma 4)
 //
+// Beyond the paper, DomainTable contrasts the node adversary with a
+// correlated whole-rack adversary on the same Combo placements, before
+// and after the domain-aware spreading post-pass (see
+// internal/topology).
+//
 // Analytic figures (3, 4, 8, 9, 10, 11) reproduce the paper's numbers
 // exactly (modulo the documented Fig. 4 OCR substitution); simulation
 // figures (2, 7) reproduce distributions and shapes, controlled by

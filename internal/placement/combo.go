@@ -314,6 +314,26 @@ func DefaultUnits(n, r, s int, constructibleOnly bool) ([]Unit, error) {
 	return units, nil
 }
 
+// BuildDefaultCombo runs the full constructible pipeline — DefaultUnits,
+// OptimizeCombo, BuildCombo — returning the materialized placement along
+// with the optimized spec and its Lemma 3 bound. It is the one-call form
+// used by the CLI and the experiment harness.
+func BuildDefaultCombo(n, r, s, k, b int) (*Placement, ComboSpec, int64, error) {
+	units, err := DefaultUnits(n, r, s, true)
+	if err != nil {
+		return nil, ComboSpec{}, 0, err
+	}
+	spec, bound, err := OptimizeCombo(b, k, s, units)
+	if err != nil {
+		return nil, ComboSpec{}, 0, err
+	}
+	pl, err := BuildCombo(n, r, spec, b, SimpleOptions{})
+	if err != nil {
+		return nil, ComboSpec{}, 0, err
+	}
+	return pl, spec, bound, nil
+}
+
 // BuildCombo materializes a concrete Combo placement of b objects on n
 // nodes following spec: objects are assigned to Simple(x, λ_x)
 // sub-placements from the largest x down (matching how the DP allocates

@@ -16,6 +16,12 @@
 //     Simple(x, λx) placements for x = 0..s-1, with ⟨λx⟩ chosen by the
 //     dynamic program of Sec. III-B1 (Eqns. 5–7) to maximize the Lemma 3
 //     lower bound.
+//
+// Both strategies build over abstract node ids; SpreadAcrossDomains maps
+// those ids onto physical nodes of a failure-domain topology (racks,
+// zones — see internal/topology) so each object's replicas land in
+// maximally distinct domains, without ever hurting availability under
+// the correlated whole-domain adversary.
 package placement
 
 import (

@@ -1,0 +1,263 @@
+// Spread tests live in the external test package so they can exercise
+// the never-worse guarantee against the real domain adversary (package
+// adversary imports placement, so the internal package cannot).
+package placement_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+func randomSpreadPlacement(rng *rand.Rand, n, r, b int) *placement.Placement {
+	pl := placement.NewPlacement(n, r)
+	nodes := make([]int, r)
+	for i := 0; i < b; i++ {
+		perm := rng.Perm(n)
+		copy(nodes, perm[:r])
+		if err := pl.Add(nodes); err != nil {
+			panic(err)
+		}
+	}
+	return pl
+}
+
+func TestRelabel(t *testing.T) {
+	pl := placement.NewPlacement(4, 2)
+	for _, obj := range [][]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := placement.Relabel(pl, []int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{2, 3}, {1, 2}, {0, 1}}
+	for i, w := range want {
+		got := out.ReplicaNodes(i)
+		if len(got) != 2 || got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("object %d relabeled to %v, want %v", i, got, w)
+		}
+	}
+	if _, err := placement.Relabel(pl, []int{0, 1, 2}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := placement.Relabel(pl, []int{0, 1, 2, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := placement.Relabel(pl, []int{0, 1, 2, 4}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+func TestDomainSpreadStats(t *testing.T) {
+	pl := placement.NewPlacement(6, 3)
+	// One object entirely inside rack0, one spread over all three racks.
+	for _, obj := range [][]int{{0, 1, 2}, {0, 3, 5}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.New(6, []topology.Domain{
+		{Name: "a", Zone: -1, Nodes: []int{0, 1, 2}},
+		{Name: "b", Zone: -1, Nodes: []int{3, 4}},
+		{Name: "c", Zone: -1, Nodes: []int{5}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := placement.DomainSpread(pl, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MinDomains != 1 || stats.MaxDomains != 3 {
+		t.Errorf("spread = [%d, %d], want [1, 3]", stats.MinDomains, stats.MaxDomains)
+	}
+	if stats.Histogram[1] != 1 || stats.Histogram[3] != 1 {
+		t.Errorf("histogram = %v", stats.Histogram)
+	}
+}
+
+// TestSpreadPerfectOnBlockAlignedRacks: when objects exactly coincide
+// with racks, the oblivious placement loses an object per rack failure
+// while the spread placement survives every single-rack failure.
+func TestSpreadPerfectOnBlockAlignedRacks(t *testing.T) {
+	pl := placement.NewPlacement(9, 3)
+	for _, obj := range [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.Uniform(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s, d = 2, 1
+	before, err := placement.WorstDomainDamage(pl, topo, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 1 {
+		t.Fatalf("oblivious damage = %d, want 1 (one object per rack)", before)
+	}
+	aware, mapping, err := placement.SpreadAcrossDomains(pl, topo, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := placement.WorstDomainDamage(aware, topo, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 0 {
+		t.Errorf("spread damage = %d, want 0 (each object across 3 racks); mapping %v", after, mapping)
+	}
+	stats, err := placement.DomainSpread(aware, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MinDomains != 3 {
+		t.Errorf("spread MinDomains = %d, want 3", stats.MinDomains)
+	}
+}
+
+// TestSpreadNeverWorseProperty is the PR's core guarantee: under the
+// exact domain adversary, the spread placement never does worse than the
+// domain-oblivious one — on random placements, random topologies, and
+// across s and d.
+func TestSpreadNeverWorseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(8)
+		r := 2 + rng.Intn(3)
+		b := 10 + rng.Intn(30)
+		pl := randomSpreadPlacement(rng, n, r, b)
+		racks := 2 + rng.Intn(4)
+		if racks > n {
+			racks = n
+		}
+		topo, err := topology.Uniform(n, racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 1 + rng.Intn(r)
+		d := 1 + rng.Intn(racks)
+		aware, mapping, err := placement.SpreadAcrossDomains(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The mapping must be a permutation (Relabel validates), and the
+		// relabeled placement must still be structurally sound.
+		if err := aware.Validate(); err != nil {
+			t.Fatalf("trial %d: spread placement invalid: %v", trial, err)
+		}
+		if len(mapping) != n {
+			t.Fatalf("trial %d: mapping has %d entries, want %d", trial, len(mapping), n)
+		}
+		before, err := placement.WorstDomainDamage(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := placement.WorstDomainDamage(aware, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before {
+			t.Errorf("trial %d (n=%d r=%d b=%d s=%d racks=%d d=%d): spread damage %d > oblivious %d",
+				trial, n, r, b, s, racks, d, after, before)
+		}
+	}
+}
+
+// TestSpreadNeverWorseUnderAdversaryEngine re-verifies the guarantee
+// with the independent branch-and-bound domain adversary, on Combo
+// placements (the configuration the PR ships): domain-aware Combo's
+// availability is >= domain-oblivious Combo's for every scenario.
+func TestSpreadNeverWorseUnderAdversaryEngine(t *testing.T) {
+	for _, tc := range []struct {
+		n, r, s, k, b, racks, d int
+	}{
+		{9, 3, 2, 3, 12, 3, 1},
+		{13, 3, 2, 3, 26, 4, 1},
+		{13, 3, 2, 4, 26, 4, 2},
+		{13, 3, 3, 4, 26, 4, 2},
+	} {
+		units, err := placement.DefaultUnits(tc.n, tc.r, tc.s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _, err := placement.OptimizeCombo(tc.b, tc.k, tc.s, units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combo, err := placement.BuildCombo(tc.n, tc.r, spec, tc.b, placement.SimpleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := topology.Uniform(tc.n, tc.racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, _, err := placement.SpreadAcrossDomains(combo, topo, tc.s, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obliv, err := adversary.DomainWorstCase(combo, topo, tc.s, tc.d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		awareRes, err := adversary.DomainWorstCase(aware, topo, tc.s, tc.d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if awareRes.Avail(tc.b) < obliv.Avail(tc.b) {
+			t.Errorf("%+v: aware Avail %d < oblivious %d", tc, awareRes.Avail(tc.b), obliv.Avail(tc.b))
+		}
+		// Spreading is label-only: the node-level worst case is unchanged.
+		nodeObliv, err := adversary.WorstCase(combo, tc.s, tc.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeAware, err := adversary.WorstCase(aware, tc.s, tc.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodeObliv.Failed != nodeAware.Failed {
+			t.Errorf("%+v: node-level damage changed by relabeling: %d vs %d",
+				tc, nodeObliv.Failed, nodeAware.Failed)
+		}
+	}
+}
+
+func TestSpreadValidation(t *testing.T) {
+	pl := placement.NewPlacement(6, 2)
+	if err := pl.Add([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Uniform(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := placement.SpreadAcrossDomains(pl, topo, 0, 1); err == nil {
+		t.Error("s = 0 accepted")
+	}
+	if _, _, err := placement.SpreadAcrossDomains(pl, topo, 1, 0); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, _, err := placement.SpreadAcrossDomains(pl, topo, 1, 4); err == nil {
+		t.Error("d > domains accepted")
+	}
+	other, err := topology.Uniform(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := placement.SpreadAcrossDomains(pl, other, 1, 1); err == nil {
+		t.Error("mismatched topology accepted")
+	}
+	if _, err := placement.WorstDomainDamage(pl, other, 1, 1); err == nil {
+		t.Error("WorstDomainDamage with mismatched topology accepted")
+	}
+}

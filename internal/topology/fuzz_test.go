@@ -1,0 +1,44 @@
+package topology
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary specs through the parser; whatever it
+// accepts must validate, render a canonical Spec, and survive a second
+// parse with both the canonical form and the node→domain map unchanged.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(13, "rack0:0-3;rack1:4-6;rack2:7-9;rack3:10-12")
+	f.Add(7, "rack0:0-2;rack1:3,4;rack2:5-6")
+	f.Add(4, "a@east:0,1;b@west:2,3")
+	f.Add(6, "a:0,2,4;b:1,3,5")
+	f.Add(1, "solo:0")
+	f.Add(3, "a:0;b:1;c:2")
+	f.Fuzz(func(t *testing.T, n int, spec string) {
+		if n < 1 || n > 256 || len(spec) > 4096 {
+			return
+		}
+		topo, err := ParseSpec(n, spec)
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", spec, err)
+		}
+		canon := topo.Spec()
+		back, err := ParseSpec(n, canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q does not re-parse: %v", canon, err)
+		}
+		if got := back.Spec(); got != canon {
+			t.Fatalf("canonical spec not a fixed point:\n  first:  %s\n  second: %s", canon, got)
+		}
+		for nd := 0; nd < n; nd++ {
+			a := topo.Domains[topo.DomainOf(nd)].Name
+			b := back.Domains[back.DomainOf(nd)].Name
+			if a != b {
+				t.Fatalf("spec %q: node %d in %q, reparsed in %q", spec, nd, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,356 @@
+// Package topology models correlated failure domains for the n nodes of
+// a placement: racks (flat) or a two-level zone→rack hierarchy. The
+// paper's adversary fails any k independent nodes; real outages take out
+// whole racks, power domains, or zones at once — the hierarchical
+// correlated-failure setting of Mills, Chandrasekaran & Mittal
+// (arXiv:1701.01539, arXiv:1503.02654). A Topology assigns every node to
+// exactly one domain and feeds two consumers:
+//
+//   - the domain-correlated adversary (package adversary), which fails
+//     whole domains instead of individual nodes, and
+//   - the domain-aware placement post-pass (package placement), which
+//     relabels a placement's abstract node ids onto physical nodes so
+//     each object's replicas land in as many distinct domains as
+//     possible.
+//
+// Topologies are constructed with Uniform / UniformHierarchy / New, or
+// parsed from a compact textual spec (ParseSpec); Spec renders the
+// canonical form of that spec, and ParseSpec∘Spec is the identity on
+// valid topologies (fuzz-tested).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/combin"
+)
+
+// Domain is one named failure domain (a rack): a set of node ids that
+// fail together. Zone indexes Topology.Zones, or is -1 in a flat
+// topology.
+type Domain struct {
+	Name  string
+	Zone  int
+	Nodes []int
+}
+
+// Topology maps n nodes into named failure domains. Zones is empty for a
+// flat (racks-only) topology; otherwise every domain's Zone field indexes
+// it, giving a two-level zone→rack hierarchy.
+type Topology struct {
+	N       int
+	Zones   []string
+	Domains []Domain
+
+	domainOf []int // node -> index into Domains
+}
+
+// New builds and validates a topology from explicit domains. Every node
+// in [0, n) must appear in exactly one domain; domain names must be
+// non-empty and unique; zone indices must all be valid (or all -1 with
+// no zones declared).
+func New(n int, domains []Domain, zones []string) (*Topology, error) {
+	t := &Topology{N: n, Zones: zones, Domains: domains}
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// index (re)builds the node→domain map, validating all invariants.
+func (t *Topology) index() error {
+	if t.N < 1 {
+		return fmt.Errorf("topology: n = %d must be positive", t.N)
+	}
+	if len(t.Domains) < 1 {
+		return fmt.Errorf("topology: no domains")
+	}
+	names := make(map[string]bool, len(t.Domains))
+	t.domainOf = make([]int, t.N)
+	for i := range t.domainOf {
+		t.domainOf[i] = -1
+	}
+	for di, d := range t.Domains {
+		if d.Name == "" {
+			return fmt.Errorf("topology: domain %d has no name", di)
+		}
+		if strings.ContainsAny(d.Name, ":;,@- \t\n") {
+			return fmt.Errorf("topology: domain name %q contains reserved characters", d.Name)
+		}
+		if names[d.Name] {
+			return fmt.Errorf("topology: duplicate domain name %q", d.Name)
+		}
+		names[d.Name] = true
+		if len(t.Zones) == 0 {
+			if d.Zone != -1 {
+				return fmt.Errorf("topology: domain %q has zone %d but no zones declared", d.Name, d.Zone)
+			}
+		} else if d.Zone < 0 || d.Zone >= len(t.Zones) {
+			return fmt.Errorf("topology: domain %q zone %d out of range [0, %d)", d.Name, d.Zone, len(t.Zones))
+		}
+		if len(d.Nodes) == 0 {
+			return fmt.Errorf("topology: domain %q is empty", d.Name)
+		}
+		for _, nd := range d.Nodes {
+			if nd < 0 || nd >= t.N {
+				return fmt.Errorf("topology: domain %q node %d out of range [0, %d)", d.Name, nd, t.N)
+			}
+			if t.domainOf[nd] != -1 {
+				return fmt.Errorf("topology: node %d in both %q and %q",
+					nd, t.Domains[t.domainOf[nd]].Name, d.Name)
+			}
+			t.domainOf[nd] = di
+		}
+	}
+	zoneNames := make(map[string]bool, len(t.Zones))
+	zoneUsed := make([]bool, len(t.Zones))
+	for zi, z := range t.Zones {
+		if z == "" {
+			return fmt.Errorf("topology: zone %d has no name", zi)
+		}
+		if strings.ContainsAny(z, ":;,@- \t\n") {
+			return fmt.Errorf("topology: zone name %q contains reserved characters", z)
+		}
+		if zoneNames[z] {
+			return fmt.Errorf("topology: duplicate zone name %q", z)
+		}
+		zoneNames[z] = true
+	}
+	for _, d := range t.Domains {
+		if d.Zone >= 0 {
+			zoneUsed[d.Zone] = true
+		}
+	}
+	for zi, used := range zoneUsed {
+		if !used {
+			return fmt.Errorf("topology: zone %q has no domains", t.Zones[zi])
+		}
+	}
+	for nd, di := range t.domainOf {
+		if di == -1 {
+			return fmt.Errorf("topology: node %d not in any domain", nd)
+		}
+	}
+	return nil
+}
+
+// Validate re-checks every invariant (useful after manual mutation of the
+// exported fields) and refreshes the node→domain index.
+func (t *Topology) Validate() error { return t.index() }
+
+// Uniform spreads n nodes over numDomains racks named rack0..rackD-1 as
+// evenly as possible: contiguous blocks, the first n mod numDomains racks
+// one node larger.
+func Uniform(n, numDomains int) (*Topology, error) {
+	if numDomains < 1 || numDomains > n {
+		return nil, fmt.Errorf("topology: %d domains must satisfy 1 <= domains <= n = %d", numDomains, n)
+	}
+	domains := make([]Domain, numDomains)
+	next := 0
+	for i := range domains {
+		size := n / numDomains
+		if i < n%numDomains {
+			size++
+		}
+		nodes := make([]int, size)
+		for j := range nodes {
+			nodes[j] = next
+			next++
+		}
+		domains[i] = Domain{Name: fmt.Sprintf("rack%d", i), Zone: -1, Nodes: nodes}
+	}
+	return New(n, domains, nil)
+}
+
+// UniformHierarchy builds a two-level topology: numZones zones named
+// zone0.., each holding racksPerZone racks, with the n nodes spread over
+// the zones·racks grid as evenly as possible. Rack names are zI.rJ-style
+// ("z0r0", "z0r1", ...).
+func UniformHierarchy(n, numZones, racksPerZone int) (*Topology, error) {
+	if numZones < 1 || racksPerZone < 1 {
+		return nil, fmt.Errorf("topology: zones = %d, racks/zone = %d must be positive", numZones, racksPerZone)
+	}
+	racks := numZones * racksPerZone
+	if racks > n {
+		return nil, fmt.Errorf("topology: %d racks exceed n = %d nodes", racks, n)
+	}
+	zones := make([]string, numZones)
+	for z := range zones {
+		zones[z] = fmt.Sprintf("zone%d", z)
+	}
+	domains := make([]Domain, racks)
+	next := 0
+	for i := range domains {
+		size := n / racks
+		if i < n%racks {
+			size++
+		}
+		nodes := make([]int, size)
+		for j := range nodes {
+			nodes[j] = next
+			next++
+		}
+		z := i / racksPerZone
+		domains[i] = Domain{Name: fmt.Sprintf("z%dr%d", z, i%racksPerZone), Zone: z, Nodes: nodes}
+	}
+	return New(n, domains, zones)
+}
+
+// NumDomains returns the number of failure domains.
+func (t *Topology) NumDomains() int { return len(t.Domains) }
+
+// DomainOf returns the index of the domain holding node nd.
+func (t *Topology) DomainOf(nd int) int { return t.domainOf[nd] }
+
+// FailedSet returns the node bitset covered by the given domain indices —
+// the node-level footprint of a correlated domain failure.
+func (t *Topology) FailedSet(domains []int) *combin.Bitset {
+	bs := combin.NewBitset(t.N)
+	for _, di := range domains {
+		for _, nd := range t.Domains[di].Nodes {
+			bs.Set(nd)
+		}
+	}
+	return bs
+}
+
+// DomainNames maps domain indices to their names.
+func (t *Topology) DomainNames(domains []int) []string {
+	names := make([]string, len(domains))
+	for i, di := range domains {
+		names[i] = t.Domains[di].Name
+	}
+	return names
+}
+
+// ZoneLevel collapses a hierarchical topology to its zones: the returned
+// flat topology has one domain per zone, covering the union of the zone's
+// racks. It errors on an already-flat topology.
+func (t *Topology) ZoneLevel() (*Topology, error) {
+	if len(t.Zones) == 0 {
+		return nil, fmt.Errorf("topology: no zones to collapse to")
+	}
+	domains := make([]Domain, len(t.Zones))
+	for z, name := range t.Zones {
+		domains[z] = Domain{Name: name, Zone: -1}
+	}
+	for _, d := range t.Domains {
+		domains[d.Zone].Nodes = append(domains[d.Zone].Nodes, d.Nodes...)
+	}
+	return New(t.N, domains, nil)
+}
+
+// MaxDomainSize returns the node count of the largest domain.
+func (t *Topology) MaxDomainSize() int {
+	maxSize := 0
+	for _, d := range t.Domains {
+		if len(d.Nodes) > maxSize {
+			maxSize = len(d.Nodes)
+		}
+	}
+	return maxSize
+}
+
+// Spec renders the canonical textual form parsed by ParseSpec:
+// domains separated by ';', each "name:nodes" (flat) or "name@zone:nodes"
+// (hierarchical), with nodes as comma-separated values and a-b ranges
+// over sorted node ids. Example: "rack0:0-3;rack1:4-6".
+func (t *Topology) Spec() string {
+	var sb strings.Builder
+	for i, d := range t.Domains {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(d.Name)
+		if d.Zone >= 0 {
+			sb.WriteByte('@')
+			sb.WriteString(t.Zones[d.Zone])
+		}
+		sb.WriteByte(':')
+		nodes := append([]int(nil), d.Nodes...)
+		sort.Ints(nodes)
+		for j := 0; j < len(nodes); {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			k := j
+			for k+1 < len(nodes) && nodes[k+1] == nodes[k]+1 {
+				k++
+			}
+			sb.WriteString(strconv.Itoa(nodes[j]))
+			if k > j {
+				sb.WriteByte('-')
+				sb.WriteString(strconv.Itoa(nodes[k]))
+			}
+			j = k + 1
+		}
+	}
+	return sb.String()
+}
+
+// ParseSpec parses the Spec format for n nodes. Zones are declared
+// implicitly by first use and ordered by first appearance; a spec must
+// name zones on either all or none of its domains.
+func ParseSpec(n int, spec string) (*Topology, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("topology: empty spec")
+	}
+	var (
+		domains []Domain
+		zones   []string
+		zoneIdx = make(map[string]int)
+		sawZone bool
+		sawFlat bool
+	)
+	for _, part := range strings.Split(spec, ";") {
+		head, nodesPart, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("topology: domain %q missing ':'", part)
+		}
+		name, zoneName, hasZone := strings.Cut(head, "@")
+		zone := -1
+		if hasZone {
+			sawZone = true
+			zi, seen := zoneIdx[zoneName]
+			if !seen {
+				zi = len(zones)
+				zones = append(zones, zoneName)
+				zoneIdx[zoneName] = zi
+			}
+			zone = zi
+		} else {
+			sawFlat = true
+		}
+		var nodes []int
+		for _, tok := range strings.Split(nodesPart, ",") {
+			lo, hi, isRange := strings.Cut(tok, "-")
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad node %q in domain %q", tok, name)
+			}
+			b := a
+			if isRange {
+				if b, err = strconv.Atoi(hi); err != nil {
+					return nil, fmt.Errorf("topology: bad range %q in domain %q", tok, name)
+				}
+			}
+			if b < a {
+				return nil, fmt.Errorf("topology: descending range %q in domain %q", tok, name)
+			}
+			if b-a >= n {
+				return nil, fmt.Errorf("topology: range %q wider than n = %d", tok, n)
+			}
+			for v := a; v <= b; v++ {
+				nodes = append(nodes, v)
+			}
+		}
+		domains = append(domains, Domain{Name: name, Zone: zone, Nodes: nodes})
+	}
+	if sawZone && sawFlat {
+		return nil, fmt.Errorf("topology: mix of zoned and zoneless domains")
+	}
+	return New(n, domains, zones)
+}

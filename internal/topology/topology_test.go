@@ -1,0 +1,222 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	topo, err := Uniform(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumDomains() != 4 {
+		t.Fatalf("NumDomains = %d, want 4", topo.NumDomains())
+	}
+	sizes := []int{4, 3, 3, 3}
+	total := 0
+	for i, d := range topo.Domains {
+		if len(d.Nodes) != sizes[i] {
+			t.Errorf("domain %d has %d nodes, want %d", i, len(d.Nodes), sizes[i])
+		}
+		total += len(d.Nodes)
+	}
+	if total != 13 {
+		t.Errorf("domains cover %d nodes, want 13", total)
+	}
+	for nd := 0; nd < 13; nd++ {
+		di := topo.DomainOf(nd)
+		found := false
+		for _, v := range topo.Domains[di].Nodes {
+			if v == nd {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("DomainOf(%d) = %d, but domain does not list the node", nd, di)
+		}
+	}
+	if topo.MaxDomainSize() != 4 {
+		t.Errorf("MaxDomainSize = %d, want 4", topo.MaxDomainSize())
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 0}, {10, 11}, {0, 1}} {
+		if _, err := Uniform(tc.n, tc.d); err == nil {
+			t.Errorf("Uniform(%d, %d) accepted", tc.n, tc.d)
+		}
+	}
+}
+
+func TestUniformHierarchy(t *testing.T) {
+	topo, err := UniformHierarchy(24, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Zones) != 3 || topo.NumDomains() != 6 {
+		t.Fatalf("got %d zones, %d domains; want 3, 6", len(topo.Zones), topo.NumDomains())
+	}
+	for i, d := range topo.Domains {
+		if d.Zone != i/2 {
+			t.Errorf("domain %d in zone %d, want %d", i, d.Zone, i/2)
+		}
+		if len(d.Nodes) != 4 {
+			t.Errorf("domain %d has %d nodes, want 4", i, len(d.Nodes))
+		}
+	}
+	zl, err := topo.ZoneLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zl.NumDomains() != 3 {
+		t.Fatalf("zone level has %d domains, want 3", zl.NumDomains())
+	}
+	for _, d := range zl.Domains {
+		if len(d.Nodes) != 8 {
+			t.Errorf("zone %q has %d nodes, want 8", d.Name, len(d.Nodes))
+		}
+	}
+	if _, err := zl.ZoneLevel(); err == nil {
+		t.Error("ZoneLevel on a flat topology accepted")
+	}
+}
+
+func TestFailedSet(t *testing.T) {
+	topo, err := Uniform(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := topo.FailedSet([]int{0, 3})
+	want := map[int]bool{0: true, 1: true, 6: true, 7: true}
+	for nd := 0; nd < 10; nd++ {
+		if bs.Get(nd) != want[nd] {
+			t.Errorf("FailedSet.Get(%d) = %v, want %v", nd, bs.Get(nd), want[nd])
+		}
+	}
+	names := topo.DomainNames([]int{0, 3})
+	if names[0] != "rack0" || names[1] != "rack3" {
+		t.Errorf("DomainNames = %v", names)
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		domains []Domain
+		zones   []string
+	}{
+		{"uncovered node", 3, []Domain{{Name: "a", Zone: -1, Nodes: []int{0, 1}}}, nil},
+		{"double booking", 2, []Domain{
+			{Name: "a", Zone: -1, Nodes: []int{0, 1}},
+			{Name: "b", Zone: -1, Nodes: []int{1}},
+		}, nil},
+		{"out of range", 2, []Domain{{Name: "a", Zone: -1, Nodes: []int{0, 2}}}, nil},
+		{"duplicate names", 2, []Domain{
+			{Name: "a", Zone: -1, Nodes: []int{0}},
+			{Name: "a", Zone: -1, Nodes: []int{1}},
+		}, nil},
+		{"empty name", 1, []Domain{{Name: "", Zone: -1, Nodes: []int{0}}}, nil},
+		{"reserved chars", 1, []Domain{{Name: "a:b", Zone: -1, Nodes: []int{0}}}, nil},
+		{"empty domain", 1, []Domain{
+			{Name: "a", Zone: -1, Nodes: []int{0}},
+			{Name: "b", Zone: -1, Nodes: nil},
+		}, nil},
+		{"zone without zones", 1, []Domain{{Name: "a", Zone: 0, Nodes: []int{0}}}, nil},
+		{"zone out of range", 1, []Domain{{Name: "a", Zone: 1, Nodes: []int{0}}}, []string{"z"}},
+		{"unused zone", 1, []Domain{{Name: "a", Zone: 0, Nodes: []int{0}}}, []string{"z", "w"}},
+		{"duplicate zones", 2, []Domain{
+			{Name: "a", Zone: 0, Nodes: []int{0}},
+			{Name: "b", Zone: 1, Nodes: []int{1}},
+		}, []string{"z", "z"}},
+		{"no domains", 1, nil, nil},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.n, tc.domains, tc.zones); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	topos := []*Topology{}
+	u, err := Uniform(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos = append(topos, u)
+	h, err := UniformHierarchy(24, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos = append(topos, h)
+	// Non-contiguous, striped domains exercise the range renderer.
+	striped, err := New(6, []Domain{
+		{Name: "a", Zone: -1, Nodes: []int{0, 2, 4}},
+		{Name: "b", Zone: -1, Nodes: []int{5, 3, 1}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos = append(topos, striped)
+
+	for _, topo := range topos {
+		spec := topo.Spec()
+		back, err := ParseSpec(topo.N, spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := back.Spec(); got != spec {
+			t.Errorf("round trip changed spec:\n  in:  %s\n  out: %s", spec, got)
+		}
+		for nd := 0; nd < topo.N; nd++ {
+			if gn := back.Domains[back.DomainOf(nd)].Name; gn != topo.Domains[topo.DomainOf(nd)].Name {
+				t.Errorf("spec %q: node %d mapped to %q, want %q",
+					spec, nd, gn, topo.Domains[topo.DomainOf(nd)].Name)
+			}
+		}
+	}
+}
+
+func TestParseSpecExamples(t *testing.T) {
+	topo, err := ParseSpec(7, "rack0:0-2;rack1:3,4;rack2:5-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumDomains() != 3 || topo.DomainOf(4) != 1 {
+		t.Errorf("parsed topology wrong: %d domains, DomainOf(4) = %d", topo.NumDomains(), topo.DomainOf(4))
+	}
+	zoned, err := ParseSpec(4, "a@east:0,1;b@west:2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zoned.Zones) != 2 || zoned.Domains[1].Zone != 1 {
+		t.Errorf("zones = %v, domain b zone = %d", zoned.Zones, zoned.Domains[1].Zone)
+	}
+	if !strings.Contains(zoned.Spec(), "@east") {
+		t.Errorf("zoned spec %q lost zones", zoned.Spec())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		n    int
+		spec string
+	}{
+		{4, ""},
+		{4, "rack0"},
+		{4, "rack0:x"},
+		{4, "rack0:0-x"},
+		{4, "rack0:3-1"},
+		{4, "rack0:0-9999999"},
+		{4, "a:0,1;b@z:2,3"}, // mixed flat and zoned
+		{4, "a:0,1"},         // nodes 2, 3 uncovered
+		{2, "a:0;a:1"},       // duplicate name
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(tc.n, tc.spec); err == nil {
+			t.Errorf("ParseSpec(%d, %q) accepted", tc.n, tc.spec)
+		}
+	}
+}

@@ -21,6 +21,11 @@
 //     (Vuln, prAvail — Theorem 2, Definition 6, Lemma 4);
 //   - an exact/branch-and-bound worst-case adversary for evaluating
 //     Avail(π) on concrete placements;
+//   - failure-domain topologies (racks, zone→rack hierarchies), a
+//     domain-correlated adversary that fails whole domains, and a
+//     domain-aware spreading post-pass (SpreadAcrossDomains) that maps
+//     abstract node ids onto physical nodes without ever hurting
+//     availability under the domain adversary;
 //   - a cluster simulation layer (NewCluster) with object lifecycle,
 //     failure injection, and adaptive capacity growth.
 //
@@ -40,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/placement"
 	"repro/internal/randplace"
+	"repro/internal/topology"
 )
 
 // Core model types, re-exported from the placement engine.
@@ -57,6 +63,15 @@ type (
 	SimpleOptions = placement.SimpleOptions
 	// AttackResult reports a worst-case failure search outcome.
 	AttackResult = adversary.Result
+	// Topology maps nodes into named failure domains (racks, zones).
+	Topology = topology.Topology
+	// FailureDomain is one named domain of a Topology.
+	FailureDomain = topology.Domain
+	// DomainAttackResult reports a worst-case correlated (whole-domain)
+	// failure search outcome.
+	DomainAttackResult = adversary.DomainResult
+	// SpreadStats summarizes replica spreading over failure domains.
+	SpreadStats = placement.SpreadStats
 	// Cluster is a simulated storage cluster using these placements.
 	Cluster = cluster.Cluster
 	// ClusterConfig configures NewCluster.
@@ -152,6 +167,51 @@ func LowerBoundCombo(b int64, k, s int, lambdas []int) int64 {
 // the Theorem 2 limit).
 func PrAvail(p Params) (int, error) {
 	return randplace.PrAvail(p)
+}
+
+// UniformTopology spreads n nodes evenly over the given number of racks.
+func UniformTopology(n, racks int) (*Topology, error) {
+	return topology.Uniform(n, racks)
+}
+
+// HierarchicalTopology spreads n nodes over zones×racksPerZone racks
+// grouped into zones.
+func HierarchicalTopology(n, zones, racksPerZone int) (*Topology, error) {
+	return topology.UniformHierarchy(n, zones, racksPerZone)
+}
+
+// SpreadAcrossDomains relabels a placement's abstract node ids onto
+// physical nodes so each object's replicas land in maximally distinct
+// failure domains. The result is never worse than the input under the
+// exact d-whole-domain adversary (the identity mapping competes), and
+// node-level availability is unchanged (the node adversary is label
+// blind). It returns the relabeled placement and the mapping used.
+func SpreadAcrossDomains(pl *Placement, topo *Topology, s, d int) (*Placement, []int, error) {
+	return placement.SpreadAcrossDomains(pl, topo, s, d)
+}
+
+// DomainSpread reports per-object domain-spread statistics.
+func DomainSpread(pl *Placement, topo *Topology) (SpreadStats, error) {
+	return placement.DomainSpread(pl, topo)
+}
+
+// DomainAvail computes availability under the worst d whole-domain
+// failures (exact when budget <= 0), with its witnessing attack.
+func DomainAvail(pl *Placement, topo *Topology, s, d int, budget int64) (int, DomainAttackResult, error) {
+	return adversary.DomainAvail(pl, topo, s, d, budget)
+}
+
+// WorstDomainAttack returns the most damaging d-whole-domain failure
+// found (see DomainAvail for budget semantics).
+func WorstDomainAttack(pl *Placement, topo *Topology, s, d int, budget int64) (DomainAttackResult, error) {
+	return adversary.DomainWorstCase(pl, topo, s, d, budget)
+}
+
+// WorstConstrainedAttack returns the most damaging k-node failure
+// confined to at most d failure domains — the paper's adversary with a
+// correlation budget.
+func WorstConstrainedAttack(pl *Placement, topo *Topology, s, k, d int, budget int64) (DomainAttackResult, error) {
+	return adversary.ConstrainedWorstCase(pl, topo, s, k, d, budget)
 }
 
 // NewCluster builds a simulated storage cluster (see ClusterConfig).
