@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"testing"
@@ -331,6 +332,89 @@ func BenchmarkAblationDomainAdversary(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDomainWorstCasePar contrasts the serial and parallel
+// whole-domain adversaries on a zones×racks hierarchy with 120 failure
+// domains — the scale the parallel fan-out exists for. Damage equality
+// with the serial engine is asserted at every worker count (the searches
+// are exact, so only wall-clock may differ).
+func BenchmarkDomainWorstCasePar(b *testing.B) {
+	topo, err := topology.UniformHierarchy(240, 10, 12) // 120 racks in 10 zones
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := randplace.Generate(placement.Params{N: 240, B: 600, R: 3, S: 2, K: 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, d = 2, 4
+	serial, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != serial.Failed {
+				b.Fatalf("serial rerun %d != %d", res.Failed, serial.Failed)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := adversary.DomainWorstCasePar(pl, topo, s, d, 0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != serial.Failed {
+					b.Fatalf("parallel (%d workers) %d != serial %d", workers, res.Failed, serial.Failed)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstrainedWorstCasePar measures the subset-sharded parallel
+// constrained adversary against its serial twin.
+func BenchmarkConstrainedWorstCasePar(b *testing.B) {
+	topo, err := topology.Uniform(60, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := randplace.Generate(placement.Params{N: 60, B: 400, R: 3, S: 2, K: 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, k, d = 2, 4, 2
+	serial, err := adversary.ConstrainedWorstCase(pl, topo, s, k, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adversary.ConstrainedWorstCase(pl, topo, s, k, d, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := adversary.ConstrainedWorstCasePar(pl, topo, s, k, d, 0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != serial.Failed {
+					b.Fatalf("parallel %d != serial %d", res.Failed, serial.Failed)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSpreadAcrossDomains measures the domain-aware relabeling

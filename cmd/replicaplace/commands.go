@@ -16,6 +16,7 @@ func cmdPlan(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 0)
+	workers := addWorkersFlag(fs, 1)
 	constructible := fs.Bool("constructible", false,
 		"restrict to Steiner systems this binary can materialize")
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +53,7 @@ func cmdPlan(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "random placement, probably available:        %d of %d (%.2f%%)\n",
 		pr, mf.b, 100*float64(pr)/float64(mf.b))
 	if tf.racks != 0 {
-		return planTopologySection(w, mf, tf)
+		return planTopologySection(w, mf, tf, *workers)
 	}
 	return nil
 }
@@ -61,7 +62,7 @@ func cmdPlan(args []string, w io.Writer) error {
 // it materializes the constructible Combo, applies the domain-aware
 // spreading pass, and measures availability under dfail whole-domain
 // failures for both layouts.
-func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags) error {
+func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, workers int) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
 		return err
@@ -74,11 +75,11 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags) error {
 	if err != nil {
 		return err
 	}
-	oblivious, err := adversary.DomainWorstCase(combo, topo, mf.s, tf.dfail, 0)
+	oblivious, err := adversary.DomainWorstCasePar(combo, topo, mf.s, tf.dfail, 0, workers)
 	if err != nil {
 		return err
 	}
-	spread, err := adversary.DomainWorstCase(aware, topo, mf.s, tf.dfail, 0)
+	spread, err := adversary.DomainWorstCasePar(aware, topo, mf.s, tf.dfail, 0, workers)
 	if err != nil {
 		return err
 	}

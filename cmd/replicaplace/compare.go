@@ -18,6 +18,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 0)
+	workers := addWorkersFlag(fs, 0)
 	budget := fs.Int64("budget", 5_000_000, "adversary search budget per placement (0 = exact)")
 	trials := fs.Int("trials", 3, "random placements to try")
 	seed := fs.Int64("seed", 1, "base seed for random placements")
@@ -27,6 +28,16 @@ func cmdCompare(args []string, w io.Writer) error {
 	if err := tf.requireRacks(fs); err != nil {
 		return err
 	}
+	// The domain section parallelizes only on explicit -workers: its
+	// default budgeted search stays serial so identical invocations keep
+	// printing identical (deterministic) lower bounds — workers racing
+	// for a shared budget may visit different states run to run.
+	domainWorkers := 1
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			domainWorkers = *workers
+		}
+	})
 	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
 	if err := p.Validate(); err != nil {
 		return err
@@ -36,7 +47,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	comboRes, err := adversary.WorstCaseParallel(combo, mf.s, mf.k, *budget, 0)
+	comboRes, err := adversary.WorstCaseParallel(combo, mf.s, mf.k, *budget, *workers)
 	if err != nil {
 		return err
 	}
@@ -55,7 +66,7 @@ func cmdCompare(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := adversary.WorstCaseParallel(rp, mf.s, mf.k, *budget, 0)
+		res, err := adversary.WorstCaseParallel(rp, mf.s, mf.k, *budget, *workers)
 		if err != nil {
 			return err
 		}
@@ -72,7 +83,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "  analytic prAvail = %d\n", pr)
 	fmt.Fprintf(w, "\nverdict: combo guarantees %d; random achieved as low as %d\n", bound, worst)
 	if tf.racks != 0 {
-		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, *budget)
+		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, *budget, domainWorkers)
 	}
 	return nil
 }
@@ -81,7 +92,7 @@ func cmdCompare(args []string, w io.Writer) error {
 // combo (oblivious and spread) and the same random trials as the
 // node-level section, under the worst dfail whole-domain failures.
 func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
-	combo *placement.Placement, p placement.Params, trials int, seed, budget int64) error {
+	combo *placement.Placement, p placement.Params, trials int, seed, budget int64, workers int) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
 		return err
@@ -99,7 +110,7 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		{"combo, domain-oblivious", combo},
 		{"combo, domain-aware    ", aware},
 	} {
-		res, err := adversary.DomainWorstCase(layout.pl, topo, mf.s, tf.dfail, budget)
+		res, err := adversary.DomainWorstCasePar(layout.pl, topo, mf.s, tf.dfail, budget, workers)
 		if err != nil {
 			return err
 		}
@@ -115,7 +126,7 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		if err != nil {
 			return err
 		}
-		res, err := adversary.DomainWorstCase(rp, topo, mf.s, tf.dfail, budget)
+		res, err := adversary.DomainWorstCasePar(rp, topo, mf.s, tf.dfail, budget, workers)
 		if err != nil {
 			return err
 		}

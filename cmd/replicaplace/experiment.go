@@ -4,19 +4,34 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/experiments"
 )
+
+// runOpts carries the experiment-wide knobs into each figure runner.
+type runOpts struct {
+	full    bool
+	workers int
+}
 
 // cmdExperiment regenerates the paper's figures.
 func cmdExperiment(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9a,9b,10,11, domains, or all")
 	full := fs.Bool("full", false, "paper-scale runs (slow for figs 2 and 7)")
+	workers := addWorkersFlag(fs, 1)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	runners := map[string]func(io.Writer, bool) error{
+	// The experiments layer treats workers literally (> 1 picks the
+	// parallel engines), so resolve the flag's "0 = GOMAXPROCS"
+	// convention here.
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	opts := runOpts{full: *full, workers: *workers}
+	runners := map[string]func(io.Writer, runOpts) error{
 		"2":  runFig2,
 		"3":  runFig3,
 		"4":  runFig4,
@@ -34,7 +49,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	if *fig == "all" {
 		for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "9a", "9b", "10", "11", "domains"} {
 			fmt.Fprintf(w, "\n===== figure %s =====\n", name)
-			if err := runners[name](w, *full); err != nil {
+			if err := runners[name](w, opts); err != nil {
 				return fmt.Errorf("figure %s: %w", name, err)
 			}
 		}
@@ -44,18 +59,18 @@ func cmdExperiment(args []string, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
-	return runner(w, *full)
+	return runner(w, opts)
 }
 
-func runFig2(w io.Writer, full bool) error {
-	points, err := experiments.Fig2(experiments.Fig2Opts{Full: full})
+func runFig2(w io.Writer, o runOpts) error {
+	points, err := experiments.Fig2(experiments.Fig2Opts{Full: o.full})
 	if err != nil {
 		return err
 	}
 	return experiments.RenderFig2(w, points)
 }
 
-func runFig3(w io.Writer, _ bool) error {
+func runFig3(w io.Writer, _ runOpts) error {
 	points, err := experiments.Fig3(experiments.Fig3Opts{})
 	if err != nil {
 		return err
@@ -63,7 +78,7 @@ func runFig3(w io.Writer, _ bool) error {
 	return experiments.RenderFig3(w, points)
 }
 
-func runFig4(w io.Writer, _ bool) error {
+func runFig4(w io.Writer, _ runOpts) error {
 	entries, err := experiments.Fig4(nil)
 	if err != nil {
 		return err
@@ -71,7 +86,7 @@ func runFig4(w io.Writer, _ bool) error {
 	return experiments.RenderFig4(w, entries)
 }
 
-func runFig5(w io.Writer, _ bool) error {
+func runFig5(w io.Writer, _ runOpts) error {
 	curves, err := experiments.Fig5(experiments.Fig5Opts{})
 	if err != nil {
 		return err
@@ -79,7 +94,7 @@ func runFig5(w io.Writer, _ bool) error {
 	return experiments.RenderFig5(w, curves)
 }
 
-func runFig6(w io.Writer, _ bool) error {
+func runFig6(w io.Writer, _ runOpts) error {
 	curves, err := experiments.Fig6(experiments.Fig5Opts{})
 	if err != nil {
 		return err
@@ -87,15 +102,15 @@ func runFig6(w io.Writer, _ bool) error {
 	return experiments.RenderFig5(w, curves)
 }
 
-func runFig7(w io.Writer, full bool) error {
-	points, err := experiments.Fig7(experiments.Fig7Opts{Full: full})
+func runFig7(w io.Writer, o runOpts) error {
+	points, err := experiments.Fig7(experiments.Fig7Opts{Full: o.full})
 	if err != nil {
 		return err
 	}
 	return experiments.RenderFig7(w, points)
 }
 
-func runFig8(w io.Writer, _ bool) error {
+func runFig8(w io.Writer, _ runOpts) error {
 	points, err := experiments.Fig8(experiments.Fig8Opts{})
 	if err != nil {
 		return err
@@ -103,7 +118,7 @@ func runFig8(w io.Writer, _ bool) error {
 	return experiments.RenderFig8(w, points)
 }
 
-func runFig9a(w io.Writer, _ bool) error {
+func runFig9a(w io.Writer, _ runOpts) error {
 	res, err := experiments.Fig9(experiments.Fig9Opts{N: 71})
 	if err != nil {
 		return err
@@ -111,7 +126,7 @@ func runFig9a(w io.Writer, _ bool) error {
 	return res.Render(w)
 }
 
-func runFig9b(w io.Writer, _ bool) error {
+func runFig9b(w io.Writer, _ runOpts) error {
 	res, err := experiments.Fig9(experiments.Fig9Opts{N: 257})
 	if err != nil {
 		return err
@@ -119,7 +134,7 @@ func runFig9b(w io.Writer, _ bool) error {
 	return res.Render(w)
 }
 
-func runFig10(w io.Writer, _ bool) error {
+func runFig10(w io.Writer, _ runOpts) error {
 	for _, n := range []int{31, 71, 257} {
 		cells, err := experiments.Fig10(experiments.Fig10Opts{N: n})
 		if err != nil {
@@ -132,12 +147,12 @@ func runFig10(w io.Writer, _ bool) error {
 	return nil
 }
 
-func runFig11(w io.Writer, _ bool) error {
+func runFig11(w io.Writer, _ runOpts) error {
 	return experiments.RenderFig11(w, experiments.Fig11(0))
 }
 
-func runFigDomains(w io.Writer, _ bool) error {
-	cells, err := experiments.DomainTable(experiments.DomainOpts{})
+func runFigDomains(w io.Writer, o runOpts) error {
+	cells, err := experiments.DomainTable(experiments.DomainOpts{Workers: o.workers})
 	if err != nil {
 		return err
 	}

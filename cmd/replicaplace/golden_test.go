@@ -38,6 +38,51 @@ var goldenCases = []struct {
 	{"experiment_domains", []string{"experiment", "-fig", "domains"}},
 	{"topology_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
 		"-racks", "3", "-dfail", "1", "-budget", "0"}},
+	// The -workers flag must not change what is printed — the searches
+	// stay exact, so only wall-clock differs (TestWorkersOutputDeterministic
+	// sweeps other worker counts against the same goldens).
+	{"plan_racks_workers_n13", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-racks", "4", "-dfail", "1", "-workers", "4"}},
+	{"compare_workers_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "4"}},
+}
+
+// TestWorkersOutputDeterministic pins the -workers contract: the flag
+// fans the exact adversary searches out over goroutines, so the printed
+// search results (the availability numbers — the schedule-dependent
+// witness list is normalized like the goldens) must be identical at
+// every worker count.
+func TestWorkersOutputDeterministic(t *testing.T) {
+	commands := []struct {
+		name string
+		args []string
+	}{
+		{"plan-racks", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+			"-racks", "4", "-dfail", "1"}},
+		{"compare", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+			"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1"}},
+	}
+	for _, tc := range commands {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for _, workers := range []string{"1", "2", "8"} {
+				var buf bytes.Buffer
+				args := append(append([]string{}, tc.args...), "-workers", workers)
+				if err := run(args, &buf); err != nil {
+					t.Fatalf("run(%v): %v", args, err)
+				}
+				got := attackNodesRE.ReplaceAll(buf.Bytes(), []byte("attack [...]"))
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("-workers %s changed the output:\n--- got ---\n%s\n--- want ---\n%s",
+						workers, got, want)
+				}
+			}
+		})
+	}
 }
 
 func TestGoldenOutputs(t *testing.T) {

@@ -7,14 +7,21 @@
 //
 // Usage:
 //
-//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1]
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-workers 8]
 //	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
 //	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000]
 //	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
-//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1]
+//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-workers 8]
 //	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-dfail 1]
-//	replicaplace experiment -fig 9a [-full]
+//	replicaplace experiment -fig 9a [-full] [-workers 8]
 //	replicaplace experiment -fig domains
+//
+// The -workers flag fans the branch-and-bound adversaries out over that
+// many goroutines (0 = GOMAXPROCS, 1 = serial); exact search results are
+// identical at any worker count — only wall-clock changes. Budget-limited
+// parallel searches (compare's default -budget) may report slightly
+// different — still valid — lower bounds run to run, because workers race
+// for the shared state budget.
 package main
 
 import (
@@ -73,4 +80,13 @@ func addModelFlags(fs *flag.FlagSet) *modelFlags {
 	fs.IntVar(&mf.k, "k", 4, "worst-case node failures planned for")
 	fs.IntVar(&mf.b, "b", 600, "number of objects")
 	return mf
+}
+
+// addWorkersFlag registers the shared adversary worker-count flag. def
+// is 1 where the command was historically serial and 0 where its
+// node-level search already fanned out over GOMAXPROCS (compare, whose
+// domain section nevertheless stays serial unless -workers is explicit
+// — see cmdCompare).
+func addWorkersFlag(fs *flag.FlagSet, def int) *int {
+	return fs.Int("workers", def, "adversary search workers (0 = GOMAXPROCS, 1 = serial)")
 }

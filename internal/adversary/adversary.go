@@ -3,8 +3,13 @@
 // failed objects, where an object fails once s of its replicas lie in K
 // (paper Definition 1: Avail(π) is b minus this maximum).
 //
-// The problem generalizes maximum coverage and is NP-hard, so three
-// engines are provided:
+// The problem generalizes maximum coverage and is NP-hard. Every engine
+// in this package — the node-level trio (Exhaustive, Greedy, WorstCase),
+// the whole-domain trio (DomainExhaustive, DomainGreedy,
+// DomainWorstCase), the constrained k-nodes-in-≤d-domains pair, and the
+// parallel variants — is a thin adapter over the one generic search core
+// in internal/search; see that package (and this package's README) for
+// the shared driver and budget semantics:
 //
 //   - Exhaustive: enumerate all C(n, k) subsets. Reference oracle for
 //     tests and tiny instances.
@@ -14,7 +19,7 @@
 //   - WorstCase: branch-and-bound over candidates ordered by load, seeded
 //     with the greedy incumbent, pruned with the replica-counting bound
 //     failed(K) <= ⌊(Σ_{nd∈K} load(nd)) / s⌋. Exact when it completes
-//     within its node budget; otherwise it degrades gracefully and
+//     within its state budget; otherwise it degrades gracefully and
 //     reports Exact = false.
 package adversary
 
@@ -22,8 +27,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/combin"
 	"repro/internal/placement"
+	"repro/internal/search"
 )
 
 // Result reports the outcome of a worst-case search.
@@ -31,23 +36,23 @@ type Result struct {
 	Failed  int   // objects failed by the best attack found
 	Nodes   []int // the attacking node set, sorted
 	Exact   bool  // true if Failed is provably the maximum
-	Visited int64 // search nodes visited (diagnostics/ablation)
+	Visited int64 // search states visited (diagnostics/ablation)
 }
 
 // Avail returns b - Failed for the placement the result was computed on.
 func (r Result) Avail(b int) int { return b - r.Failed }
 
-// instance is the preprocessed search state shared by all engines.
+// instance implements search.Instance with individual nodes as the unit
+// of failure.
 type instance struct {
 	s, k       int
 	candidates []int   // nodes hosting at least one replica, by descending load
 	loads      []int64 // static load per candidate (aligned with candidates)
-	prefix     []int64 // prefix[i] = sum of loads[0:i]
 	objsOf     [][]int32
 	cnt        []int32 // replicas of each object currently failed
-	n          int
-	b          int
 }
+
+var _ search.Instance = (*instance)(nil)
 
 func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
 	if err := pl.Validate(); err != nil {
@@ -59,7 +64,7 @@ func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
 	if k < 1 || k >= pl.N {
 		return nil, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
 	}
-	inst := &instance{s: s, k: k, n: pl.N, b: pl.B()}
+	inst := &instance{s: s, k: k}
 	inst.objsOf = make([][]int32, pl.N)
 	var buf []int
 	for obj := 0; obj < pl.B(); obj++ {
@@ -75,27 +80,34 @@ func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
 		}
 	}
 	sort.Slice(inst.candidates, func(i, j int) bool {
-		return loadsByNode[inst.candidates[i]] > loadsByNode[inst.candidates[j]]
+		if loadsByNode[inst.candidates[i]] != loadsByNode[inst.candidates[j]] {
+			return loadsByNode[inst.candidates[i]] > loadsByNode[inst.candidates[j]]
+		}
+		return inst.candidates[i] < inst.candidates[j]
 	})
 	// If fewer than k nodes carry load, pad with empty nodes (they do no
-	// harm, but the attack set must have k members).
+	// harm, but the attack set must have k members; k < n guarantees
+	// enough nodes exist).
 	for nd := 0; nd < pl.N && len(inst.candidates) < k; nd++ {
 		if loadsByNode[nd] == 0 {
 			inst.candidates = append(inst.candidates, nd)
 		}
 	}
 	inst.loads = make([]int64, len(inst.candidates))
-	inst.prefix = make([]int64, len(inst.candidates)+1)
 	for i, nd := range inst.candidates {
 		inst.loads[i] = int64(loadsByNode[nd])
-		inst.prefix[i+1] = inst.prefix[i] + inst.loads[i]
 	}
 	inst.cnt = make([]int32, pl.B())
 	return inst, nil
 }
 
-// add fails candidate i, returning the number of newly failed objects.
-func (in *instance) add(i int) int {
+func (in *instance) Len() int         { return len(in.candidates) }
+func (in *instance) K() int           { return in.k }
+func (in *instance) S() int           { return in.s }
+func (in *instance) Load(i int) int64 { return in.loads[i] }
+
+// Add fails candidate i, returning the number of newly failed objects.
+func (in *instance) Add(i int) int {
 	newly := 0
 	s := int32(in.s)
 	for _, obj := range in.objsOf[in.candidates[i]] {
@@ -107,16 +119,16 @@ func (in *instance) add(i int) int {
 	return newly
 }
 
-// remove reverts add(i).
-func (in *instance) remove(i int) {
+// Remove reverts Add(i).
+func (in *instance) Remove(i int) {
 	for _, obj := range in.objsOf[in.candidates[i]] {
 		in.cnt[obj]--
 	}
 }
 
-// marginal returns how many additional objects fail if candidate i is
+// Marginal returns how many additional objects fail if candidate i is
 // added to the current set, without mutating state.
-func (in *instance) marginal(i int) int {
+func (in *instance) Marginal(i int) int {
 	gain := 0
 	target := int32(in.s - 1)
 	for _, obj := range in.objsOf[in.candidates[i]] {
@@ -127,9 +139,33 @@ func (in *instance) marginal(i int) int {
 	return gain
 }
 
-func (in *instance) reset() {
+func (in *instance) Reset() {
 	for i := range in.cnt {
 		in.cnt[i] = 0
+	}
+}
+
+// clone returns an independent searcher sharing the immutable
+// preprocessing (object index, candidate order, loads) with fresh
+// counters — how the parallel driver stamps out per-worker instances.
+func (in *instance) clone() *instance {
+	cp := *in
+	cp.cnt = make([]int32, len(in.cnt))
+	return &cp
+}
+
+// result translates a core result from candidate-index space to node ids.
+func (in *instance) result(res search.Result) Result {
+	nodes := make([]int, len(res.Sel))
+	for i, ci := range res.Sel {
+		nodes[i] = in.candidates[ci]
+	}
+	sort.Ints(nodes)
+	return Result{
+		Failed:  res.Failed,
+		Nodes:   nodes,
+		Exact:   res.Exact,
+		Visited: res.Visited,
 	}
 }
 
@@ -140,37 +176,7 @@ func Exhaustive(pl *placement.Placement, s, k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if len(in.candidates) < k {
-		// Fewer candidates than k: fail all of them (plus arbitrary nodes).
-		return exhaustTiny(pl, s, k)
-	}
-	return exhaustiveOn(in), nil
-}
-
-// exhaustTiny handles the degenerate case of fewer loaded candidates than
-// k by failing all loaded nodes.
-func exhaustTiny(pl *placement.Placement, s, k int) (Result, error) {
-	failedSet := combin.NewBitset(pl.N)
-	nodes := make([]int, 0, k)
-	loads := pl.NodeLoads()
-	for nd := 0; nd < pl.N && len(nodes) < k; nd++ {
-		if loads[nd] > 0 {
-			failedSet.Set(nd)
-			nodes = append(nodes, nd)
-		}
-	}
-	for nd := 0; nd < pl.N && len(nodes) < k; nd++ {
-		if loads[nd] == 0 {
-			failedSet.Set(nd)
-			nodes = append(nodes, nd)
-		}
-	}
-	sort.Ints(nodes)
-	return Result{
-		Failed: pl.FailedObjects(failedSet, s),
-		Nodes:  nodes,
-		Exact:  true,
-	}, nil
+	return in.result(search.Exhaustive(in)), nil
 }
 
 // Greedy picks k nodes by maximum marginal damage, then improves the set
@@ -181,175 +187,23 @@ func Greedy(pl *placement.Placement, s, k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if len(in.candidates) < k {
-		return exhaustTiny(pl, s, k)
-	}
-	return greedyOn(in), nil
-}
-
-// greedyOn runs greedy selection plus swap local search on a prepared
-// instance with at least in.k candidates. The instance's failure counters
-// are left dirty; reset before reuse.
-func greedyOn(in *instance) Result {
-	m := len(in.candidates)
-	k := in.k
-	chosen := make([]bool, m)
-	sel := make([]int, 0, k)
-	failed := 0
-	for len(sel) < k {
-		bestI, bestGain := -1, -1
-		for i := 0; i < m; i++ {
-			if chosen[i] {
-				continue
-			}
-			if g := in.marginal(i); g > bestGain {
-				bestGain = g
-				bestI = i
-			}
-		}
-		failed += in.add(bestI)
-		chosen[bestI] = true
-		sel = append(sel, bestI)
-	}
-	// Swap local search: replace one chosen node with one unchosen node
-	// when it strictly increases damage.
-	improved := true
-	rounds := 0
-	for improved && rounds < 4*k {
-		improved = false
-		rounds++
-		for si, ci := range sel {
-			in.remove(ci)
-			lost := in.marginal(ci) // damage this node was contributing
-			bestI, bestGain := ci, lost
-			for i := 0; i < m; i++ {
-				if chosen[i] { // includes ci itself
-					continue
-				}
-				if g := in.marginal(i); g > bestGain {
-					bestGain = g
-					bestI = i
-				}
-			}
-			in.add(bestI)
-			if bestI != ci {
-				chosen[ci] = false
-				chosen[bestI] = true
-				sel[si] = bestI
-				failed += bestGain - lost
-				improved = true
-			}
-		}
-	}
-	return Result{
-		Failed:  failed,
-		Nodes:   candidateNodes(in, sel),
-		Exact:   false,
-		Visited: int64(rounds) * int64(m),
-	}
+	return in.result(search.Greedy(in)), nil
 }
 
 // WorstCase runs branch-and-bound seeded with the greedy incumbent. With
 // budget <= 0 the search is unbounded and the result is exact; otherwise
-// the search stops after visiting budget nodes and the incumbent is
-// returned with Exact reflecting whether the search completed.
+// the search stops after visiting budget states and the incumbent is
+// returned with Exact reflecting whether the search completed. (One state
+// = one partial attack set considered; greedy seeding is budget-free —
+// the semantics every engine in this package shares.)
 func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) {
-	seed, err := Greedy(pl, s, k)
-	if err != nil {
-		return Result{}, err
-	}
 	in, err := newInstance(pl, s, k)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(in.candidates) < k {
-		return seed, nil
-	}
-	return branchAndBoundOn(in, seed, budget), nil
-}
-
-// branchAndBoundOn runs the branch-and-bound search on a prepared
-// instance with at least in.k candidates, starting from the given
-// incumbent. The instance's failure counters must be clean.
-func branchAndBoundOn(in *instance, seed Result, budget int64) Result {
-	m := len(in.candidates)
-	k := in.k
-	best := seed
-	best.Exact = true // until proven otherwise by budget exhaustion
-	cur := make([]int, 0, k)
-	var visited int64
-	exhausted := false
-
-	var dfs func(start int, failed int, loadSum int64)
-	dfs = func(start int, failed int, loadSum int64) {
-		if exhausted {
-			return
-		}
-		visited++
-		if budget > 0 && visited > budget {
-			exhausted = true
-			return
-		}
-		rem := k - len(cur)
-		if rem == 0 {
-			if failed > best.Failed {
-				best.Failed = failed
-				best.Nodes = candidateNodes(in, cur)
-			}
-			return
-		}
-		// Replica-counting bound: any completion adds at most the top rem
-		// remaining loads; s replicas in K are needed per failed object.
-		if start+rem > m {
-			return
-		}
-		maxLoad := loadSum + in.prefix[start+rem] - in.prefix[start]
-		if int(maxLoad/int64(in.s)) <= best.Failed {
-			return
-		}
-		if rem == 1 {
-			// Final level: scan candidates for the best single extension.
-			bestI, bestGain := -1, -1
-			for i := start; i < m; i++ {
-				if g := in.marginal(i); g > bestGain {
-					bestGain = g
-					bestI = i
-				}
-			}
-			if bestI >= 0 && failed+bestGain > best.Failed {
-				cur = append(cur, bestI)
-				best.Failed = failed + bestGain
-				best.Nodes = candidateNodes(in, cur)
-				cur = cur[:len(cur)-1]
-			}
-			return
-		}
-		for i := start; i <= m-rem; i++ {
-			newly := in.add(i)
-			cur = append(cur, i)
-			dfs(i+1, failed+newly, loadSum+in.loads[i])
-			cur = cur[:len(cur)-1]
-			in.remove(i)
-			if exhausted {
-				return
-			}
-		}
-	}
-	dfs(0, 0, 0)
-	best.Visited = visited
-	if exhausted {
-		best.Exact = false
-	}
-	return best
-}
-
-func candidateNodes(in *instance, idxs []int) []int {
-	nodes := make([]int, len(idxs))
-	for i, ci := range idxs {
-		nodes[i] = in.candidates[ci]
-	}
-	sort.Ints(nodes)
-	return nodes
+	seed := search.Greedy(in)
+	in.Reset()
+	return in.result(search.BranchAndBound(in, seed, search.NewBudget(budget))), nil
 }
 
 // Avail computes Avail(π) = b − WorstCase damage. It returns the

@@ -1,0 +1,337 @@
+package adversary
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/combin"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// This file is the differential safety net for the unified search core:
+// all six engines (plus the parallel variants) against independent
+// brute-force references, across node, domain, and constrained modes,
+// and the node↔domain isomorphism that pins one budget/visited-state
+// semantics for both levels.
+
+// testWorkerCounts returns the worker counts the parallel engines are
+// exercised with. CI sets ADVERSARY_TEST_WORKERS to force an
+// oversubscribed count under the race detector.
+func testWorkerCounts(t *testing.T) []int {
+	counts := []int{2, 4}
+	if v := os.Getenv("ADVERSARY_TEST_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("ADVERSARY_TEST_WORKERS = %q: want a positive integer", v)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestDifferentialNodeEngines: the node trio and its parallel variant
+// versus the independent subset-enumeration reference.
+func TestDifferentialNodeEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	workerCounts := testWorkerCounts(t)
+	for trial := 0; trial < 15; trial++ {
+		n := 7 + rng.Intn(5)
+		r := 2 + rng.Intn(3)
+		b := 8 + rng.Intn(25)
+		s := 1 + rng.Intn(r)
+		k := 1 + rng.Intn(n-2)
+		pl := randomPlacement(rng, n, r, b)
+		want := referenceWorst(pl, s, k)
+
+		ex, err := Exhaustive(pl, s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := WorstCase(pl, s, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Greedy(pl, s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, res := range map[string]Result{"Exhaustive": ex, "WorstCase": bnb} {
+			if res.Failed != want || !res.Exact {
+				t.Errorf("trial %d (n=%d r=%d b=%d s=%d k=%d): %s = {failed %d, exact %v}, reference %d",
+					trial, n, r, b, s, k, name, res.Failed, res.Exact, want)
+			}
+		}
+		if greedy.Failed > want {
+			t.Errorf("trial %d: Greedy %d exceeds reference %d", trial, greedy.Failed, want)
+		}
+		for _, workers := range workerCounts {
+			par, err := WorstCaseParallel(pl, s, k, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Failed != want || !par.Exact {
+				t.Errorf("trial %d: WorstCaseParallel(%d workers) = {failed %d, exact %v}, reference %d",
+					trial, workers, par.Failed, par.Exact, want)
+			}
+		}
+		// Every witness reproduces its claimed damage.
+		for name, res := range map[string]Result{"Exhaustive": ex, "WorstCase": bnb, "Greedy": greedy} {
+			if f := pl.FailedObjects(combin.NewBitsetFrom(n, res.Nodes), s); f != res.Failed {
+				t.Errorf("trial %d: %s witness reproduces %d, reported %d", trial, name, f, res.Failed)
+			}
+		}
+	}
+}
+
+// TestDifferentialDomainEngines: the domain trio and its parallel
+// variant versus the independent reference, on random topologies.
+func TestDifferentialDomainEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	workerCounts := testWorkerCounts(t)
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(6)
+		r := 2 + rng.Intn(3)
+		b := 8 + rng.Intn(25)
+		s := 1 + rng.Intn(r)
+		pl := randomPlacement(rng, n, r, b)
+		topo := randomTopology(rng, n)
+		d := 1 + rng.Intn(topo.NumDomains())
+		want := referenceDomainWorst(pl, topo, s, d)
+
+		ex, err := DomainExhaustive(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := DomainWorstCase(pl, topo, s, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := DomainGreedy(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, res := range map[string]DomainResult{"DomainExhaustive": ex, "DomainWorstCase": bnb} {
+			if res.Failed != want || !res.Exact {
+				t.Errorf("trial %d (n=%d D=%d s=%d d=%d): %s = {failed %d, exact %v}, reference %d",
+					trial, n, topo.NumDomains(), s, d, name, res.Failed, res.Exact, want)
+			}
+		}
+		if greedy.Failed > want {
+			t.Errorf("trial %d: DomainGreedy %d exceeds reference %d", trial, greedy.Failed, want)
+		}
+		for _, workers := range workerCounts {
+			par, err := DomainWorstCasePar(pl, topo, s, d, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Failed != want || !par.Exact {
+				t.Errorf("trial %d: DomainWorstCasePar(%d workers) = {failed %d, exact %v}, reference %d",
+					trial, workers, par.Failed, par.Exact, want)
+			}
+			if f := pl.FailedObjects(topo.FailedSet(par.Domains), s); f != par.Failed {
+				t.Errorf("trial %d: parallel witness %v reproduces %d, reported %d",
+					trial, par.Domains, f, par.Failed)
+			}
+		}
+	}
+}
+
+// referenceConstrainedWorstEff is an independent reference for the
+// constrained engines' documented semantics: for every d-subset of
+// domains the attacker fails min(k, nodes available) nodes inside it
+// (referenceConstrainedWorst instead discards undersized domain unions
+// outright, so it only agrees when every d-subset can host k nodes).
+// The decomposition — per-subset node enumeration from scratch — shares
+// no code with the engines' ordered incremental search.
+func referenceConstrainedWorstEff(pl *placement.Placement, topo *topology.Topology, s, k, d int) int {
+	worst := 0
+	combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
+		allowed := topo.FailedSet(domains).Members(nil)
+		kEff := k
+		if len(allowed) < kEff {
+			kEff = len(allowed)
+		}
+		combin.ForEachSubset(len(allowed), kEff, func(idxs []int) bool {
+			nodes := make([]int, len(idxs))
+			for i, idx := range idxs {
+				nodes[i] = allowed[idx]
+			}
+			if f := pl.FailedObjects(combin.NewBitsetFrom(pl.N, nodes), s); f > worst {
+				worst = f
+			}
+			return true
+		})
+		return true
+	})
+	return worst
+}
+
+// TestDifferentialConstrainedEngines: the constrained pair and its
+// parallel variant versus the independent filtered-enumeration reference.
+func TestDifferentialConstrainedEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	workerCounts := testWorkerCounts(t)
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(4)
+		r := 2 + rng.Intn(2)
+		b := 8 + rng.Intn(20)
+		s := 1 + rng.Intn(r)
+		pl := randomPlacement(rng, n, r, b)
+		racks := 3 + rng.Intn(2)
+		topo, err := topology.Uniform(n, racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 1 + rng.Intn(racks)
+		k := 1 + rng.Intn(4)
+		want := referenceConstrainedWorstEff(pl, topo, s, k, d)
+
+		ex, err := ConstrainedExhaustive(pl, topo, s, k, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := ConstrainedWorstCase(pl, topo, s, k, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, res := range map[string]DomainResult{"ConstrainedExhaustive": ex, "ConstrainedWorstCase": bnb} {
+			if res.Failed != want || !res.Exact {
+				t.Errorf("trial %d (n=%d racks=%d s=%d k=%d d=%d): %s = {failed %d, exact %v}, reference %d",
+					trial, n, racks, s, k, d, name, res.Failed, res.Exact, want)
+			}
+		}
+		for _, workers := range workerCounts {
+			par, err := ConstrainedWorstCasePar(pl, topo, s, k, d, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Failed != want || !par.Exact {
+				t.Errorf("trial %d: ConstrainedWorstCasePar(%d workers) = {failed %d, exact %v}, reference %d",
+					trial, workers, par.Failed, par.Exact, want)
+			}
+			if len(par.Domains) > d {
+				t.Errorf("trial %d: parallel witness spans %d domains, budget %d", trial, len(par.Domains), d)
+			}
+			if f := pl.FailedObjects(combin.NewBitsetFrom(n, par.Nodes), s); f != par.Failed {
+				t.Errorf("trial %d: parallel witness reproduces %d, reported %d", trial, f, par.Failed)
+			}
+		}
+	}
+}
+
+// TestNodeDomainIsomorphism pins the unified core: on a topology of
+// singleton domains (domain i = {node i}), the node-level and
+// domain-level engines run the very same search, so the full results —
+// damage, witness node set, exactness AND visited-state counts — must be
+// byte-identical, for the exhaustive, greedy, and branch-and-bound
+// drivers alike.
+func TestNodeDomainIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(5)
+		r := 2 + rng.Intn(3)
+		b := 10 + rng.Intn(30)
+		s := 1 + rng.Intn(r)
+		k := 1 + rng.Intn(n-2)
+		pl := randomPlacement(rng, n, r, b)
+		topo, err := topology.Uniform(n, n) // singleton domains
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type pair struct {
+			node func() (Result, error)
+			dom  func() (DomainResult, error)
+		}
+		for name, p := range map[string]pair{
+			"exhaustive": {
+				node: func() (Result, error) { return Exhaustive(pl, s, k) },
+				dom:  func() (DomainResult, error) { return DomainExhaustive(pl, topo, s, k) },
+			},
+			"greedy": {
+				node: func() (Result, error) { return Greedy(pl, s, k) },
+				dom:  func() (DomainResult, error) { return DomainGreedy(pl, topo, s, k) },
+			},
+			"worstcase": {
+				node: func() (Result, error) { return WorstCase(pl, s, k, 0) },
+				dom:  func() (DomainResult, error) { return DomainWorstCase(pl, topo, s, k, 0) },
+			},
+		} {
+			nres, err := p.node()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dres, err := p.dom()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nres.Failed != dres.Failed || nres.Exact != dres.Exact || nres.Visited != dres.Visited {
+				t.Errorf("trial %d %s: node {failed %d exact %v visited %d} != domain {failed %d exact %v visited %d}",
+					trial, name, nres.Failed, nres.Exact, nres.Visited,
+					dres.Failed, dres.Exact, dres.Visited)
+			}
+			if !reflect.DeepEqual(nres.Nodes, dres.Nodes) {
+				t.Errorf("trial %d %s: node witness %v != domain witness %v",
+					trial, name, nres.Nodes, dres.Nodes)
+			}
+		}
+	}
+}
+
+// TestBudgetFrontierParity is the regression test for the budget
+// accounting the unified core fixed: one budget semantics (each
+// branch-and-bound state consumes one unit; greedy seeding is free)
+// shared by the node- and domain-level engines. On singleton domains a
+// given budget must exhaust at exactly the same frontier for both —
+// same incumbent damage, same visited count (== the budget), and
+// Exact = false on both sides.
+func TestBudgetFrontierParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	pl := randomPlacement(rng, 20, 3, 150)
+	topo, err := topology.Uniform(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s, k = 2, 5
+	full, err := WorstCase(pl, s, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Visited < 100 {
+		t.Fatalf("instance too small to pin a frontier: %d states", full.Visited)
+	}
+	for _, budget := range []int64{1, 10, full.Visited / 2} {
+		nres, err := WorstCase(pl, s, k, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := DomainWorstCase(pl, topo, s, k, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nres.Exact || dres.Exact {
+			t.Errorf("budget %d: exactness claimed (node %v, domain %v)", budget, nres.Exact, dres.Exact)
+		}
+		if nres.Visited != budget || dres.Visited != budget {
+			t.Errorf("budget %d: visited node %d, domain %d — one state per budget unit on both levels",
+				budget, nres.Visited, dres.Visited)
+		}
+		if nres.Failed != dres.Failed {
+			t.Errorf("budget %d: node incumbent %d != domain incumbent %d — frontiers diverged",
+				budget, nres.Failed, dres.Failed)
+		}
+	}
+	// And the unbudgeted runs agree state-for-state.
+	dfull, err := DomainWorstCase(pl, topo, s, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfull.Visited != full.Visited || dfull.Failed != full.Failed {
+		t.Errorf("exact runs diverge: node {failed %d, visited %d}, domain {failed %d, visited %d}",
+			full.Failed, full.Visited, dfull.Failed, dfull.Visited)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/combin"
 	"repro/internal/placement"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -13,7 +14,8 @@ import (
 // attacker picks whole failure domains (racks, zones) from a Topology
 // instead of independent nodes, modeling the hierarchical correlated
 // failure setting of Mills, Chandrasekaran & Mittal (arXiv:1701.01539).
-// Two attack models are provided, mirroring the node-level engine trio:
+// Two attack models are provided, both running on the same generic
+// search core (internal/search) as the node-level trio:
 //
 //   - d whole-domain failures: DomainExhaustive, DomainGreedy and
 //     DomainWorstCase find the d domains whose combined node set fails
@@ -29,31 +31,23 @@ type DomainResult struct {
 	Domains []int // attacking domain indices, sorted
 	Nodes   []int // union of the attacked domains' nodes, sorted
 	Exact   bool  // true if Failed is provably the maximum
-	Visited int64 // search nodes visited (diagnostics/ablation)
+	Visited int64 // search states visited (diagnostics/ablation)
 }
 
 // Avail returns b - Failed for the placement the result was computed on.
 func (r DomainResult) Avail(b int) int { return b - r.Failed }
 
-// domHit records that failing a domain adds C failed replicas to object
-// Obj (C = replicas of Obj hosted inside the domain).
-type domHit struct {
-	obj int32
-	c   int32
+// domInstance implements search.Instance with whole domains as the unit
+// of failure: a search.HitInstance over the aggregated replica hits of
+// placement.DomainHits, plus the candidate policy (prune unloaded
+// domains, pad back up to d) and the index→domain mapping.
+type domInstance struct {
+	search.HitInstance
+	topo  *topology.Topology
+	cands []int // domains hosting at least one replica, by descending load
 }
 
-// domInstance is the preprocessed search state shared by the domain
-// engines; it mirrors instance with domains as the unit of failure.
-type domInstance struct {
-	s, d   int
-	topo   *topology.Topology
-	cands  []int   // domains hosting at least one replica, by descending load
-	loads  []int64 // replicas per candidate domain (aligned with cands)
-	prefix []int64 // prefix[i] = sum of loads[0:i]
-	hits   [][]domHit
-	cnt    []int32 // replicas of each object currently failed
-	b      int
-}
+var _ search.Instance = (*domInstance)(nil)
 
 func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) (*domInstance, error) {
 	if err := pl.Validate(); err != nil {
@@ -75,21 +69,14 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) 
 	if d < 1 || d > nd {
 		return nil, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, nd)
 	}
-	in := &domInstance{s: s, d: d, topo: topo, b: pl.B()}
-	perDomain := make([]map[int32]int32, nd)
-	loads := make([]int64, nd)
-	var buf []int
-	for obj := 0; obj < pl.B(); obj++ {
-		buf = pl.Objects[obj].Members(buf[:0])
-		for _, node := range buf {
-			di := topo.DomainOf(node)
-			if perDomain[di] == nil {
-				perDomain[di] = make(map[int32]int32)
-			}
-			perDomain[di][int32(obj)]++
-			loads[di]++
-		}
+	in := &domInstance{
+		HitInstance: search.HitInstance{
+			Count: d,
+			Ctr:   search.HitCounter{S: int32(s), Cnt: make([]int32, pl.B())},
+		},
+		topo: topo,
 	}
+	byDomain, loads := placement.DomainHits(pl, topo)
 	for di := 0; di < nd; di++ {
 		if loads[di] > 0 {
 			in.cands = append(in.cands, di)
@@ -107,71 +94,35 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) 
 			in.cands = append(in.cands, di)
 		}
 	}
-	in.loads = make([]int64, len(in.cands))
-	in.prefix = make([]int64, len(in.cands)+1)
-	in.hits = make([][]domHit, len(in.cands))
+	in.Loads = make([]int64, len(in.cands))
+	in.Hits = make([][]search.Hit, len(in.cands))
 	for i, di := range in.cands {
-		in.loads[i] = loads[di]
-		in.prefix[i+1] = in.prefix[i] + in.loads[i]
-		hits := make([]domHit, 0, len(perDomain[di]))
-		for obj, c := range perDomain[di] {
-			hits = append(hits, domHit{obj: obj, c: c})
-		}
-		sort.Slice(hits, func(a, b int) bool { return hits[a].obj < hits[b].obj })
-		in.hits[i] = hits
+		in.Loads[i] = loads[di]
+		in.Hits[i] = byDomain[di]
 	}
-	in.cnt = make([]int32, pl.B())
 	return in, nil
 }
 
-// add fails candidate domain i, returning the number of newly failed
-// objects (those whose failed-replica count crossed s).
-func (in *domInstance) add(i int) int {
-	newly := 0
-	s := int32(in.s)
-	for _, h := range in.hits[i] {
-		old := in.cnt[h.obj]
-		in.cnt[h.obj] = old + h.c
-		if old < s && old+h.c >= s {
-			newly++
-		}
-	}
-	return newly
+// clone returns an independent searcher sharing the immutable
+// preprocessing (hits, loads, candidate order) with fresh counters.
+func (in *domInstance) clone() *domInstance {
+	return &domInstance{HitInstance: *in.HitInstance.Clone(), topo: in.topo, cands: in.cands}
 }
 
-// remove reverts add(i).
-func (in *domInstance) remove(i int) {
-	for _, h := range in.hits[i] {
-		in.cnt[h.obj] -= h.c
-	}
-}
-
-// marginal returns how many additional objects fail if candidate domain i
-// is added to the current set, without mutating state.
-func (in *domInstance) marginal(i int) int {
-	gain := 0
-	s := int32(in.s)
-	for _, h := range in.hits[i] {
-		if c := in.cnt[h.obj]; c < s && c+h.c >= s {
-			gain++
-		}
-	}
-	return gain
-}
-
-// result assembles a DomainResult from candidate indices.
-func (in *domInstance) result(idxs []int, failed int, exact bool, visited int64) DomainResult {
-	domains := make([]int, len(idxs))
-	for i, ci := range idxs {
+// result translates a core result from candidate-index space to domain
+// indices and their node union.
+func (in *domInstance) result(res search.Result) DomainResult {
+	domains := make([]int, len(res.Sel))
+	for i, ci := range res.Sel {
 		domains[i] = in.cands[ci]
 	}
 	sort.Ints(domains)
 	return DomainResult{
-		Failed:  failed,
+		Failed:  res.Failed,
 		Domains: domains,
 		Nodes:   in.topo.FailedSet(domains).Members(nil),
-		Exact:   exact,
-		Visited: visited,
+		Exact:   res.Exact,
+		Visited: res.Visited,
 	}
 }
 
@@ -184,34 +135,7 @@ func DomainExhaustive(pl *placement.Placement, topo *topology.Topology, s, d int
 	if err != nil {
 		return DomainResult{}, err
 	}
-	m := len(in.cands)
-	best := DomainResult{Failed: -1, Exact: true}
-	cur := make([]int, 0, d)
-	var visited int64
-	var dfs func(start, failed int)
-	dfs = func(start, failed int) {
-		visited++
-		if len(cur) == d {
-			if failed > best.Failed {
-				best = in.result(cur, failed, true, 0)
-			}
-			return
-		}
-		rem := d - len(cur)
-		for i := start; i <= m-rem; i++ {
-			newly := in.add(i)
-			cur = append(cur, i)
-			dfs(i+1, failed+newly)
-			cur = cur[:len(cur)-1]
-			in.remove(i)
-		}
-	}
-	dfs(0, 0)
-	best.Visited = visited
-	if best.Failed < 0 {
-		best.Failed = 0
-	}
-	return best, nil
+	return in.result(search.Exhaustive(in)), nil
 }
 
 // DomainGreedy picks d domains by maximum marginal damage, then improves
@@ -222,133 +146,23 @@ func DomainGreedy(pl *placement.Placement, topo *topology.Topology, s, d int) (D
 	if err != nil {
 		return DomainResult{}, err
 	}
-	m := len(in.cands)
-	chosen := make([]bool, m)
-	sel := make([]int, 0, d)
-	failed := 0
-	for len(sel) < d {
-		bestI, bestGain := -1, -1
-		for i := 0; i < m; i++ {
-			if chosen[i] {
-				continue
-			}
-			if g := in.marginal(i); g > bestGain {
-				bestGain = g
-				bestI = i
-			}
-		}
-		failed += in.add(bestI)
-		chosen[bestI] = true
-		sel = append(sel, bestI)
-	}
-	improved := true
-	rounds := 0
-	for improved && rounds < 4*d {
-		improved = false
-		rounds++
-		for si, ci := range sel {
-			in.remove(ci)
-			lost := in.marginal(ci)
-			bestI, bestGain := ci, lost
-			for i := 0; i < m; i++ {
-				if chosen[i] {
-					continue
-				}
-				if g := in.marginal(i); g > bestGain {
-					bestGain = g
-					bestI = i
-				}
-			}
-			in.add(bestI)
-			if bestI != ci {
-				chosen[ci] = false
-				chosen[bestI] = true
-				sel[si] = bestI
-				failed += bestGain - lost
-				improved = true
-			}
-		}
-	}
-	return in.result(sel, failed, false, int64(rounds)*int64(m)), nil
+	return in.result(search.Greedy(in)), nil
 }
 
 // DomainWorstCase runs branch-and-bound over domains seeded with the
 // greedy incumbent, pruned with the replica-counting bound
 // failed(K) <= ⌊(Σ_{D∈K} load(D)) / s⌋. With budget <= 0 the search is
 // unbounded and the result is exact; otherwise the incumbent is returned
-// with Exact reflecting whether the search completed.
+// with Exact reflecting whether the search completed (same state
+// semantics as the node-level WorstCase — the drivers are shared).
 func DomainWorstCase(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64) (DomainResult, error) {
-	seed, err := DomainGreedy(pl, topo, s, d)
-	if err != nil {
-		return DomainResult{}, err
-	}
 	in, err := newDomInstance(pl, topo, s, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
-	m := len(in.cands)
-	best := seed
-	best.Exact = true // until proven otherwise by budget exhaustion
-	cur := make([]int, 0, d)
-	var visited int64
-	exhausted := false
-
-	var dfs func(start, failed int, loadSum int64)
-	dfs = func(start, failed int, loadSum int64) {
-		if exhausted {
-			return
-		}
-		visited++
-		if budget > 0 && visited > budget {
-			exhausted = true
-			return
-		}
-		rem := d - len(cur)
-		if rem == 0 {
-			if failed > best.Failed {
-				best = in.result(cur, failed, true, 0)
-			}
-			return
-		}
-		if start+rem > m {
-			return
-		}
-		maxLoad := loadSum + in.prefix[start+rem] - in.prefix[start]
-		if int(maxLoad/int64(in.s)) <= best.Failed {
-			return
-		}
-		if rem == 1 {
-			bestI, bestGain := -1, -1
-			for i := start; i < m; i++ {
-				if g := in.marginal(i); g > bestGain {
-					bestGain = g
-					bestI = i
-				}
-			}
-			if bestI >= 0 && failed+bestGain > best.Failed {
-				cur = append(cur, bestI)
-				best = in.result(cur, failed+bestGain, true, 0)
-				cur = cur[:len(cur)-1]
-			}
-			return
-		}
-		for i := start; i <= m-rem; i++ {
-			newly := in.add(i)
-			cur = append(cur, i)
-			dfs(i+1, failed+newly, loadSum+in.loads[i])
-			cur = cur[:len(cur)-1]
-			in.remove(i)
-			if exhausted {
-				return
-			}
-		}
-	}
-	dfs(0, 0, 0)
-	best.Visited = visited
-	if exhausted {
-		best.Exact = false
-	}
-	return best, nil
+	seed := search.Greedy(in)
+	in.Reset()
+	return in.result(search.BranchAndBound(in, seed, search.NewBudget(budget))), nil
 }
 
 // DomainAvail computes b − (worst d-domain damage): the availability
@@ -361,121 +175,162 @@ func DomainAvail(pl *placement.Placement, topo *topology.Topology, s, d int, bud
 	return pl.B() - res.Failed, res, nil
 }
 
-// constrainedSearch finds the worst k node failures confined to at most d
-// domains, running the node-level engine (branch-and-bound when bnb, else
-// exhaustive enumeration) within every d-subset of domains. Budget, when
-// positive, applies to each per-subset search independently.
-func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, bnb bool) (DomainResult, error) {
+// constrainedShared is the subset-independent preprocessing of a
+// constrained search: object index, per-node loads, candidate orderings
+// and parameter validation, shared by the serial and parallel drivers.
+type constrainedShared struct {
+	pl          *placement.Placement
+	topo        *topology.Topology
+	s, k, d     int
+	objsOf      [][]int32
+	loadsByNode []int
+	loaded      []int // nodes with load, by descending load (ties: id)
+	empty       []int // zero-load nodes, ascending id
+}
+
+func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, s, k, d int) (*constrainedShared, error) {
 	if err := pl.Validate(); err != nil {
-		return DomainResult{}, err
+		return nil, err
 	}
 	if err := topo.Validate(); err != nil {
-		return DomainResult{}, err
+		return nil, err
 	}
 	if topo.N != pl.N {
-		return DomainResult{}, fmt.Errorf("adversary: topology covers %d nodes, placement has %d", topo.N, pl.N)
+		return nil, fmt.Errorf("adversary: topology covers %d nodes, placement has %d", topo.N, pl.N)
 	}
 	if s < 1 || s > pl.R {
-		return DomainResult{}, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
+		return nil, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
 	}
 	if k < 1 || k >= pl.N {
-		return DomainResult{}, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
+		return nil, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
 	}
-	nd := topo.NumDomains()
-	if d < 1 || d > nd {
-		return DomainResult{}, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, nd)
+	if d < 1 || d > topo.NumDomains() {
+		return nil, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
-
-	// Everything except the candidate filter is subset-independent:
-	// build the object index, loads and failure counters once, and stamp
-	// out a lightweight per-subset instance that shares them. The
-	// engines leave cnt balanced back to zero (greedy's dirty counters
-	// are reset before branch-and-bound), so sharing is safe.
-	objsOf := make([][]int32, pl.N)
+	sh := &constrainedShared{pl: pl, topo: topo, s: s, k: k, d: d}
+	sh.objsOf = make([][]int32, pl.N)
 	var buf []int
 	for obj := 0; obj < pl.B(); obj++ {
 		buf = pl.Objects[obj].Members(buf[:0])
 		for _, node := range buf {
-			objsOf[node] = append(objsOf[node], int32(obj))
+			sh.objsOf[node] = append(sh.objsOf[node], int32(obj))
 		}
 	}
-	loadsByNode := pl.NodeLoads()
-	loaded := make([]int, 0, pl.N) // nodes with load, by descending load
-	var empty []int                // zero-load nodes, ascending id
-	for node, l := range loadsByNode {
+	sh.loadsByNode = pl.NodeLoads()
+	for node, l := range sh.loadsByNode {
 		if l > 0 {
-			loaded = append(loaded, node)
+			sh.loaded = append(sh.loaded, node)
 		} else {
-			empty = append(empty, node)
+			sh.empty = append(sh.empty, node)
 		}
 	}
-	sort.Slice(loaded, func(i, j int) bool {
-		if loadsByNode[loaded[i]] != loadsByNode[loaded[j]] {
-			return loadsByNode[loaded[i]] > loadsByNode[loaded[j]]
+	sort.Slice(sh.loaded, func(i, j int) bool {
+		if sh.loadsByNode[sh.loaded[i]] != sh.loadsByNode[sh.loaded[j]] {
+			return sh.loadsByNode[sh.loaded[i]] > sh.loadsByNode[sh.loaded[j]]
 		}
-		return loaded[i] < loaded[j]
+		return sh.loaded[i] < sh.loaded[j]
 	})
-	cnt := make([]int32, pl.B())
+	return sh, nil
+}
 
+// subsetInstance stamps out the node-level instance restricted to the
+// given domains, reusing the shared object index and the caller's
+// failure counters (which the drivers leave balanced back to zero, so a
+// serial caller can share one array across subsets).
+func (sh *constrainedShared) subsetInstance(domains []int, cnt []int32) *instance {
+	allowedSet := sh.topo.FailedSet(domains)
+	// The attacker fails min(k, nodes available) nodes inside the
+	// chosen domains; smaller unions simply yield smaller attacks.
+	kEff := sh.k
+	if c := allowedSet.Count(); c < kEff {
+		kEff = c
+	}
+	cands := make([]int, 0, kEff)
+	for _, node := range sh.loaded {
+		if allowedSet.Get(node) {
+			cands = append(cands, node)
+		}
+	}
+	// Pad with allowed zero-load nodes so the attack set can always
+	// have kEff members (kEff <= allowedSet.Count() guarantees enough
+	// of them exist).
+	for _, node := range sh.empty {
+		if len(cands) >= kEff {
+			break
+		}
+		if allowedSet.Get(node) {
+			cands = append(cands, node)
+		}
+	}
+	in := &instance{
+		s: sh.s, k: kEff,
+		candidates: cands,
+		loads:      make([]int64, len(cands)),
+		objsOf:     sh.objsOf,
+		cnt:        cnt,
+	}
+	for i, node := range cands {
+		in.loads[i] = int64(sh.loadsByNode[node])
+	}
+	return in
+}
+
+// constrainedSearch finds the worst k node failures confined to at most d
+// domains, running the core search (branch-and-bound when bnb, else
+// exhaustive enumeration) within every d-subset of domains. The budget,
+// when positive, is shared across the whole search — every per-subset
+// branch-and-bound draws states from the same pool, matching the
+// unconstrained engines' semantics.
+func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, bnb bool) (DomainResult, error) {
+	sh, err := newConstrainedShared(pl, topo, s, k, d)
+	if err != nil {
+		return DomainResult{}, err
+	}
+	cnt := make([]int32, pl.B())
+	bud := search.NewBudget(budget)
 	best := DomainResult{Failed: -1, Exact: true}
-	var visited int64
-	combin.ForEachSubset(nd, d, func(domains []int) bool {
-		allowedSet := topo.FailedSet(domains)
-		// The attacker fails min(k, nodes available) nodes inside the
-		// chosen domains; smaller unions simply yield smaller attacks.
-		kEff := k
-		if c := allowedSet.Count(); c < kEff {
-			kEff = c
+	var exhaustiveVisited int64
+	combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
+		// A drained budget ends the whole search — skipped subsets make
+		// the result inexact, and running their budget-free greedy
+		// seeding anyway would leave the budget unable to bound runtime
+		// (and diverge from the parallel engine, which aborts too).
+		if bnb && bud.Exhausted() {
+			best.Exact = false
+			return false
 		}
-		cands := make([]int, 0, kEff)
-		for _, node := range loaded {
-			if allowedSet.Get(node) {
-				cands = append(cands, node)
-			}
-		}
-		// Pad with allowed zero-load nodes so the attack set can always
-		// have kEff members (kEff <= allowedSet.Count() guarantees
-		// enough of them exist).
-		for _, node := range empty {
-			if len(cands) >= kEff {
-				break
-			}
-			if allowedSet.Get(node) {
-				cands = append(cands, node)
-			}
-		}
-		in := &instance{
-			s: s, k: kEff, n: pl.N, b: pl.B(),
-			candidates: cands,
-			loads:      make([]int64, len(cands)),
-			prefix:     make([]int64, len(cands)+1),
-			objsOf:     objsOf,
-			cnt:        cnt,
-		}
-		for i, node := range cands {
-			in.loads[i] = int64(loadsByNode[node])
-			in.prefix[i+1] = in.prefix[i] + in.loads[i]
-		}
-		var sub Result
+		in := sh.subsetInstance(domains, cnt)
+		var sub search.Result
 		if bnb {
-			seed := greedyOn(in)
-			in.reset()
-			sub = branchAndBoundOn(in, seed, budget)
+			seed := search.Greedy(in)
+			in.Reset()
+			// Lift the cross-subset incumbent into the seed so the
+			// bound prunes across subsets, exactly as the parallel
+			// engine does — budget isn't wasted on dominated states.
+			if best.Failed > seed.Failed {
+				seed = search.Result{Failed: best.Failed}
+			}
+			sub = search.BranchAndBound(in, seed, bud)
 		} else {
-			sub = exhaustiveOn(in)
+			sub = search.Exhaustive(in)
+			exhaustiveVisited += sub.Visited
 		}
-		visited += sub.Visited
-		if sub.Failed > best.Failed {
-			best.Failed = sub.Failed
-			best.Nodes = sub.Nodes
-			best.Domains = domainsOfNodes(topo, sub.Nodes)
+		res := in.result(sub)
+		if res.Failed > best.Failed {
+			best.Failed = res.Failed
+			best.Nodes = res.Nodes
+			best.Domains = domainsOfNodes(topo, res.Nodes)
 		}
-		if !sub.Exact {
+		if !res.Exact {
 			best.Exact = false
 		}
 		return true
 	})
-	best.Visited = visited
+	if bnb {
+		best.Visited = bud.Used()
+	} else {
+		best.Visited = exhaustiveVisited
+	}
 	return best, nil
 }
 
@@ -487,44 +342,10 @@ func ConstrainedExhaustive(pl *placement.Placement, topo *topology.Topology, s, 
 
 // ConstrainedWorstCase finds the worst k node failures spanning at most d
 // domains via per-subset branch-and-bound. budget, when positive, bounds
-// each subset's search; Exact reports whether every subset completed.
+// the state total across all subsets (one shared pool, the package-wide
+// semantics); Exact reports whether every subset completed.
 func ConstrainedWorstCase(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64) (DomainResult, error) {
 	return constrainedSearch(pl, topo, s, k, d, budget, true)
-}
-
-// exhaustiveOn enumerates every k-subset of a prepared instance's
-// candidates. The instance's failure counters must be clean.
-func exhaustiveOn(in *instance) Result {
-	m := len(in.candidates)
-	k := in.k
-	best := Result{Failed: -1, Exact: true}
-	cur := make([]int, 0, k)
-	var visited int64
-	var dfs func(start, failed int)
-	dfs = func(start, failed int) {
-		visited++
-		if len(cur) == k {
-			if failed > best.Failed {
-				best.Failed = failed
-				best.Nodes = candidateNodes(in, cur)
-			}
-			return
-		}
-		rem := k - len(cur)
-		for i := start; i <= m-rem; i++ {
-			newly := in.add(i)
-			cur = append(cur, i)
-			dfs(i+1, failed+newly)
-			cur = cur[:len(cur)-1]
-			in.remove(i)
-		}
-	}
-	dfs(0, 0)
-	best.Visited = visited
-	if best.Failed < 0 {
-		best.Failed = 0
-	}
-	return best
 }
 
 // domainsOfNodes returns the sorted, deduplicated domain indices touched

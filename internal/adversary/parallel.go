@@ -2,141 +2,151 @@ package adversary
 
 import (
 	"runtime"
-	"sort"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/combin"
 	"repro/internal/placement"
+	"repro/internal/search"
+	"repro/internal/topology"
 )
+
+// This file fans the branch-and-bound engines out over worker
+// goroutines. All three parallel engines ride the same core driver
+// (search.BranchAndBoundParallel) or, for the constrained pair, shard
+// the domain-subset enumeration: workers share the incumbent bound, so
+// a strong attack found by one worker prunes the others, and they share
+// the state budget, so budgeted results keep the package-wide
+// one-state-per-partial-attack semantics.
 
 // WorstCaseParallel is WorstCase fanned out over worker goroutines: the
 // top-level branches of the search tree (the choice of the first failed
-// candidate) are distributed across workers, which share the incumbent
-// bound through an atomic so that a strong attack found by one worker
-// prunes the others. workers <= 0 selects GOMAXPROCS. The budget, when
-// positive, is shared (approximately) across the whole search.
+// candidate) are distributed across workers. workers <= 0 selects
+// GOMAXPROCS; workers == 1 is exactly the serial engine. The budget,
+// when positive, is shared across the whole search.
 //
 // The result equals WorstCase's on exact runs; with a budget, the set of
 // states visited differs between runs, so budgeted results may vary
 // (each is still a valid attack and lower bound on the damage).
 func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers int) (Result, error) {
+	seedIn, err := newInstance(pl, s, k)
+	if err != nil {
+		return Result{}, err
+	}
+	seed := search.Greedy(seedIn)
+	seedIn.Reset()
+	res, err := search.BranchAndBoundParallel(seedIn, func() (search.Instance, error) {
+		return seedIn.clone(), nil
+	}, seed, search.NewBudget(budget), workers)
+	if err != nil {
+		return Result{}, err
+	}
+	// Candidate order is deterministic, so seedIn translates any
+	// worker's selection.
+	return seedIn.result(res), nil
+}
+
+// DomainWorstCasePar is DomainWorstCase fanned out over worker
+// goroutines, mirroring WorstCaseParallel at the whole-domain level;
+// needed once topologies reach hundreds of domains. workers <= 0 selects
+// GOMAXPROCS; workers == 1 is exactly the serial engine. Exact runs
+// return the same DomainResult damage as DomainWorstCase.
+func DomainWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64, workers int) (DomainResult, error) {
+	seedIn, err := newDomInstance(pl, topo, s, d)
+	if err != nil {
+		return DomainResult{}, err
+	}
+	seed := search.Greedy(seedIn)
+	seedIn.Reset()
+	res, err := search.BranchAndBoundParallel(seedIn, func() (search.Instance, error) {
+		return seedIn.clone(), nil
+	}, seed, search.NewBudget(budget), workers)
+	if err != nil {
+		return DomainResult{}, err
+	}
+	return seedIn.result(res), nil
+}
+
+// ConstrainedWorstCasePar is ConstrainedWorstCase with the C(D, d)
+// domain subsets sharded across worker goroutines; each worker runs the
+// per-subset branch-and-bound serially with its own failure counters,
+// while the incumbent damage and the state budget are shared. workers
+// <= 0 selects GOMAXPROCS; workers == 1 is exactly the serial engine.
+func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	seed, err := Greedy(pl, s, k)
+	if workers == 1 {
+		return ConstrainedWorstCase(pl, topo, s, k, d, budget)
+	}
+	sh, err := newConstrainedShared(pl, topo, s, k, d)
 	if err != nil {
-		return Result{}, err
+		return DomainResult{}, err
 	}
-	// Probe instance to size the search; each worker builds its own.
-	probe, err := newInstance(pl, s, k)
-	if err != nil {
-		return Result{}, err
-	}
-	m := len(probe.candidates)
-	if m < k || workers == 1 {
-		return WorstCase(pl, s, k, budget)
-	}
-
+	bud := search.NewBudget(budget)
 	var (
-		mu        sync.Mutex
-		best      = seed
-		bestScore atomic.Int64 // mirror of best.Failed for lock-free pruning
-		visited   atomic.Int64
-		exhausted atomic.Bool
+		mu   sync.Mutex
+		best = DomainResult{Failed: -1, Exact: true}
 	)
-	bestScore.Store(int64(seed.Failed))
-	report := func(failed int, nodes []int) {
-		mu.Lock()
-		defer mu.Unlock()
-		if failed > best.Failed {
-			best.Failed = failed
-			best.Nodes = nodes
-			bestScore.Store(int64(failed))
-		}
-	}
-
-	// Top-level branches: first chosen candidate index. Starts are
-	// consumed from a shared counter so fast workers steal work.
-	var nextStart atomic.Int64
+	// One producer enumerates the C(D, d) subsets; workers steal them
+	// from the channel, so expensive subsets don't serialize behind a
+	// static partition. A drained budget aborts the enumeration; the
+	// skipped subsets make the result inexact even if every search that
+	// did run happened to complete (aborted is ordered before the
+	// channel close the workers observe, so reading it after Wait is
+	// race-free).
+	jobs := make(chan []int, 2*workers)
+	aborted := false
+	go func() {
+		defer close(jobs)
+		combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
+			if bud.Exhausted() {
+				aborted = true
+				return false
+			}
+			jobs <- append([]int(nil), domains...)
+			return true
+		})
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			in, ierr := newInstance(pl, s, k)
-			if ierr != nil {
-				return // cannot happen: probe succeeded
-			}
-			cur := make([]int, 0, k)
-			var dfs func(start, failed int, loadSum int64)
-			dfs = func(start, failed int, loadSum int64) {
-				if exhausted.Load() {
-					return
+			cnt := make([]int32, pl.B())
+			for domains := range jobs {
+				in := sh.subsetInstance(domains, cnt)
+				seed := search.Greedy(in)
+				in.Reset()
+				// Lift the shared incumbent into this subset's seed so
+				// the bound prunes across subsets and workers alike.
+				mu.Lock()
+				global := best.Failed
+				mu.Unlock()
+				if global > seed.Failed {
+					seed = search.Result{Failed: global}
 				}
-				if v := visited.Add(1); budget > 0 && v > budget {
-					exhausted.Store(true)
-					return
+				sub := search.BranchAndBound(in, seed, bud)
+				res := in.result(sub)
+				mu.Lock()
+				if res.Failed > best.Failed {
+					best.Failed = res.Failed
+					best.Nodes = res.Nodes
+					best.Domains = domainsOfNodes(topo, res.Nodes)
 				}
-				rem := k - len(cur)
-				if rem == 0 {
-					if int64(failed) > bestScore.Load() {
-						report(failed, candidateNodes(in, cur))
-					}
-					return
+				if !res.Exact {
+					best.Exact = false
 				}
-				if start+rem > m {
-					return
-				}
-				maxLoad := loadSum + in.prefix[start+rem] - in.prefix[start]
-				if maxLoad/int64(in.s) <= bestScore.Load() {
-					return
-				}
-				if rem == 1 {
-					bestI, bestGain := -1, -1
-					for i := start; i < m; i++ {
-						if g := in.marginal(i); g > bestGain {
-							bestGain = g
-							bestI = i
-						}
-					}
-					if bestI >= 0 && int64(failed+bestGain) > bestScore.Load() {
-						cur = append(cur, bestI)
-						report(failed+bestGain, candidateNodes(in, cur))
-						cur = cur[:len(cur)-1]
-					}
-					return
-				}
-				for i := start; i <= m-rem; i++ {
-					newly := in.add(i)
-					cur = append(cur, i)
-					dfs(i+1, failed+newly, loadSum+in.loads[i])
-					cur = cur[:len(cur)-1]
-					in.remove(i)
-					if exhausted.Load() {
-						return
-					}
-				}
-			}
-			for {
-				first := int(nextStart.Add(1)) - 1
-				if first > m-k || exhausted.Load() {
-					return
-				}
-				newly := in.add(first)
-				cur = append(cur[:0], first)
-				dfs(first+1, newly, in.loads[first])
-				cur = cur[:0]
-				in.remove(first)
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-
-	best.Visited = visited.Load()
-	best.Exact = !exhausted.Load()
-	if best.Nodes == nil {
-		best.Nodes = seed.Nodes
+	if aborted {
+		best.Exact = false
 	}
-	sort.Ints(best.Nodes)
+	if best.Failed < 0 {
+		best.Failed = 0
+	}
+	best.Visited = bud.Used()
 	return best, nil
 }

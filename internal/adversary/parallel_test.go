@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/combin"
 	"repro/internal/placement"
+	"repro/internal/topology"
 )
 
 func TestWorstCaseParallelMatchesSequential(t *testing.T) {
@@ -89,6 +90,91 @@ func TestWorstCaseParallelDegenerate(t *testing.T) {
 	}
 	if res.Failed != 3 {
 		t.Errorf("single worker Failed = %d, want 3", res.Failed)
+	}
+}
+
+func TestDomainWorstCaseParBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pl := randomPlacement(rng, 24, 3, 150)
+	topo, err := topology.Uniform(24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DomainWorstCasePar(pl, topo, 2, 4, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("tiny budget should not complete exactly")
+	}
+	if res.Failed <= 0 {
+		t.Error("budgeted parallel domain search lost the greedy incumbent")
+	}
+	exact, err := DomainWorstCase(pl, topo, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > exact.Failed {
+		t.Errorf("budgeted result %d exceeds exact %d", res.Failed, exact.Failed)
+	}
+}
+
+func TestDomainWorstCaseParDegenerate(t *testing.T) {
+	// All load in one rack; d = 2 > 1 loaded domain, several workers.
+	pl := placement.NewPlacement(9, 2)
+	for i := 0; i < 3; i++ {
+		if err := pl.Add([]int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.Uniform(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		res, err := DomainWorstCasePar(pl, topo, 2, 2, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 3 {
+			t.Errorf("workers=%d: Failed = %d, want 3", workers, res.Failed)
+		}
+		if len(res.Domains) != 2 {
+			t.Errorf("workers=%d: witness has %d domains, want 2", workers, len(res.Domains))
+		}
+	}
+}
+
+func TestConstrainedWorstCaseParBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pl := randomPlacement(rng, 20, 3, 200)
+	topo, err := topology.Uniform(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ConstrainedWorstCase(pl, topo, 2, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial and parallel share the abort semantics: a drained budget
+	// ends the subset sweep with the incumbent so far, inexactly.
+	for name, run := range map[string]func() (DomainResult, error){
+		"serial":   func() (DomainResult, error) { return ConstrainedWorstCase(pl, topo, 2, 5, 2, 20) },
+		"parallel": func() (DomainResult, error) { return ConstrainedWorstCasePar(pl, topo, 2, 5, 2, 20, 3) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact {
+			t.Errorf("%s: tiny shared budget should not complete exactly", name)
+		}
+		if res.Failed <= 0 {
+			t.Errorf("%s: budgeted constrained search lost every incumbent", name)
+		}
+		if res.Failed > exact.Failed {
+			t.Errorf("%s: budgeted result %d exceeds exact %d", name, res.Failed, exact.Failed)
+		}
 	}
 }
 

@@ -46,10 +46,11 @@ type DomainCell struct {
 
 // DomainOpts scales the experiment. Zero values select the default
 // grid: constructible Combo placements on small Steiner orders, all
-// adversaries exact.
+// adversaries exact and serial.
 type DomainOpts struct {
 	Scenarios []DomainScenario
 	Budget    int64 // adversary search budget (0 = exact)
+	Workers   int   // search workers; > 1 picks the parallel engines
 }
 
 // defaultDomainScenarios keeps every adversary exactly solvable in
@@ -77,6 +78,13 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 	if len(scenarios) == 0 {
 		scenarios = defaultDomainScenarios()
 	}
+	// The parallel engines run workers == 1 as exactly the serial
+	// search, so the zero value (and any other workers < 2) keeps the
+	// table's historical serial behavior.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	cells := make([]DomainCell, 0, len(scenarios))
 	for _, sc := range scenarios {
 		combo, _, _, err := placement.BuildDefaultCombo(sc.N, sc.R, sc.S, sc.K, sc.B)
@@ -87,11 +95,11 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodeRes, err := adversary.WorstCase(combo, sc.S, sc.K, opts.Budget)
+		nodeRes, err := adversary.WorstCaseParallel(combo, sc.S, sc.K, opts.Budget, workers)
 		if err != nil {
 			return nil, err
 		}
-		oblivRes, err := adversary.DomainWorstCase(combo, topo, sc.S, sc.D, opts.Budget)
+		oblivRes, err := adversary.DomainWorstCasePar(combo, topo, sc.S, sc.D, opts.Budget, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +107,7 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		awareRes, err := adversary.DomainWorstCase(aware, topo, sc.S, sc.D, opts.Budget)
+		awareRes, err := adversary.DomainWorstCasePar(aware, topo, sc.S, sc.D, opts.Budget, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/combin"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -95,12 +96,80 @@ func DomainSpread(pl *Placement, topo *topology.Topology) (SpreadStats, error) {
 	return stats, nil
 }
 
+// DomainHits aggregates, per domain of topo, the (object, replicas
+// inside the domain) hits of pl in ascending object order, plus each
+// domain's total replica load. It is the one construction both domain
+// search adapters — package adversary's engine instance and this
+// package's never-worse evaluator — build their candidates from.
+func DomainHits(pl *Placement, topo *topology.Topology) ([][]search.Hit, []int64) {
+	nd := topo.NumDomains()
+	perDomain := make([]map[int32]int32, nd)
+	loads := make([]int64, nd)
+	var buf []int
+	for obj := 0; obj < pl.B(); obj++ {
+		buf = pl.Objects[obj].Members(buf[:0])
+		for _, node := range buf {
+			di := topo.DomainOf(node)
+			if perDomain[di] == nil {
+				perDomain[di] = make(map[int32]int32)
+			}
+			perDomain[di][int32(obj)]++
+			loads[di]++
+		}
+	}
+	hits := make([][]search.Hit, nd)
+	for di := 0; di < nd; di++ {
+		h := make([]search.Hit, 0, len(perDomain[di]))
+		for obj, c := range perDomain[di] {
+			h = append(h, search.Hit{Obj: obj, C: c})
+		}
+		sort.Slice(h, func(a, b int) bool { return h[a].Obj < h[b].Obj })
+		hits[di] = h
+	}
+	return hits, loads
+}
+
+// newDomainDamage adapts a placement and topology to the unified search
+// core so the never-worse check runs on the very code the adversary
+// engines run (package adversary cannot be imported here — it depends on
+// placement). Candidates are all D domains in descending replica-load
+// order; object j fails once s of its replicas lie in the chosen
+// domains. The exhaustive driver never consults the index→domain
+// mapping, so none is kept.
+func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int) *search.HitInstance {
+	byDomain, loads := DomainHits(pl, topo)
+	nd := topo.NumDomains()
+	order := make([]int, nd)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if loads[order[a]] != loads[order[b]] {
+			return loads[order[a]] > loads[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	in := &search.HitInstance{
+		Count: d,
+		Hits:  make([][]search.Hit, nd),
+		Loads: make([]int64, nd),
+		Ctr:   search.HitCounter{S: int32(s), Cnt: make([]int32, pl.B())},
+	}
+	for i, di := range order {
+		in.Hits[i] = byDomain[di]
+		in.Loads[i] = loads[di]
+	}
+	return in
+}
+
 // WorstDomainDamage returns the exact number of objects failed by the
-// worst d-whole-domain failure: the maximum of FailedObjects over all
-// C(D, d) domain subsets. It is the placement-side evaluator behind
-// SpreadAcrossDomains' never-worse guarantee (package adversary provides
-// the full engine trio; this direct enumeration stays here because
-// adversary depends on placement).
+// worst d-whole-domain failure, evaluated by the unified search core's
+// exhaustive driver over all C(D, d) domain subsets. It is the
+// placement-side evaluator behind SpreadAcrossDomains' never-worse
+// guarantee and always returns the same damage as package adversary's
+// DomainExhaustive (the candidate sets differ — this adapter keeps
+// unloaded domains, the adversary prunes them — so only the result,
+// not the visited-state count, is comparable).
 func WorstDomainDamage(pl *Placement, topo *topology.Topology, s, d int) (int, error) {
 	if err := pl.Validate(); err != nil {
 		return 0, err
@@ -114,14 +183,7 @@ func WorstDomainDamage(pl *Placement, topo *topology.Topology, s, d int) (int, e
 	if d < 1 || d > topo.NumDomains() {
 		return 0, fmt.Errorf("placement: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
-	worst := 0
-	combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
-		if f := pl.FailedObjects(topo.FailedSet(domains), s); f > worst {
-			worst = f
-		}
-		return true
-	})
-	return worst, nil
+	return search.Exhaustive(newDomainDamage(pl, topo, s, d)).Failed, nil
 }
 
 // maxExactSpreadSubsets caps the C(D, d) enumeration inside

@@ -1,0 +1,144 @@
+package search
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// BranchAndBoundParallel is BranchAndBound fanned out over worker
+// goroutines: the top-level branches of the search tree (the choice of
+// the first failed candidate) are consumed from a shared counter so fast
+// workers steal work, and workers share the incumbent bound through an
+// atomic so that a strong attack found by one worker prunes the others.
+// workers <= 0 selects GOMAXPROCS; workers == 1 degrades to the serial
+// driver on a single instance from the factory.
+//
+// probe is a ready (Reset) instance the caller already built — worker 0
+// reuses it, so seeding greedy on it first costs no extra construction.
+// newInst must return independent instances of the same search (same
+// candidate order, loads and damage accounting) for the remaining
+// workers; each owns one. bud is shared across all workers — the same
+// semantics as the serial driver, consumed collectively.
+//
+// The result equals BranchAndBound's on exact runs; with a budget, the
+// set of states visited differs between runs, so budgeted results may
+// vary (each is still a valid attack and lower bound on the damage).
+func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int) (Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return BranchAndBound(probe, seed, bud), nil
+	}
+	m, k := probe.Len(), probe.K()
+	// Build every worker's instance before spawning any goroutine: a
+	// factory failure mid-spawn would otherwise leak live workers that
+	// keep searching and draining the caller's budget.
+	instances := make([]Instance, workers)
+	instances[0] = probe
+	for w := 1; w < workers; w++ {
+		in, err := newInst()
+		if err != nil {
+			return Result{}, err
+		}
+		instances[w] = in
+	}
+
+	var (
+		mu        sync.Mutex
+		best      = Result{Failed: seed.Failed, Sel: append([]int(nil), seed.Sel...), Exact: true}
+		bestScore atomic.Int64 // mirror of best.Failed for lock-free pruning
+		exhausted atomic.Bool
+	)
+	bestScore.Store(int64(seed.Failed))
+	report := func(failed int, sel []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed > best.Failed {
+			best.Failed = failed
+			best.Sel = append(best.Sel[:0], sel...)
+			bestScore.Store(int64(failed))
+		}
+	}
+
+	// Top-level branches: first chosen candidate index.
+	var nextStart atomic.Int64
+	var wg sync.WaitGroup
+	for _, in := range instances {
+		wg.Add(1)
+		go func(in Instance) {
+			defer wg.Done()
+			s := in.S()
+			prefix := loadPrefix(in)
+			cur := make([]int, 0, k)
+			var dfs func(start, failed int, loadSum int64)
+			dfs = func(start, failed int, loadSum int64) {
+				if exhausted.Load() {
+					return
+				}
+				if !bud.Visit() {
+					exhausted.Store(true)
+					return
+				}
+				rem := k - len(cur)
+				if rem == 0 {
+					if int64(failed) > bestScore.Load() {
+						report(failed, cur)
+					}
+					return
+				}
+				if start+rem > m {
+					return
+				}
+				maxLoad := loadSum + prefix[start+rem] - prefix[start]
+				if maxLoad/int64(s) <= bestScore.Load() {
+					return
+				}
+				if rem == 1 {
+					bestI, bestGain := -1, -1
+					for i := start; i < m; i++ {
+						if g := in.Marginal(i); g > bestGain {
+							bestGain = g
+							bestI = i
+						}
+					}
+					if bestI >= 0 && int64(failed+bestGain) > bestScore.Load() {
+						cur = append(cur, bestI)
+						report(failed+bestGain, cur)
+						cur = cur[:len(cur)-1]
+					}
+					return
+				}
+				for i := start; i <= m-rem; i++ {
+					newly := in.Add(i)
+					cur = append(cur, i)
+					dfs(i+1, failed+newly, loadSum+in.Load(i))
+					cur = cur[:len(cur)-1]
+					in.Remove(i)
+					if exhausted.Load() {
+						return
+					}
+				}
+			}
+			for {
+				first := int(nextStart.Add(1)) - 1
+				if first > m-k || exhausted.Load() {
+					return
+				}
+				newly := in.Add(first)
+				cur = append(cur[:0], first)
+				dfs(first+1, newly, in.Load(first))
+				cur = cur[:0]
+				in.Remove(first)
+			}
+		}(in)
+	}
+	wg.Wait()
+
+	best.Visited = bud.Used()
+	best.Exact = !exhausted.Load()
+	sort.Ints(best.Sel)
+	return best, nil
+}

@@ -1,0 +1,385 @@
+// Package search is the generic worst-case subset-search core behind
+// every adversary engine. The problem it solves: from m candidates,
+// choose exactly K whose combined failure maximizes the number of failed
+// objects, where incremental damage accounting is delegated to an
+// Instance (node-level, whole-domain, and domain-constrained adversaries
+// all reduce to this shape — the hierarchical correlated-failure view of
+// Mills, Chandrasekaran & Mittal, arXiv:1701.01539, collapses them onto
+// one search).
+//
+// Three drivers share one pruning bound and one budget/visited-state
+// semantics:
+//
+//   - Exhaustive: enumerate every K-subset. Reference oracle.
+//   - Greedy: marginal-gain selection plus single-swap local search. A
+//     valid attack, hence a lower bound on the damage.
+//   - BranchAndBound (and its parallel twin): depth-first search in
+//     candidate order, seeded with an incumbent, pruned with the
+//     replica-counting bound failed(K) <= ⌊(Σ_{c∈K} Load(c)) / S⌋.
+//
+// Budget semantics (shared by every driver and engine built on them):
+// each branch-and-bound search state entered — every partial selection
+// considered, including the root — consumes one unit from the Budget.
+// When the Budget runs dry the search stops, keeps its incumbent, and
+// reports Exact = false. Greedy seeding never consumes budget.
+package search
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Instance is the incremental damage-accounting state for one search: m
+// candidates (indexed 0..Len()-1), of which exactly K must be chosen.
+// Implementations must guarantee Len() >= K(), and the branch-and-bound
+// drivers additionally require candidates in non-increasing Load order —
+// the replica-counting bound assumes the first rem remaining candidates
+// carry the most load, so an unsorted instance would prune incorrectly
+// (the drivers verify and panic rather than return a wrong optimum).
+type Instance interface {
+	// Len returns the number of candidates m.
+	Len() int
+	// K returns the attack-set size.
+	K() int
+	// S returns how many failed replicas fail an object (the divisor of
+	// the replica-counting bound).
+	S() int
+	// Load returns candidate i's static replica load: failing i can
+	// fail at most Load(i) replicas.
+	Load(i int) int64
+	// Add fails candidate i and returns the number of newly failed
+	// objects.
+	Add(i int) int
+	// Remove reverts Add(i).
+	Remove(i int)
+	// Marginal returns how many additional objects would fail if
+	// candidate i were added, without mutating state.
+	Marginal(i int) int
+	// Reset zeroes all failure counters (after Greedy left them dirty).
+	Reset()
+}
+
+// Result is a search outcome in candidate-index space. Callers translate
+// Sel back to node or domain identities.
+type Result struct {
+	Failed  int   // objects failed by the best attack found
+	Sel     []int // chosen candidate indices, ascending
+	Exact   bool  // true if Failed is provably the maximum
+	Visited int64 // search states visited (diagnostics/ablation)
+}
+
+// Budget caps the number of branch-and-bound states one logical search
+// may visit, shared across sub-searches (constrained per-subset runs)
+// and worker goroutines (parallel drivers). A limit <= 0 means
+// unlimited; states are still counted for diagnostics. The zero Budget
+// is unlimited and ready to use.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewBudget returns a budget allowing limit states (<= 0: unlimited).
+func NewBudget(limit int64) *Budget { return &Budget{limit: limit} }
+
+// Visit consumes one state. It reports false — without consuming — once
+// the limit is reached; the caller must then stop searching and clear
+// Exact. Concurrent use is safe; workers racing past the limit may
+// overshoot by at most one state each.
+func (b *Budget) Visit() bool {
+	if b.limit > 0 && b.used.Load() >= b.limit {
+		return false
+	}
+	b.used.Add(1)
+	return true
+}
+
+// Used returns the number of states consumed so far.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// Exhausted reports whether the limit has been reached.
+func (b *Budget) Exhausted() bool {
+	return b.limit > 0 && b.used.Load() >= b.limit
+}
+
+// Exhaustive enumerates every K-subset of candidates. Cost is C(m, K)
+// times the incremental update cost; use only when that product is
+// small. The instance's failure counters must be clean and are left
+// clean.
+func Exhaustive(in Instance) Result {
+	m, k := in.Len(), in.K()
+	best := Result{Failed: -1, Exact: true}
+	cur := make([]int, 0, k)
+	var visited int64
+	var dfs func(start, failed int)
+	dfs = func(start, failed int) {
+		visited++
+		if len(cur) == k {
+			if failed > best.Failed {
+				best.Failed = failed
+				best.Sel = append(best.Sel[:0], cur...)
+			}
+			return
+		}
+		rem := k - len(cur)
+		for i := start; i <= m-rem; i++ {
+			newly := in.Add(i)
+			cur = append(cur, i)
+			dfs(i+1, failed+newly)
+			cur = cur[:len(cur)-1]
+			in.Remove(i)
+		}
+	}
+	dfs(0, 0)
+	best.Visited = visited
+	if best.Failed < 0 {
+		best.Failed = 0
+	}
+	return best
+}
+
+// Greedy picks K candidates by maximum marginal damage, then improves
+// the set with single-swap local search. The result is a valid attack
+// (a lower bound on the worst case) but not guaranteed optimal. The
+// instance's failure counters are left dirty; Reset before reuse.
+func Greedy(in Instance) Result {
+	m, k := in.Len(), in.K()
+	chosen := make([]bool, m)
+	sel := make([]int, 0, k)
+	failed := 0
+	for len(sel) < k {
+		bestI, bestGain := -1, -1
+		for i := 0; i < m; i++ {
+			if chosen[i] {
+				continue
+			}
+			if g := in.Marginal(i); g > bestGain {
+				bestGain = g
+				bestI = i
+			}
+		}
+		failed += in.Add(bestI)
+		chosen[bestI] = true
+		sel = append(sel, bestI)
+	}
+	// Swap local search: replace one chosen candidate with one unchosen
+	// candidate when it strictly increases damage.
+	improved := true
+	rounds := 0
+	for improved && rounds < 4*k {
+		improved = false
+		rounds++
+		for si, ci := range sel {
+			in.Remove(ci)
+			lost := in.Marginal(ci) // damage this candidate was contributing
+			bestI, bestGain := ci, lost
+			for i := 0; i < m; i++ {
+				if chosen[i] { // includes ci itself
+					continue
+				}
+				if g := in.Marginal(i); g > bestGain {
+					bestGain = g
+					bestI = i
+				}
+			}
+			in.Add(bestI)
+			if bestI != ci {
+				chosen[ci] = false
+				chosen[bestI] = true
+				sel[si] = bestI
+				failed += bestGain - lost
+				improved = true
+			}
+		}
+	}
+	sorted := append([]int(nil), sel...)
+	sort.Ints(sorted)
+	return Result{
+		Failed:  failed,
+		Sel:     sorted,
+		Exact:   false,
+		Visited: int64(rounds) * int64(m),
+	}
+}
+
+// BranchAndBound runs the depth-first search seeded with an incumbent
+// (conventionally Greedy's result on the same instance, after Reset).
+// The instance's failure counters must be clean. Every state entered
+// consumes one unit of bud; when bud runs dry the incumbent so far is
+// returned with Exact = false. Visited reports bud's total consumption,
+// so searches sharing a Budget report the shared count.
+func BranchAndBound(in Instance, seed Result, bud *Budget) Result {
+	m, k, s := in.Len(), in.K(), in.S()
+	prefix := loadPrefix(in)
+	best := Result{Failed: seed.Failed, Sel: append([]int(nil), seed.Sel...), Exact: true}
+	cur := make([]int, 0, k)
+	exhausted := false
+
+	var dfs func(start, failed int, loadSum int64)
+	dfs = func(start, failed int, loadSum int64) {
+		if exhausted {
+			return
+		}
+		if !bud.Visit() {
+			exhausted = true
+			return
+		}
+		rem := k - len(cur)
+		if rem == 0 {
+			if failed > best.Failed {
+				best.Failed = failed
+				best.Sel = append(best.Sel[:0], cur...)
+			}
+			return
+		}
+		// Replica-counting bound: any completion adds at most the top
+		// rem remaining loads; s failed replicas are needed per failed
+		// object.
+		if start+rem > m {
+			return
+		}
+		maxLoad := loadSum + prefix[start+rem] - prefix[start]
+		if int(maxLoad/int64(s)) <= best.Failed {
+			return
+		}
+		if rem == 1 {
+			// Final level: scan candidates for the best single extension.
+			bestI, bestGain := -1, -1
+			for i := start; i < m; i++ {
+				if g := in.Marginal(i); g > bestGain {
+					bestGain = g
+					bestI = i
+				}
+			}
+			if bestI >= 0 && failed+bestGain > best.Failed {
+				best.Failed = failed + bestGain
+				best.Sel = append(append(best.Sel[:0], cur...), bestI)
+			}
+			return
+		}
+		for i := start; i <= m-rem; i++ {
+			newly := in.Add(i)
+			cur = append(cur, i)
+			dfs(i+1, failed+newly, loadSum+in.Load(i))
+			cur = cur[:len(cur)-1]
+			in.Remove(i)
+			if exhausted {
+				return
+			}
+		}
+	}
+	dfs(0, 0, 0)
+	best.Visited = bud.Used()
+	if exhausted {
+		best.Exact = false
+	}
+	return best
+}
+
+// loadPrefix returns prefix sums of the instance's candidate loads
+// (prefix[i] = sum of Load(0..i-1)), panicking if the loads are not
+// non-increasing: the replica-counting bound is unsound on unsorted
+// candidates, and a panic beats a silently wrong "exact" optimum.
+func loadPrefix(in Instance) []int64 {
+	m := in.Len()
+	prefix := make([]int64, m+1)
+	for i := 0; i < m; i++ {
+		if i > 0 && in.Load(i) > in.Load(i-1) {
+			panic("search: branch-and-bound requires candidates in non-increasing Load order")
+		}
+		prefix[i+1] = prefix[i] + in.Load(i)
+	}
+	return prefix
+}
+
+// Hit records that failing a candidate adds C failed replicas to object
+// Obj — the aggregated accounting unit shared by every whole-domain
+// adapter (a node-level adapter is the special case C = 1 throughout).
+type Hit struct {
+	Obj int32
+	C   int32
+}
+
+// HitCounter is the s-threshold failure accounting over aggregated
+// hits: an object fails once its failed-replica count reaches S. It
+// exists so the two domain adapters (package adversary's engine
+// instance and package placement's never-worse evaluator) share one
+// copy of the crossing logic instead of mirroring it.
+type HitCounter struct {
+	S   int32
+	Cnt []int32 // failed replicas per object
+}
+
+// Add applies the hits and returns the number of newly failed objects.
+func (h *HitCounter) Add(hits []Hit) int {
+	newly := 0
+	for _, hit := range hits {
+		old := h.Cnt[hit.Obj]
+		h.Cnt[hit.Obj] = old + hit.C
+		if old < h.S && old+hit.C >= h.S {
+			newly++
+		}
+	}
+	return newly
+}
+
+// Remove reverts Add(hits).
+func (h *HitCounter) Remove(hits []Hit) {
+	for _, hit := range hits {
+		h.Cnt[hit.Obj] -= hit.C
+	}
+}
+
+// Marginal returns how many objects Add(hits) would newly fail, without
+// mutating state.
+func (h *HitCounter) Marginal(hits []Hit) int {
+	gain := 0
+	for _, hit := range hits {
+		if c := h.Cnt[hit.Obj]; c < h.S && c+hit.C >= h.S {
+			gain++
+		}
+	}
+	return gain
+}
+
+// Reset zeroes the counters.
+func (h *HitCounter) Reset() {
+	for i := range h.Cnt {
+		h.Cnt[i] = 0
+	}
+}
+
+// HitInstance is a ready-made Instance over aggregated hits: candidate
+// i fails every object in Hits[i] by the recorded replica counts, and
+// an object dies once Ctr.S of its replicas have failed. Callers supply
+// candidates in non-increasing Loads order (the branch-and-bound
+// invariant) and keep any identity mapping (candidate index → node or
+// domain id) on the side. Both domain search adapters — the adversary
+// engines and placement's never-worse evaluator — are this type plus a
+// candidate-selection policy.
+type HitInstance struct {
+	Count int // attack-set size K
+	Hits  [][]Hit
+	Loads []int64
+	Ctr   HitCounter
+}
+
+var _ Instance = (*HitInstance)(nil)
+
+func (in *HitInstance) Len() int           { return len(in.Hits) }
+func (in *HitInstance) K() int             { return in.Count }
+func (in *HitInstance) S() int             { return int(in.Ctr.S) }
+func (in *HitInstance) Load(i int) int64   { return in.Loads[i] }
+func (in *HitInstance) Add(i int) int      { return in.Ctr.Add(in.Hits[i]) }
+func (in *HitInstance) Remove(i int)       { in.Ctr.Remove(in.Hits[i]) }
+func (in *HitInstance) Marginal(i int) int { return in.Ctr.Marginal(in.Hits[i]) }
+func (in *HitInstance) Reset()             { in.Ctr.Reset() }
+
+// Clone returns an independent searcher over the same immutable
+// preprocessing: Hits and Loads are shared (read-only during search),
+// only the failure counters are fresh — the cheap way to stamp out
+// per-worker instances for BranchAndBoundParallel.
+func (in *HitInstance) Clone() *HitInstance {
+	cp := *in
+	cp.Ctr.Cnt = make([]int32, len(in.Ctr.Cnt))
+	return &cp
+}

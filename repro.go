@@ -207,11 +207,28 @@ func WorstDomainAttack(pl *Placement, topo *Topology, s, d int, budget int64) (D
 	return adversary.DomainWorstCase(pl, topo, s, d, budget)
 }
 
+// WorstDomainAttackParallel is WorstDomainAttack fanned out over worker
+// goroutines (workers <= 0 selects GOMAXPROCS, 1 is exactly the serial
+// engine); workers share the incumbent bound and budget, so exact
+// searches return the same damage as the serial engine, faster — the
+// path to take once topologies reach hundreds of domains.
+func WorstDomainAttackParallel(pl *Placement, topo *Topology, s, d int, budget int64, workers int) (DomainAttackResult, error) {
+	return adversary.DomainWorstCasePar(pl, topo, s, d, budget, workers)
+}
+
 // WorstConstrainedAttack returns the most damaging k-node failure
 // confined to at most d failure domains — the paper's adversary with a
 // correlation budget.
 func WorstConstrainedAttack(pl *Placement, topo *Topology, s, k, d int, budget int64) (DomainAttackResult, error) {
 	return adversary.ConstrainedWorstCase(pl, topo, s, k, d, budget)
+}
+
+// WorstConstrainedAttackParallel is WorstConstrainedAttack with the
+// domain subsets sharded across worker goroutines (workers <= 0 selects
+// GOMAXPROCS, 1 is exactly the serial engine), sharing the incumbent
+// and budget.
+func WorstConstrainedAttackParallel(pl *Placement, topo *Topology, s, k, d int, budget int64, workers int) (DomainAttackResult, error) {
+	return adversary.ConstrainedWorstCasePar(pl, topo, s, k, d, budget, workers)
 }
 
 // NewCluster builds a simulated storage cluster (see ClusterConfig).
