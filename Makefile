@@ -1,0 +1,35 @@
+# Developer entry points; CI runs the same targets.
+
+# bash with pipefail so the bench recipe's `go test | tee` pipeline
+# fails the target when go test fails, not just when tee does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO ?= go
+BENCHTIME ?= 1x
+
+.PHONY: build vet test test-short bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# bench runs the whole benchmark suite and regenerates the tracked perf
+# baseline BENCH.json (see cmd/benchjson): benchmark → ns/op, allocs/op,
+# and custom metrics such as the adversary core's visited-states. The
+# default BENCHTIME=1x keeps the sweep fast — wall-clock numbers are then
+# indicative only, but the visited-states metrics are deterministic, so
+# the search-effort trajectory is comparable across machines and PRs.
+# Use BENCHTIME=1s for stable timings.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH.json
+	@echo wrote BENCH.json

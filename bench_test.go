@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/adversary"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/placement"
 	"repro/internal/randplace"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -354,6 +356,7 @@ func BenchmarkDomainWorstCasePar(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("serial", func(b *testing.B) {
+		var visited int64
 		for i := 0; i < b.N; i++ {
 			res, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
 			if err != nil {
@@ -362,10 +365,13 @@ func BenchmarkDomainWorstCasePar(b *testing.B) {
 			if res.Failed != serial.Failed {
 				b.Fatalf("serial rerun %d != %d", res.Failed, serial.Failed)
 			}
+			visited = res.Visited
 		}
+		b.ReportMetric(float64(visited), "visited-states")
 	})
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var visited int64
 			for i := 0; i < b.N; i++ {
 				res, err := adversary.DomainWorstCasePar(pl, topo, s, d, 0, workers)
 				if err != nil {
@@ -374,8 +380,138 @@ func BenchmarkDomainWorstCasePar(b *testing.B) {
 				if res.Failed != serial.Failed {
 					b.Fatalf("parallel (%d workers) %d != serial %d", workers, res.Failed, serial.Failed)
 				}
+				visited = res.Visited
 			}
+			b.ReportMetric(float64(visited), "visited-states")
 		})
+	}
+}
+
+// zoneConfinedPlacement places each object's r replicas inside one
+// random zone — the partition-heavy layout (objects live and die with
+// their zone) where the residual-load bound prunes deepest. Real
+// clusters produce this shape whenever placement is zone-local.
+func zoneConfinedPlacement(b *testing.B, n, objects, r, zones int, seed int64) *placement.Placement {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pl := placement.NewPlacement(n, r)
+	perZone := n / zones
+	nodes := make([]int, r)
+	for i := 0; i < objects; i++ {
+		z := rng.Intn(zones)
+		perm := rng.Perm(perZone)
+		for j := 0; j < r; j++ {
+			nodes[j] = z*perZone + perm[j]
+		}
+		if err := pl.Add(nodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pl
+}
+
+// BenchmarkDomainWorstCaseLarge is the ≥500-domain scenario: 1000 nodes
+// in 25 zones × 20 racks, a zone-confined placement of 2000 objects,
+// exact whole-domain search. Serial and parallel worker counts are
+// contrasted (damage equality asserted); visited states are reported so
+// BENCH.json tracks the search effort across PRs, independent of the
+// host's core count.
+func BenchmarkDomainWorstCaseLarge(b *testing.B) {
+	topo, err := topology.UniformHierarchy(1000, 25, 20) // 500 racks in 25 zones
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := zoneConfinedPlacement(b, 1000, 2000, 3, 25, 7)
+	const s, d = 2, 3
+	serial, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		var visited int64
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != serial.Failed {
+				b.Fatalf("serial rerun %d != %d", res.Failed, serial.Failed)
+			}
+			visited = res.Visited
+		}
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+	for _, workers := range []int{4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var visited int64
+			for i := 0; i < b.N; i++ {
+				res, err := adversary.DomainWorstCasePar(pl, topo, s, d, 0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != serial.Failed {
+					b.Fatalf("parallel (%d workers) %d != serial %d", workers, res.Failed, serial.Failed)
+				}
+				visited = res.Visited
+			}
+			b.ReportMetric(float64(visited), "visited-states")
+		})
+	}
+}
+
+// BenchmarkBoundAblation measures the residual-load pruning bound
+// against the static replica-counting baseline (the -bound switch) on
+// two instance families over the 500-rack topology:
+//
+//   - partition: zone-confined objects with s = 1, where failed racks
+//     kill whole object groups and the residual discount collapses the
+//     search — the case the bound exists for;
+//   - uniform: a flat random placement, where deaths are rare along
+//     search paths and the two bounds must coincide (the regression
+//     guard: residual may cost nothing here).
+//
+// Damage equality between the bounds is asserted; visited-states is the
+// hardware-independent metric BENCH.json tracks.
+func BenchmarkBoundAblation(b *testing.B) {
+	topo, err := topology.UniformHierarchy(1000, 25, 20) // 500 racks
+	if err != nil {
+		b.Fatal(err)
+	}
+	partition := zoneConfinedPlacement(b, 1000, 2000, 3, 25, 7)
+	uniform, err := randplace.Generate(placement.Params{N: 1000, B: 2000, R: 3, S: 2, K: 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pl   *placement.Placement
+		s, d int
+	}{
+		{"partition-s1-d10", partition, 1, 10},
+		{"uniform-s2-d3", uniform, 2, 3},
+	}
+	for _, tc := range cases {
+		exact, err := adversary.DomainWorstCaseWith(tc.pl, topo, tc.s, tc.d, adversary.SearchOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bound := range []search.Bound{search.BoundStatic, search.BoundResidual} {
+			b.Run(fmt.Sprintf("%s/bound=%s", tc.name, bound), func(b *testing.B) {
+				var visited int64
+				for i := 0; i < b.N; i++ {
+					res, err := adversary.DomainWorstCaseWith(tc.pl, topo, tc.s, tc.d,
+						adversary.SearchOpts{Bound: bound})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Failed != exact.Failed {
+						b.Fatalf("bound=%s damage %d != %d", bound, res.Failed, exact.Failed)
+					}
+					visited = res.Visited
+				}
+				b.ReportMetric(float64(visited), "visited-states")
+			})
+		}
 	}
 }
 

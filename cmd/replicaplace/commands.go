@@ -9,6 +9,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/placement"
 	"repro/internal/randplace"
+	"repro/internal/search"
 )
 
 // cmdPlan runs the DP and prints the chosen ⟨λx⟩ with its guarantee.
@@ -17,12 +18,18 @@ func cmdPlan(args []string, w io.Writer) error {
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 0)
 	workers := addWorkersFlag(fs, 1)
+	boundFlag := addBoundFlag(fs)
+	stats := addStatsFlag(fs)
 	constructible := fs.Bool("constructible", false,
 		"restrict to Steiner systems this binary can materialize")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := tf.requireRacks(fs); err != nil {
+		return err
+	}
+	pruneBound, err := search.ParseBound(*boundFlag)
+	if err != nil {
 		return err
 	}
 	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
@@ -53,7 +60,10 @@ func cmdPlan(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "random placement, probably available:        %d of %d (%.2f%%)\n",
 		pr, mf.b, 100*float64(pr)/float64(mf.b))
 	if tf.racks != 0 {
-		return planTopologySection(w, mf, tf, *workers)
+		return planTopologySection(w, mf, tf, adversary.SearchOpts{
+			Workers: cliWorkers(*workers),
+			Bound:   pruneBound,
+		}, *stats)
 	}
 	return nil
 }
@@ -62,7 +72,7 @@ func cmdPlan(args []string, w io.Writer) error {
 // it materializes the constructible Combo, applies the domain-aware
 // spreading pass, and measures availability under dfail whole-domain
 // failures for both layouts.
-func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, workers int) error {
+func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts adversary.SearchOpts, stats bool) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
 		return err
@@ -75,11 +85,11 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, workers
 	if err != nil {
 		return err
 	}
-	oblivious, err := adversary.DomainWorstCasePar(combo, topo, mf.s, tf.dfail, 0, workers)
+	oblivious, err := adversary.DomainWorstCaseWith(combo, topo, mf.s, tf.dfail, opts)
 	if err != nil {
 		return err
 	}
-	spread, err := adversary.DomainWorstCasePar(aware, topo, mf.s, tf.dfail, 0, workers)
+	spread, err := adversary.DomainWorstCaseWith(aware, topo, mf.s, tf.dfail, opts)
 	if err != nil {
 		return err
 	}
@@ -90,8 +100,14 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, workers
 		topo.NumDomains(), spec.Lambdas, tf.dfail)
 	fmt.Fprintf(w, "  domain-oblivious combo:                    %d of %d (%.2f%%)\n",
 		oblivious.Avail(mf.b), mf.b, 100*float64(oblivious.Avail(mf.b))/float64(mf.b))
+	if stats {
+		fmt.Fprint(w, statsLine("domain-oblivious", opts.Bound, oblivious.Visited, opts.Budget, oblivious.Exact))
+	}
 	fmt.Fprintf(w, "  domain-aware combo (spread post-pass):     %d of %d (%.2f%%)\n",
 		spread.Avail(mf.b), mf.b, 100*float64(spread.Avail(mf.b))/float64(mf.b))
+	if stats {
+		fmt.Fprint(w, statsLine("domain-aware", opts.Bound, spread.Visited, opts.Budget, spread.Exact))
+	}
 	return nil
 }
 
@@ -151,11 +167,16 @@ func cmdAttack(args []string, w io.Writer) error {
 	s := fs.Int("s", 2, "replica failures that fail an object")
 	k := fs.Int("k", 4, "node failures")
 	budget := fs.Int64("budget", 0, "branch-and-bound node budget (0 = exact)")
+	boundFlag := addBoundFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("attack: -in is required")
+	}
+	bound, err := search.ParseBound(*boundFlag)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -166,7 +187,7 @@ func cmdAttack(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := adversary.WorstCase(pl, *s, *k, *budget)
+	res, err := adversary.WorstCaseWith(pl, *s, *k, adversary.SearchOpts{Budget: *budget, Bound: bound})
 	if err != nil {
 		return err
 	}
@@ -177,8 +198,8 @@ func cmdAttack(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "objects: %d, worst %d-node failure fails %d objects (%s)\n",
 		pl.B(), *k, res.Failed, mode)
 	fmt.Fprintf(w, "failed nodes: %v\n", res.Nodes)
-	fmt.Fprintf(w, "Avail = %d (%.2f%%), search visited %d states\n",
-		res.Avail(pl.B()), 100*float64(res.Avail(pl.B()))/float64(pl.B()), res.Visited)
+	fmt.Fprintf(w, "Avail = %d (%.2f%%), search visited %d states (bound=%s)\n",
+		res.Avail(pl.B()), 100*float64(res.Avail(pl.B()))/float64(pl.B()), res.Visited, bound)
 	return nil
 }
 

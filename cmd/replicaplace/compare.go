@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/placement"
 	"repro/internal/randplace"
+	"repro/internal/search"
 )
 
 // cmdCompare builds a Combo and a Random placement for the same
@@ -19,6 +21,8 @@ func cmdCompare(args []string, w io.Writer) error {
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 0)
 	workers := addWorkersFlag(fs, 0)
+	boundFlag := addBoundFlag(fs)
+	stats := addStatsFlag(fs)
 	budget := fs.Int64("budget", 5_000_000, "adversary search budget per placement (0 = exact)")
 	trials := fs.Int("trials", 3, "random placements to try")
 	seed := fs.Int64("seed", 1, "base seed for random placements")
@@ -26,6 +30,10 @@ func cmdCompare(args []string, w io.Writer) error {
 		return err
 	}
 	if err := tf.requireRacks(fs); err != nil {
+		return err
+	}
+	bound, err := search.ParseBound(*boundFlag)
+	if err != nil {
 		return err
 	}
 	// The domain section parallelizes only on explicit -workers: its
@@ -43,18 +51,22 @@ func cmdCompare(args []string, w io.Writer) error {
 		return err
 	}
 
-	combo, spec, bound, err := placement.BuildDefaultCombo(mf.n, mf.r, mf.s, mf.k, mf.b)
+	nodeOpts := adversary.SearchOpts{Budget: *budget, Workers: cliWorkers(*workers), Bound: bound}
+	combo, spec, guarantee, err := placement.BuildDefaultCombo(mf.n, mf.r, mf.s, mf.k, mf.b)
 	if err != nil {
 		return err
 	}
-	comboRes, err := adversary.WorstCaseParallel(combo, mf.s, mf.k, *budget, *workers)
+	comboRes, err := adversary.WorstCaseWith(combo, mf.s, mf.k, nodeOpts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "combo placement (lambdas %v):\n", spec.Lambdas)
-	fmt.Fprintf(w, "  guaranteed Avail >= %d\n", bound)
+	fmt.Fprintf(w, "  guaranteed Avail >= %d\n", guarantee)
 	fmt.Fprintf(w, "  measured  Avail  = %d (%s, attack %v)\n",
 		comboRes.Avail(mf.b), exactness(comboRes.Exact), comboRes.Nodes)
+	if *stats {
+		fmt.Fprint(w, statsLine("combo", bound, comboRes.Visited, *budget, comboRes.Exact))
+	}
 	if hist, err := combo.OverlapHistogram(0, 1); err == nil {
 		fmt.Fprintf(w, "  replica-set overlap histogram: %v\n", hist)
 	}
@@ -66,7 +78,7 @@ func cmdCompare(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := adversary.WorstCaseParallel(rp, mf.s, mf.k, *budget, *workers)
+		res, err := adversary.WorstCaseWith(rp, mf.s, mf.k, nodeOpts)
 		if err != nil {
 			return err
 		}
@@ -75,15 +87,19 @@ func cmdCompare(args []string, w io.Writer) error {
 			worst = avail
 		}
 		fmt.Fprintf(w, "  trial %d: Avail = %d (%s)\n", trial, avail, exactness(res.Exact))
+		if *stats {
+			fmt.Fprint(w, statsLine(fmt.Sprintf("random trial %d", trial), bound, res.Visited, *budget, res.Exact))
+		}
 	}
 	pr, err := randplace.PrAvailTable(p)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "  analytic prAvail = %d\n", pr)
-	fmt.Fprintf(w, "\nverdict: combo guarantees %d; random achieved as low as %d\n", bound, worst)
+	fmt.Fprintf(w, "\nverdict: combo guarantees %d; random achieved as low as %d\n", guarantee, worst)
 	if tf.racks != 0 {
-		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, *budget, domainWorkers)
+		domOpts := adversary.SearchOpts{Budget: *budget, Workers: cliWorkers(domainWorkers), Bound: bound}
+		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, domOpts, *stats)
 	}
 	return nil
 }
@@ -92,7 +108,7 @@ func cmdCompare(args []string, w io.Writer) error {
 // combo (oblivious and spread) and the same random trials as the
 // node-level section, under the worst dfail whole-domain failures.
 func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
-	combo *placement.Placement, p placement.Params, trials int, seed, budget int64, workers int) error {
+	combo *placement.Placement, p placement.Params, trials int, seed int64, opts adversary.SearchOpts, stats bool) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
 		return err
@@ -110,11 +126,14 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		{"combo, domain-oblivious", combo},
 		{"combo, domain-aware    ", aware},
 	} {
-		res, err := adversary.DomainWorstCasePar(layout.pl, topo, mf.s, tf.dfail, budget, workers)
+		res, err := adversary.DomainWorstCaseWith(layout.pl, topo, mf.s, tf.dfail, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "  %s: Avail = %d (%s)\n", layout.name, res.Avail(mf.b), exactness(res.Exact))
+		if stats {
+			fmt.Fprint(w, statsLine(strings.TrimSpace(layout.name), opts.Bound, res.Visited, opts.Budget, res.Exact))
+		}
 	}
 	if trials < 1 {
 		return nil
@@ -126,7 +145,7 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		if err != nil {
 			return err
 		}
-		res, err := adversary.DomainWorstCasePar(rp, topo, mf.s, tf.dfail, budget, workers)
+		res, err := adversary.DomainWorstCaseWith(rp, topo, mf.s, tf.dfail, opts)
 		if err != nil {
 			return err
 		}

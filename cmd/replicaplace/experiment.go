@@ -7,12 +7,14 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/search"
 )
 
 // runOpts carries the experiment-wide knobs into each figure runner.
 type runOpts struct {
 	full    bool
 	workers int
+	bound   search.Bound
 }
 
 // cmdExperiment regenerates the paper's figures.
@@ -21,7 +23,12 @@ func cmdExperiment(args []string, w io.Writer) error {
 	fig := fs.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9a,9b,10,11, domains, or all")
 	full := fs.Bool("full", false, "paper-scale runs (slow for figs 2 and 7)")
 	workers := addWorkersFlag(fs, 1)
+	boundFlag := addBoundFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bound, err := search.ParseBound(*boundFlag)
+	if err != nil {
 		return err
 	}
 	// The experiments layer treats workers literally (> 1 picks the
@@ -30,7 +37,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	opts := runOpts{full: *full, workers: *workers}
+	opts := runOpts{full: *full, workers: *workers, bound: bound}
 	runners := map[string]func(io.Writer, runOpts) error{
 		"2":  runFig2,
 		"3":  runFig3,
@@ -152,7 +159,7 @@ func runFig11(w io.Writer, _ runOpts) error {
 }
 
 func runFigDomains(w io.Writer, o runOpts) error {
-	cells, err := experiments.DomainTable(experiments.DomainOpts{Workers: o.workers})
+	cells, err := experiments.DomainTable(experiments.DomainOpts{Workers: o.workers, Bound: o.bound})
 	if err != nil {
 		return err
 	}

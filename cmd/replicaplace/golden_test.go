@@ -45,6 +45,19 @@ var goldenCases = []struct {
 		"-racks", "4", "-dfail", "1", "-workers", "4"}},
 	{"compare_workers_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
 		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "4"}},
+	// -stats prints per-search diagnostics (bound, visited states,
+	// budget, exactness). Serial searches (-workers 1, plan's default)
+	// keep the visited counts deterministic, so the numbers themselves
+	// are pinned — an honesty check on the search accounting, and with
+	// -bound static a recorded ablation: the static-bound runs of the
+	// same searches may only differ in their (never smaller) visited
+	// counts.
+	{"plan_stats_n13", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-racks", "4", "-dfail", "1", "-stats"}},
+	{"compare_stats_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "1", "-stats"}},
+	{"compare_stats_static_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "1", "-stats", "-bound", "static"}},
 }
 
 // TestWorkersOutputDeterministic pins the -workers contract: the flag

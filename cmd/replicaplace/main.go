@@ -7,14 +7,14 @@
 //
 // Usage:
 //
-//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-workers 8]
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-workers 8] [-stats] [-bound static]
 //	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
-//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000]
+//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000] [-bound static]
 //	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
-//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-workers 8]
+//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-workers 8] [-stats] [-bound static]
 //	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-dfail 1]
 //	replicaplace experiment -fig 9a [-full] [-workers 8]
-//	replicaplace experiment -fig domains
+//	replicaplace experiment -fig domains [-bound static]
 //
 // The -workers flag fans the branch-and-bound adversaries out over that
 // many goroutines (0 = GOMAXPROCS, 1 = serial); exact search results are
@@ -22,6 +22,13 @@
 // parallel searches (compare's default -budget) may report slightly
 // different — still valid — lower bounds run to run, because workers race
 // for the shared state budget.
+//
+// The -bound flag is the pruning ablation switch: "residual" (default)
+// prunes branch-and-bound with the residual-load bound, "static" with
+// the replica-counting bound only. Both return identical results;
+// residual visits no more states (often far fewer — see -stats, which
+// prints per-search diagnostics: bound, visited states, budget,
+// exactness).
 package main
 
 import (
@@ -29,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/search"
 )
 
 func main() {
@@ -89,4 +98,36 @@ func addModelFlags(fs *flag.FlagSet) *modelFlags {
 // — see cmdCompare).
 func addWorkersFlag(fs *flag.FlagSet, def int) *int {
 	return fs.Int("workers", def, "adversary search workers (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// cliWorkers maps the CLI worker convention (0 = GOMAXPROCS) onto the
+// adversary.SearchOpts one (< 0 = GOMAXPROCS).
+func cliWorkers(w int) int {
+	if w == 0 {
+		return -1
+	}
+	return w
+}
+
+// addBoundFlag registers the branch-and-bound pruning-bound ablation
+// switch shared by the searching commands.
+func addBoundFlag(fs *flag.FlagSet) *string {
+	return fs.String("bound", "residual", "branch-and-bound pruning bound: residual | static (ablation)")
+}
+
+// addStatsFlag registers the search-diagnostics switch.
+func addStatsFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("stats", false, "print search diagnostics (visited states, budget, exactness)")
+}
+
+// statsLine formats the diagnostics -stats prints after a search: the
+// pruning bound, states visited (== budget units consumed), the budget
+// limit, and whether the search proved its result exact.
+func statsLine(label string, bound search.Bound, visited, budget int64, exact bool) string {
+	limit := "unlimited"
+	if budget > 0 {
+		limit = fmt.Sprintf("%d", budget)
+	}
+	return fmt.Sprintf("  search stats [%s]: bound=%s visited=%d budget=%s exact=%v\n",
+		label, bound, visited, limit, exact)
 }

@@ -9,7 +9,8 @@
 // DomainWorstCase), the constrained k-nodes-in-≤d-domains pair, and the
 // parallel variants — is a thin adapter over the one generic search core
 // in internal/search; see that package (and this package's README) for
-// the shared driver and budget semantics:
+// the shared drivers, the residual-load pruning bound, and the budget
+// semantics:
 //
 //   - Exhaustive: enumerate all C(n, k) subsets. Reference oracle for
 //     tests and tiny instances.
@@ -17,14 +18,21 @@
 //     search. Fast; yields a lower bound on the damage (upper bound on
 //     availability).
 //   - WorstCase: branch-and-bound over candidates ordered by load, seeded
-//     with the greedy incumbent, pruned with the replica-counting bound
-//     failed(K) <= ⌊(Σ_{nd∈K} load(nd)) / s⌋. Exact when it completes
-//     within its state budget; otherwise it degrades gracefully and
-//     reports Exact = false.
+//     with the greedy incumbent, pruned with the residual-load bound (or,
+//     under SearchOpts{Bound: search.BoundStatic}, the static
+//     replica-counting bound failed(K) <= ⌊(Σ_{nd∈K} load(nd)) / s⌋).
+//     Exact when it completes within its state budget; otherwise it
+//     degrades gracefully and reports Exact = false.
+//
+// Every adapter is a search.HitInstance — one flat CSR hit layout for
+// node-level (C = 1), whole-domain (aggregated C), and constrained
+// searches alike — plus a candidate-selection policy and the candidate
+// index → identity mapping.
 package adversary
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/placement"
@@ -42,19 +50,60 @@ type Result struct {
 // Avail returns b - Failed for the placement the result was computed on.
 func (r Result) Avail(b int) int { return b - r.Failed }
 
-// instance implements search.Instance with individual nodes as the unit
-// of failure.
-type instance struct {
-	s, k       int
-	candidates []int   // nodes hosting at least one replica, by descending load
-	loads      []int64 // static load per candidate (aligned with candidates)
-	objsOf     [][]int32
-	cnt        []int32 // replicas of each object currently failed
+// SearchOpts tunes how a branch-and-bound engine searches; the zero
+// value — unlimited budget, serial, residual-load pruning — matches the
+// plain engine functions.
+type SearchOpts struct {
+	// Budget caps the branch-and-bound states visited (<= 0: unlimited,
+	// result exact). One shared pool per logical search: across workers
+	// and, for the constrained engines, across domain subsets.
+	Budget int64
+	// Workers fans the search out over goroutines: 0 or 1 serial, < 0
+	// GOMAXPROCS. Exact searches return identical damage at any worker
+	// count; budgeted parallel searches may report different (still
+	// valid) lower bounds run to run.
+	Workers int
+	// Bound selects the pruning discipline — search.BoundResidual (the
+	// default) or search.BoundStatic (the ablation baseline). Both
+	// return identical results; residual visits no more states.
+	Bound search.Bound
 }
 
-var _ search.Instance = (*instance)(nil)
+// resolveWorkers maps the SearchOpts convention onto a concrete count.
+func (o SearchOpts) resolveWorkers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
+}
 
-func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
+// runBranchAndBound is the one greedy-seed → Reset → serial-or-parallel
+// branch-and-bound dispatch shared by the node- and domain-level With
+// engines (the constrained pair shards domain subsets instead).
+func runBranchAndBound(probe search.Instance, clone func() search.Instance, opts SearchOpts) (search.Result, error) {
+	seed := search.Greedy(probe)
+	probe.Reset()
+	bud := search.NewBudget(opts.Budget)
+	if workers := opts.resolveWorkers(); workers > 1 {
+		return search.BranchAndBoundParallelWith(probe, func() (search.Instance, error) {
+			return clone(), nil
+		}, seed, bud, workers, opts.Bound)
+	}
+	return search.BranchAndBoundWith(probe, seed, bud, opts.Bound), nil
+}
+
+// nodeInstance adapts a placement to search.HitInstance with individual
+// nodes as the unit of failure (every hit has C = 1), keeping the
+// candidate index → node id mapping.
+type nodeInstance struct {
+	*search.HitInstance
+	candidates []int // nodes hosting at least one replica, by descending load
+}
+
+func newInstance(pl *placement.Placement, s, k int) (*nodeInstance, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,98 +113,62 @@ func newInstance(pl *placement.Placement, s, k int) (*instance, error) {
 	if k < 1 || k >= pl.N {
 		return nil, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
 	}
-	inst := &instance{s: s, k: k}
-	inst.objsOf = make([][]int32, pl.N)
-	var buf []int
-	for obj := 0; obj < pl.B(); obj++ {
-		buf = pl.Objects[obj].Members(buf[:0])
-		for _, nd := range buf {
-			inst.objsOf[nd] = append(inst.objsOf[nd], int32(obj))
-		}
-	}
+	perNode := nodeHits(pl)
 	loadsByNode := pl.NodeLoads()
+	var candidates []int
 	for nd, l := range loadsByNode {
 		if l > 0 {
-			inst.candidates = append(inst.candidates, nd)
+			candidates = append(candidates, nd)
 		}
 	}
-	sort.Slice(inst.candidates, func(i, j int) bool {
-		if loadsByNode[inst.candidates[i]] != loadsByNode[inst.candidates[j]] {
-			return loadsByNode[inst.candidates[i]] > loadsByNode[inst.candidates[j]]
+	sort.Slice(candidates, func(i, j int) bool {
+		if loadsByNode[candidates[i]] != loadsByNode[candidates[j]] {
+			return loadsByNode[candidates[i]] > loadsByNode[candidates[j]]
 		}
-		return inst.candidates[i] < inst.candidates[j]
+		return candidates[i] < candidates[j]
 	})
 	// If fewer than k nodes carry load, pad with empty nodes (they do no
 	// harm, but the attack set must have k members; k < n guarantees
 	// enough nodes exist).
-	for nd := 0; nd < pl.N && len(inst.candidates) < k; nd++ {
+	for nd := 0; nd < pl.N && len(candidates) < k; nd++ {
 		if loadsByNode[nd] == 0 {
-			inst.candidates = append(inst.candidates, nd)
+			candidates = append(candidates, nd)
 		}
 	}
-	inst.loads = make([]int64, len(inst.candidates))
-	for i, nd := range inst.candidates {
-		inst.loads[i] = int64(loadsByNode[nd])
+	hitLists := make([][]search.Hit, len(candidates))
+	loads := make([]int64, len(candidates))
+	for i, nd := range candidates {
+		hitLists[i] = perNode[nd]
+		loads[i] = int64(loadsByNode[nd])
 	}
-	inst.cnt = make([]int32, pl.B())
+	inst := &nodeInstance{HitInstance: search.NewHitInstance(s, pl.B()), candidates: candidates}
+	inst.Reinit(k, hitLists, loads)
 	return inst, nil
 }
 
-func (in *instance) Len() int         { return len(in.candidates) }
-func (in *instance) K() int           { return in.k }
-func (in *instance) S() int           { return in.s }
-func (in *instance) Load(i int) int64 { return in.loads[i] }
-
-// Add fails candidate i, returning the number of newly failed objects.
-func (in *instance) Add(i int) int {
-	newly := 0
-	s := int32(in.s)
-	for _, obj := range in.objsOf[in.candidates[i]] {
-		in.cnt[obj]++
-		if in.cnt[obj] == s {
-			newly++
+// nodeHits builds the per-node hit lists (C = 1 per hosted replica,
+// objects ascending) every node-level adapter shares.
+func nodeHits(pl *placement.Placement) [][]search.Hit {
+	perNode := make([][]search.Hit, pl.N)
+	var buf []int
+	for obj := 0; obj < pl.B(); obj++ {
+		buf = pl.Objects[obj].Members(buf[:0])
+		for _, nd := range buf {
+			perNode[nd] = append(perNode[nd], search.Hit{Obj: int32(obj), C: 1})
 		}
 	}
-	return newly
-}
-
-// Remove reverts Add(i).
-func (in *instance) Remove(i int) {
-	for _, obj := range in.objsOf[in.candidates[i]] {
-		in.cnt[obj]--
-	}
-}
-
-// Marginal returns how many additional objects fail if candidate i is
-// added to the current set, without mutating state.
-func (in *instance) Marginal(i int) int {
-	gain := 0
-	target := int32(in.s - 1)
-	for _, obj := range in.objsOf[in.candidates[i]] {
-		if in.cnt[obj] == target {
-			gain++
-		}
-	}
-	return gain
-}
-
-func (in *instance) Reset() {
-	for i := range in.cnt {
-		in.cnt[i] = 0
-	}
+	return perNode
 }
 
 // clone returns an independent searcher sharing the immutable
-// preprocessing (object index, candidate order, loads) with fresh
-// counters — how the parallel driver stamps out per-worker instances.
-func (in *instance) clone() *instance {
-	cp := *in
-	cp.cnt = make([]int32, len(in.cnt))
-	return &cp
+// preprocessing (CSR hits, candidate order, loads) with fresh counters —
+// how the parallel driver stamps out per-worker instances.
+func (in *nodeInstance) clone() *nodeInstance {
+	return &nodeInstance{HitInstance: in.HitInstance.Clone(), candidates: in.candidates}
 }
 
 // result translates a core result from candidate-index space to node ids.
-func (in *instance) result(res search.Result) Result {
+func (in *nodeInstance) result(res search.Result) Result {
 	nodes := make([]int, len(res.Sel))
 	for i, ci := range res.Sel {
 		nodes[i] = in.candidates[ci]
@@ -197,13 +210,23 @@ func Greedy(pl *placement.Placement, s, k int) (Result, error) {
 // = one partial attack set considered; greedy seeding is budget-free —
 // the semantics every engine in this package shares.)
 func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) {
+	return WorstCaseWith(pl, s, k, SearchOpts{Budget: budget})
+}
+
+// WorstCaseWith is WorstCase with explicit search options (budget,
+// worker fan-out, pruning-bound ablation).
+func WorstCaseWith(pl *placement.Placement, s, k int, opts SearchOpts) (Result, error) {
 	in, err := newInstance(pl, s, k)
 	if err != nil {
 		return Result{}, err
 	}
-	seed := search.Greedy(in)
-	in.Reset()
-	return in.result(search.BranchAndBound(in, seed, search.NewBudget(budget))), nil
+	res, err := runBranchAndBound(in, func() search.Instance { return in.clone() }, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	// Candidate order is deterministic, so in translates any worker's
+	// selection.
+	return in.result(res), nil
 }
 
 // Avail computes Avail(π) = b − WorstCase damage. It returns the

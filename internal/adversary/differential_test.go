@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/combin"
 	"repro/internal/placement"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -220,6 +221,94 @@ func TestDifferentialConstrainedEngines(t *testing.T) {
 				t.Errorf("trial %d: parallel witness reproduces %d, reported %d", trial, f, par.Failed)
 			}
 		}
+	}
+}
+
+// TestDifferentialBoundAblation pins the -bound ablation switch across
+// all three attack modes: the residual-load bound returns exactly the
+// static bound's result — damage (== the exhaustive reference), witness,
+// exactness — while never visiting more states. Witness equality holds
+// because both modes walk the same tree with the same incumbent
+// evolution; residual only removes subtrees that cannot improve it.
+func TestDifferentialBoundAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	staticOpts := func() SearchOpts { return SearchOpts{Bound: search.BoundStatic} }
+	residOpts := func() SearchOpts { return SearchOpts{} } // zero value = residual
+	var tighter int
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.Intn(6)
+		r := 2 + rng.Intn(3)
+		b := 10 + rng.Intn(30)
+		s := 1 + rng.Intn(r)
+		k := 1 + rng.Intn(n-2)
+		pl := randomPlacement(rng, n, r, b)
+		topo := randomTopology(rng, n)
+		d := 1 + rng.Intn(topo.NumDomains())
+		kc := 1 + rng.Intn(4)
+
+		type run struct {
+			name   string
+			exact  int
+			search func(SearchOpts) (int, []int, bool, int64)
+		}
+		nodeRef, err := Exhaustive(pl, s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		domRef, err := DomainExhaustive(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conRef, err := ConstrainedExhaustive(pl, topo, s, kc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asNode := func(res Result, err error) (int, []int, bool, int64) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Failed, res.Nodes, res.Exact, res.Visited
+		}
+		asDom := func(res DomainResult, err error) (int, []int, bool, int64) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Failed, res.Nodes, res.Exact, res.Visited
+		}
+		runs := []run{
+			{"node", nodeRef.Failed,
+				func(o SearchOpts) (int, []int, bool, int64) { return asNode(WorstCaseWith(pl, s, k, o)) }},
+			{"domain", domRef.Failed,
+				func(o SearchOpts) (int, []int, bool, int64) { return asDom(DomainWorstCaseWith(pl, topo, s, d, o)) }},
+			{"constrained", conRef.Failed,
+				func(o SearchOpts) (int, []int, bool, int64) { return asDom(ConstrainedWorstCaseWith(pl, topo, s, kc, d, o)) }},
+		}
+		for _, r := range runs {
+			sFailed, sNodes, sExact, sVisited := r.search(staticOpts())
+			rFailed, rNodes, rExact, rVisited := r.search(residOpts())
+			if sFailed != r.exact || rFailed != r.exact {
+				t.Errorf("trial %d %s: damage static=%d residual=%d exhaustive=%d",
+					trial, r.name, sFailed, rFailed, r.exact)
+			}
+			if !sExact || !rExact {
+				t.Errorf("trial %d %s: unbounded searches not exact (static %v, residual %v)",
+					trial, r.name, sExact, rExact)
+			}
+			if !reflect.DeepEqual(sNodes, rNodes) {
+				t.Errorf("trial %d %s: witness diverged: static %v, residual %v",
+					trial, r.name, sNodes, rNodes)
+			}
+			if rVisited > sVisited {
+				t.Errorf("trial %d %s: residual visited %d > static %d",
+					trial, r.name, rVisited, sVisited)
+			}
+			if rVisited < sVisited {
+				tighter++
+			}
+		}
+	}
+	if tighter == 0 {
+		t.Error("residual bound never pruned deeper than static on any engine — upkeep is likely broken")
 	}
 }
 

@@ -42,12 +42,10 @@ func (r DomainResult) Avail(b int) int { return b - r.Failed }
 // placement.DomainHits, plus the candidate policy (prune unloaded
 // domains, pad back up to d) and the index→domain mapping.
 type domInstance struct {
-	search.HitInstance
+	*search.HitInstance
 	topo  *topology.Topology
 	cands []int // domains hosting at least one replica, by descending load
 }
-
-var _ search.Instance = (*domInstance)(nil)
 
 func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) (*domInstance, error) {
 	if err := pl.Validate(); err != nil {
@@ -69,13 +67,7 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) 
 	if d < 1 || d > nd {
 		return nil, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, nd)
 	}
-	in := &domInstance{
-		HitInstance: search.HitInstance{
-			Count: d,
-			Ctr:   search.HitCounter{S: int32(s), Cnt: make([]int32, pl.B())},
-		},
-		topo: topo,
-	}
+	in := &domInstance{HitInstance: search.NewHitInstance(s, pl.B()), topo: topo}
 	byDomain, loads := placement.DomainHits(pl, topo)
 	for di := 0; di < nd; di++ {
 		if loads[di] > 0 {
@@ -94,19 +86,20 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) 
 			in.cands = append(in.cands, di)
 		}
 	}
-	in.Loads = make([]int64, len(in.cands))
-	in.Hits = make([][]search.Hit, len(in.cands))
+	hitLists := make([][]search.Hit, len(in.cands))
+	ordered := make([]int64, len(in.cands))
 	for i, di := range in.cands {
-		in.Loads[i] = loads[di]
-		in.Hits[i] = byDomain[di]
+		hitLists[i] = byDomain[di]
+		ordered[i] = loads[di]
 	}
+	in.Reinit(d, hitLists, ordered)
 	return in, nil
 }
 
 // clone returns an independent searcher sharing the immutable
 // preprocessing (hits, loads, candidate order) with fresh counters.
 func (in *domInstance) clone() *domInstance {
-	return &domInstance{HitInstance: *in.HitInstance.Clone(), topo: in.topo, cands: in.cands}
+	return &domInstance{HitInstance: in.HitInstance.Clone(), topo: in.topo, cands: in.cands}
 }
 
 // result translates a core result from candidate-index space to domain
@@ -150,19 +143,27 @@ func DomainGreedy(pl *placement.Placement, topo *topology.Topology, s, d int) (D
 }
 
 // DomainWorstCase runs branch-and-bound over domains seeded with the
-// greedy incumbent, pruned with the replica-counting bound
-// failed(K) <= ⌊(Σ_{D∈K} load(D)) / s⌋. With budget <= 0 the search is
-// unbounded and the result is exact; otherwise the incumbent is returned
-// with Exact reflecting whether the search completed (same state
-// semantics as the node-level WorstCase — the drivers are shared).
+// greedy incumbent, pruned with the shared residual-load bound. With
+// budget <= 0 the search is unbounded and the result is exact; otherwise
+// the incumbent is returned with Exact reflecting whether the search
+// completed (same state semantics as the node-level WorstCase — the
+// drivers are shared).
 func DomainWorstCase(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64) (DomainResult, error) {
+	return DomainWorstCaseWith(pl, topo, s, d, SearchOpts{Budget: budget})
+}
+
+// DomainWorstCaseWith is DomainWorstCase with explicit search options
+// (budget, worker fan-out, pruning-bound ablation).
+func DomainWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, d int, opts SearchOpts) (DomainResult, error) {
 	in, err := newDomInstance(pl, topo, s, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
-	seed := search.Greedy(in)
-	in.Reset()
-	return in.result(search.BranchAndBound(in, seed, search.NewBudget(budget))), nil
+	res, err := runBranchAndBound(in, func() search.Instance { return in.clone() }, opts)
+	if err != nil {
+		return DomainResult{}, err
+	}
+	return in.result(res), nil
 }
 
 // DomainAvail computes b − (worst d-domain damage): the availability
@@ -176,13 +177,14 @@ func DomainAvail(pl *placement.Placement, topo *topology.Topology, s, d int, bud
 }
 
 // constrainedShared is the subset-independent preprocessing of a
-// constrained search: object index, per-node loads, candidate orderings
-// and parameter validation, shared by the serial and parallel drivers.
+// constrained search: per-node hit lists, per-node loads, candidate
+// orderings and parameter validation, shared by the serial and parallel
+// drivers.
 type constrainedShared struct {
 	pl          *placement.Placement
 	topo        *topology.Topology
 	s, k, d     int
-	objsOf      [][]int32
+	nodeHits    [][]search.Hit // per node, C = 1, objects ascending
 	loadsByNode []int
 	loaded      []int // nodes with load, by descending load (ties: id)
 	empty       []int // zero-load nodes, ascending id
@@ -208,14 +210,7 @@ func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, s, k
 		return nil, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
 	sh := &constrainedShared{pl: pl, topo: topo, s: s, k: k, d: d}
-	sh.objsOf = make([][]int32, pl.N)
-	var buf []int
-	for obj := 0; obj < pl.B(); obj++ {
-		buf = pl.Objects[obj].Members(buf[:0])
-		for _, node := range buf {
-			sh.objsOf[node] = append(sh.objsOf[node], int32(obj))
-		}
-	}
+	sh.nodeHits = nodeHits(pl)
 	sh.loadsByNode = pl.NodeLoads()
 	for node, l := range sh.loadsByNode {
 		if l > 0 {
@@ -233,46 +228,55 @@ func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, s, k
 	return sh, nil
 }
 
-// subsetInstance stamps out the node-level instance restricted to the
-// given domains, reusing the shared object index and the caller's
-// failure counters (which the drivers leave balanced back to zero, so a
-// serial caller can share one array across subsets).
-func (sh *constrainedShared) subsetInstance(domains []int, cnt []int32) *instance {
+// constrainedScratch holds one worker's reusable per-subset state: a
+// HitInstance whose CSR arrays (and object counters, left balanced by
+// the drivers) are recycled across every domain subset, plus the
+// candidate scratch slices.
+type constrainedScratch struct {
+	inst  *search.HitInstance
+	cands []int
+	lists [][]search.Hit
+	loads []int64
+}
+
+func (sh *constrainedShared) newScratch() *constrainedScratch {
+	return &constrainedScratch{inst: search.NewHitInstance(sh.s, sh.pl.B())}
+}
+
+// subsetInstance re-initializes the scratch instance restricted to the
+// given domains: the attacker fails min(k, nodes available) nodes inside
+// them (smaller unions simply yield smaller attacks).
+func (sh *constrainedShared) subsetInstance(domains []int, sc *constrainedScratch) *nodeInstance {
 	allowedSet := sh.topo.FailedSet(domains)
-	// The attacker fails min(k, nodes available) nodes inside the
-	// chosen domains; smaller unions simply yield smaller attacks.
 	kEff := sh.k
 	if c := allowedSet.Count(); c < kEff {
 		kEff = c
 	}
-	cands := make([]int, 0, kEff)
+	sc.cands = sc.cands[:0]
 	for _, node := range sh.loaded {
 		if allowedSet.Get(node) {
-			cands = append(cands, node)
+			sc.cands = append(sc.cands, node)
 		}
 	}
 	// Pad with allowed zero-load nodes so the attack set can always
 	// have kEff members (kEff <= allowedSet.Count() guarantees enough
 	// of them exist).
 	for _, node := range sh.empty {
-		if len(cands) >= kEff {
+		if len(sc.cands) >= kEff {
 			break
 		}
 		if allowedSet.Get(node) {
-			cands = append(cands, node)
+			sc.cands = append(sc.cands, node)
 		}
 	}
-	in := &instance{
-		s: sh.s, k: kEff,
-		candidates: cands,
-		loads:      make([]int64, len(cands)),
-		objsOf:     sh.objsOf,
-		cnt:        cnt,
+	sc.lists = sc.lists[:0]
+	sc.loads = sc.loads[:0]
+	for _, node := range sc.cands {
+		sc.lists = append(sc.lists, sh.nodeHits[node])
+		sc.loads = append(sc.loads, int64(sh.loadsByNode[node]))
 	}
-	for i, node := range cands {
-		in.loads[i] = int64(sh.loadsByNode[node])
-	}
-	return in
+	sc.inst.Reinit(kEff, sc.lists, sc.loads)
+	return &nodeInstance{HitInstance: sc.inst, candidates: sc.cands}
 }
 
 // constrainedSearch finds the worst k node failures confined to at most d
@@ -281,12 +285,12 @@ func (sh *constrainedShared) subsetInstance(domains []int, cnt []int32) *instanc
 // when positive, is shared across the whole search — every per-subset
 // branch-and-bound draws states from the same pool, matching the
 // unconstrained engines' semantics.
-func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, bnb bool) (DomainResult, error) {
+func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, bnb bool, bound search.Bound) (DomainResult, error) {
 	sh, err := newConstrainedShared(pl, topo, s, k, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
-	cnt := make([]int32, pl.B())
+	sc := sh.newScratch()
 	bud := search.NewBudget(budget)
 	best := DomainResult{Failed: -1, Exact: true}
 	var exhaustiveVisited int64
@@ -299,7 +303,7 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 			best.Exact = false
 			return false
 		}
-		in := sh.subsetInstance(domains, cnt)
+		in := sh.subsetInstance(domains, sc)
 		var sub search.Result
 		if bnb {
 			seed := search.Greedy(in)
@@ -310,7 +314,7 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 			if best.Failed > seed.Failed {
 				seed = search.Result{Failed: best.Failed}
 			}
-			sub = search.BranchAndBound(in, seed, bud)
+			sub = search.BranchAndBoundWith(in, seed, bud, bound)
 		} else {
 			sub = search.Exhaustive(in)
 			exhaustiveVisited += sub.Visited
@@ -337,7 +341,7 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 // ConstrainedExhaustive finds the exact worst k node failures spanning at
 // most d domains by full enumeration. Reference oracle for tests.
 func ConstrainedExhaustive(pl *placement.Placement, topo *topology.Topology, s, k, d int) (DomainResult, error) {
-	return constrainedSearch(pl, topo, s, k, d, 0, false)
+	return constrainedSearch(pl, topo, s, k, d, 0, false, search.BoundResidual)
 }
 
 // ConstrainedWorstCase finds the worst k node failures spanning at most d
@@ -345,7 +349,16 @@ func ConstrainedExhaustive(pl *placement.Placement, topo *topology.Topology, s, 
 // the state total across all subsets (one shared pool, the package-wide
 // semantics); Exact reports whether every subset completed.
 func ConstrainedWorstCase(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64) (DomainResult, error) {
-	return constrainedSearch(pl, topo, s, k, d, budget, true)
+	return ConstrainedWorstCaseWith(pl, topo, s, k, d, SearchOpts{Budget: budget})
+}
+
+// ConstrainedWorstCaseWith is ConstrainedWorstCase with explicit search
+// options (budget, worker fan-out, pruning-bound ablation).
+func ConstrainedWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, k, d int, opts SearchOpts) (DomainResult, error) {
+	if workers := opts.resolveWorkers(); workers > 1 {
+		return constrainedSearchPar(pl, topo, s, k, d, opts.Budget, workers, opts.Bound)
+	}
+	return constrainedSearch(pl, topo, s, k, d, opts.Budget, true, opts.Bound)
 }
 
 // domainsOfNodes returns the sorted, deduplicated domain indices touched

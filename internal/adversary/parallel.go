@@ -11,12 +11,13 @@ import (
 )
 
 // This file fans the branch-and-bound engines out over worker
-// goroutines. All three parallel engines ride the same core driver
-// (search.BranchAndBoundParallel) or, for the constrained pair, shard
-// the domain-subset enumeration: workers share the incumbent bound, so
-// a strong attack found by one worker prunes the others, and they share
-// the state budget, so budgeted results keep the package-wide
-// one-state-per-partial-attack semantics.
+// goroutines. The node- and domain-level parallel engines ride the same
+// core driver (search.BranchAndBoundParallelWith) through the With
+// variants in adversary.go and domain.go; the constrained pair shards
+// the domain-subset enumeration here. In every case workers share the
+// incumbent bound, so a strong attack found by one worker prunes the
+// others, and they share the state budget, so budgeted results keep the
+// package-wide one-state-per-partial-attack semantics.
 
 // WorstCaseParallel is WorstCase fanned out over worker goroutines: the
 // top-level branches of the search tree (the choice of the first failed
@@ -28,21 +29,10 @@ import (
 // states visited differs between runs, so budgeted results may vary
 // (each is still a valid attack and lower bound on the damage).
 func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers int) (Result, error) {
-	seedIn, err := newInstance(pl, s, k)
-	if err != nil {
-		return Result{}, err
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	seed := search.Greedy(seedIn)
-	seedIn.Reset()
-	res, err := search.BranchAndBoundParallel(seedIn, func() (search.Instance, error) {
-		return seedIn.clone(), nil
-	}, seed, search.NewBudget(budget), workers)
-	if err != nil {
-		return Result{}, err
-	}
-	// Candidate order is deterministic, so seedIn translates any
-	// worker's selection.
-	return seedIn.result(res), nil
+	return WorstCaseWith(pl, s, k, SearchOpts{Budget: budget, Workers: workers})
 }
 
 // DomainWorstCasePar is DomainWorstCase fanned out over worker
@@ -51,33 +41,28 @@ func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers 
 // GOMAXPROCS; workers == 1 is exactly the serial engine. Exact runs
 // return the same DomainResult damage as DomainWorstCase.
 func DomainWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64, workers int) (DomainResult, error) {
-	seedIn, err := newDomInstance(pl, topo, s, d)
-	if err != nil {
-		return DomainResult{}, err
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	seed := search.Greedy(seedIn)
-	seedIn.Reset()
-	res, err := search.BranchAndBoundParallel(seedIn, func() (search.Instance, error) {
-		return seedIn.clone(), nil
-	}, seed, search.NewBudget(budget), workers)
-	if err != nil {
-		return DomainResult{}, err
-	}
-	return seedIn.result(res), nil
+	return DomainWorstCaseWith(pl, topo, s, d, SearchOpts{Budget: budget, Workers: workers})
 }
 
 // ConstrainedWorstCasePar is ConstrainedWorstCase with the C(D, d)
 // domain subsets sharded across worker goroutines; each worker runs the
-// per-subset branch-and-bound serially with its own failure counters,
-// while the incumbent damage and the state budget are shared. workers
-// <= 0 selects GOMAXPROCS; workers == 1 is exactly the serial engine.
+// per-subset branch-and-bound serially with its own reusable scratch
+// instance, while the incumbent damage and the state budget are shared.
+// workers <= 0 selects GOMAXPROCS; workers == 1 is exactly the serial
+// engine.
 func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
-		return ConstrainedWorstCase(pl, topo, s, k, d, budget)
-	}
+	return ConstrainedWorstCaseWith(pl, topo, s, k, d, SearchOpts{Budget: budget, Workers: workers})
+}
+
+// constrainedSearchPar is the sharded constrained search behind
+// ConstrainedWorstCaseWith for workers > 1.
+func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, workers int, bound search.Bound) (DomainResult, error) {
 	sh, err := newConstrainedShared(pl, topo, s, k, d)
 	if err != nil {
 		return DomainResult{}, err
@@ -112,9 +97,9 @@ func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cnt := make([]int32, pl.B())
+			sc := sh.newScratch()
 			for domains := range jobs {
-				in := sh.subsetInstance(domains, cnt)
+				in := sh.subsetInstance(domains, sc)
 				seed := search.Greedy(in)
 				in.Reset()
 				// Lift the shared incumbent into this subset's seed so
@@ -125,7 +110,7 @@ func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s
 				if global > seed.Failed {
 					seed = search.Result{Failed: global}
 				}
-				sub := search.BranchAndBound(in, seed, bud)
+				sub := search.BranchAndBoundWith(in, seed, bud, bound)
 				res := in.result(sub)
 				mu.Lock()
 				if res.Failed > best.Failed {

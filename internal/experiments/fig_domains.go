@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/placement"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -46,11 +47,12 @@ type DomainCell struct {
 
 // DomainOpts scales the experiment. Zero values select the default
 // grid: constructible Combo placements on small Steiner orders, all
-// adversaries exact and serial.
+// adversaries exact and serial with residual-load pruning.
 type DomainOpts struct {
 	Scenarios []DomainScenario
-	Budget    int64 // adversary search budget (0 = exact)
-	Workers   int   // search workers; > 1 picks the parallel engines
+	Budget    int64        // adversary search budget (0 = exact)
+	Workers   int          // search workers; > 1 picks the parallel engines
+	Bound     search.Bound // branch-and-bound pruning ablation (default residual)
 }
 
 // defaultDomainScenarios keeps every adversary exactly solvable in
@@ -78,13 +80,14 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 	if len(scenarios) == 0 {
 		scenarios = defaultDomainScenarios()
 	}
-	// The parallel engines run workers == 1 as exactly the serial
-	// search, so the zero value (and any other workers < 2) keeps the
-	// table's historical serial behavior.
+	// Workers < 1 clamps to serial (not GOMAXPROCS, which is what
+	// SearchOpts would make of a negative count): the zero value keeps
+	// the table's historical serial, deterministic behavior.
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	searchOpts := adversary.SearchOpts{Budget: opts.Budget, Workers: workers, Bound: opts.Bound}
 	cells := make([]DomainCell, 0, len(scenarios))
 	for _, sc := range scenarios {
 		combo, _, _, err := placement.BuildDefaultCombo(sc.N, sc.R, sc.S, sc.K, sc.B)
@@ -95,11 +98,11 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodeRes, err := adversary.WorstCaseParallel(combo, sc.S, sc.K, opts.Budget, workers)
+		nodeRes, err := adversary.WorstCaseWith(combo, sc.S, sc.K, searchOpts)
 		if err != nil {
 			return nil, err
 		}
-		oblivRes, err := adversary.DomainWorstCasePar(combo, topo, sc.S, sc.D, opts.Budget, workers)
+		oblivRes, err := adversary.DomainWorstCaseWith(combo, topo, sc.S, sc.D, searchOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +110,7 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		awareRes, err := adversary.DomainWorstCasePar(aware, topo, sc.S, sc.D, opts.Budget, workers)
+		awareRes, err := adversary.DomainWorstCaseWith(aware, topo, sc.S, sc.D, searchOpts)
 		if err != nil {
 			return nil, err
 		}

@@ -149,16 +149,14 @@ func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int) *search.H
 		}
 		return order[a] < order[b]
 	})
-	in := &search.HitInstance{
-		Count: d,
-		Hits:  make([][]search.Hit, nd),
-		Loads: make([]int64, nd),
-		Ctr:   search.HitCounter{S: int32(s), Cnt: make([]int32, pl.B())},
-	}
+	hitLists := make([][]search.Hit, nd)
+	ordered := make([]int64, nd)
 	for i, di := range order {
-		in.Hits[i] = byDomain[di]
-		in.Loads[i] = loads[di]
+		hitLists[i] = byDomain[di]
+		ordered[i] = loads[di]
 	}
+	in := search.NewHitInstance(s, pl.B())
+	in.Reinit(d, hitLists, ordered)
 	return in
 }
 

@@ -8,12 +8,19 @@ import (
 )
 
 // BranchAndBoundParallel is BranchAndBound fanned out over worker
-// goroutines: the top-level branches of the search tree (the choice of
-// the first failed candidate) are consumed from a shared counter so fast
-// workers steal work, and workers share the incumbent bound through an
-// atomic so that a strong attack found by one worker prunes the others.
-// workers <= 0 selects GOMAXPROCS; workers == 1 degrades to the serial
-// driver on a single instance from the factory.
+// goroutines with the default BoundResidual pruning discipline; see
+// BranchAndBoundParallelWith.
+func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int) (Result, error) {
+	return BranchAndBoundParallelWith(probe, newInst, seed, bud, workers, BoundResidual)
+}
+
+// BranchAndBoundParallelWith is BranchAndBoundWith fanned out over
+// worker goroutines: the top-level branches of the search tree (the
+// choice of the first failed candidate) are consumed from a shared
+// counter so fast workers steal work, and workers share the incumbent
+// bound through an atomic so that a strong attack found by one worker
+// prunes the others. workers <= 0 selects GOMAXPROCS; workers == 1
+// degrades to the serial driver on a single instance from the factory.
 //
 // probe is a ready (Reset) instance the caller already built — worker 0
 // reuses it, so seeding greedy on it first costs no extra construction.
@@ -22,15 +29,15 @@ import (
 // workers; each owns one. bud is shared across all workers — the same
 // semantics as the serial driver, consumed collectively.
 //
-// The result equals BranchAndBound's on exact runs; with a budget, the
-// set of states visited differs between runs, so budgeted results may
-// vary (each is still a valid attack and lower bound on the damage).
-func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int) (Result, error) {
+// The result equals BranchAndBoundWith's on exact runs; with a budget,
+// the set of states visited differs between runs, so budgeted results
+// may vary (each is still a valid attack and lower bound on the damage).
+func BranchAndBoundParallelWith(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return BranchAndBound(probe, seed, bud), nil
+		return BranchAndBoundWith(probe, seed, bud, bound), nil
 	}
 	m, k := probe.Len(), probe.K()
 	// Build every worker's instance before spawning any goroutine: a
@@ -72,6 +79,8 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 			defer wg.Done()
 			s := in.S()
 			prefix := loadPrefix(in)
+			rb := residualOf(in, bound)
+			dup := dupFlags(in)
 			cur := make([]int, 0, k)
 			var dfs func(start, failed int, loadSum int64)
 			dfs = func(start, failed int, loadSum int64) {
@@ -92,8 +101,8 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 				if start+rem > m {
 					return
 				}
-				maxLoad := loadSum + prefix[start+rem] - prefix[start]
-				if maxLoad/int64(s) <= bestScore.Load() {
+				window := prefix[start+rem] - prefix[start]
+				if prunable(rb, failed, loadSum, window, int64(s), bestScore.Load(), start, rem) {
 					return
 				}
 				if rem == 1 {
@@ -112,6 +121,9 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 					return
 				}
 				for i := start; i <= m-rem; i++ {
+					if dup != nil && i > start && dup[i] {
+						continue
+					}
 					newly := in.Add(i)
 					cur = append(cur, i)
 					dfs(i+1, failed+newly, loadSum+in.Load(i))
@@ -126,6 +138,11 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 				first := int(nextStart.Add(1)) - 1
 				if first > m-k || exhausted.Load() {
 					return
+				}
+				// Top-level duplicate collapse: the worker that drew
+				// first-1 covers every selection this branch could add.
+				if dup != nil && first > 0 && dup[first] {
+					continue
 				}
 				newly := in.Add(first)
 				cur = append(cur[:0], first)

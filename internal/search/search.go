@@ -7,15 +7,40 @@
 // Mills, Chandrasekaran & Mittal, arXiv:1701.01539, collapses them onto
 // one search).
 //
-// Three drivers share one pruning bound and one budget/visited-state
+// Three drivers share one pruning discipline and one budget/visited-state
 // semantics:
 //
 //   - Exhaustive: enumerate every K-subset. Reference oracle.
 //   - Greedy: marginal-gain selection plus single-swap local search. A
 //     valid attack, hence a lower bound on the damage.
 //   - BranchAndBound (and its parallel twin): depth-first search in
-//     candidate order, seeded with an incumbent, pruned with the
-//     replica-counting bound failed(K) <= ⌊(Σ_{c∈K} Load(c)) / S⌋.
+//     candidate order, seeded with an incumbent and pruned by one or two
+//     admissible damage bounds selected by a Bound mode (see below).
+//
+// # Pruning bounds
+//
+// The static replica-counting bound prunes a partial selection when even
+// the top-loaded completion cannot beat the incumbent:
+//
+//	failed(K) <= ⌊(Σ_{c∈K} Load(c)) / S⌋
+//
+// The residual-load bound (BoundResidual, the default) additionally
+// discounts damage already done on the current path: replicas belonging
+// to objects that have crossed the S threshold are dead weight, so any
+// completion can newly fail at most
+//
+//	⌊(liveSpent + min(window, residual)) / S⌋
+//
+// objects, where liveSpent counts failed replicas of still-live objects,
+// window is the static top-rem load sum the static bound uses, and
+// residual counts the unchosen candidates' replicas on still-live
+// objects (see ResidualBounder). Because the chosen load decomposes as
+// liveSpent + deadSpent with deadSpent >= S·failed, this bound is never
+// weaker than the static one, so it is the only prune residual mode
+// runs; BoundStatic (the ablation switch) restricts pruning to the
+// static bound. Residual pruning is a strict refinement: on the same
+// instance it visits a subset of the states the static bound visits and
+// returns the identical result.
 //
 // Budget semantics (shared by every driver and engine built on them):
 // each branch-and-bound search state entered — every partial selection
@@ -25,6 +50,7 @@
 package search
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 )
@@ -57,6 +83,102 @@ type Instance interface {
 	Marginal(i int) int
 	// Reset zeroes all failure counters (after Greedy left them dirty).
 	Reset()
+}
+
+// ResidualBounder is an optional Instance extension enabling the
+// residual-load bound. Implementations maintain, alongside the failure
+// counters, the per-candidate residual load resid(c) = Σ_{(obj,C) ∈
+// hits(c), obj live} C — candidate c's replicas restricted to live
+// objects — and the aggregate invariant quantities
+//
+//	deadSpent = Σ_{obj dead} cnt(obj)   (failed replicas of dead objects)
+//	residual  = Σ_{c} resid(c)          (all candidates — overcounting the
+//	                                     chosen ones is sound and keeps
+//	                                     Add/Remove free of chosen-set
+//	                                     bookkeeping)
+//	discount  = Σ_{c} (fullLoad(c) - resid(c))   (dead load, all candidates)
+//
+// where an object is dead once S of its replicas have failed. The
+// drivers derive liveSpent — failed replicas of still-live objects —
+// as the chosen candidates' static load minus deadSpent (tracking the
+// dead side keeps the common live-hit path branch-cheap). Any
+// completion of the current selection then newly fails at most
+// ⌊(liveSpent + cap) / S⌋ objects, where cap is any upper bound on the
+// completion's hits to live objects: the drivers use
+// min(static window, residual) as the O(1) cap and TopResidual as the
+// exact one, gated by discount (the scan cannot recover more than the
+// dead load, so it only runs when that could flip the decision).
+// HitInstance implements this; instances that don't are searched with
+// the static bound only.
+// Because the upkeep (threshold-crossing walks over an inverted index)
+// costs real work in Add/Remove, it is off until a driver calls
+// EnableResidual — Greedy seeding, Exhaustive enumeration, and
+// static-bound ablation runs all mutate at full speed.
+type ResidualBounder interface {
+	Instance
+	// EnableResidual turns on the incremental residual upkeep. Must be
+	// called on a clean (Reset) instance, whose baselines are correct by
+	// construction; it stays on until the next Reinit.
+	EnableResidual()
+	// ResidualStats returns the current (deadSpent, residual, discount)
+	// invariants. Valid only while the upkeep is enabled.
+	ResidualStats() (deadSpent, residual, discount int64)
+	// TopResidual returns the sum of the rem largest residual loads
+	// among candidates start..Len()-1 — the exact residual analogue of
+	// the static top-rem window (never larger, since resid <= Load
+	// pointwise and candidates are load-sorted). The drivers only call
+	// it with 0 < rem <= Len()-start.
+	TopResidual(start, rem int) int64
+}
+
+// Deduper is an optional Instance extension enabling duplicate-candidate
+// collapse: when DupOfPrev(i) reports that candidate i's hit list is
+// identical to candidate i-1's, the branch-and-bound drivers skip the
+// branch that chooses i after skipping i-1 at the same level — the
+// damage of any such selection is already realized by the selection
+// using i-1 instead. Common in symmetric placements (x = 0 partition
+// chunks co-hosted on r nodes), singleton-domain topologies, and the
+// zero-load candidates instances pad with.
+type Deduper interface {
+	Instance
+	// DupOfPrev reports whether candidate i (i >= 1) has a hit list
+	// identical to candidate i-1's.
+	DupOfPrev(i int) bool
+}
+
+// Bound selects the branch-and-bound pruning discipline.
+type Bound int
+
+const (
+	// BoundResidual prunes with both the static replica-counting bound
+	// and the residual-load bound (when the instance supports it). The
+	// default: never weaker than BoundStatic, identical results.
+	BoundResidual Bound = iota
+	// BoundStatic prunes with the static replica-counting bound only —
+	// the ablation baseline.
+	BoundStatic
+)
+
+// String names the bound for diagnostics and CLI output.
+func (b Bound) String() string {
+	switch b {
+	case BoundResidual:
+		return "residual"
+	case BoundStatic:
+		return "static"
+	}
+	return fmt.Sprintf("Bound(%d)", int(b))
+}
+
+// ParseBound parses a -bound flag value.
+func ParseBound(s string) (Bound, error) {
+	switch s {
+	case "residual":
+		return BoundResidual, nil
+	case "static":
+		return BoundStatic, nil
+	}
+	return 0, fmt.Errorf("search: unknown bound %q (want residual or static)", s)
 }
 
 // Result is a search outcome in candidate-index space. Callers translate
@@ -104,7 +226,8 @@ func (b *Budget) Exhausted() bool {
 // Exhaustive enumerates every K-subset of candidates. Cost is C(m, K)
 // times the incremental update cost; use only when that product is
 // small. The instance's failure counters must be clean and are left
-// clean.
+// clean. (No pruning and no duplicate collapse: this is the reference
+// oracle the pruned drivers are differentially tested against.)
 func Exhaustive(in Instance) Result {
 	m, k := in.Len(), in.K()
 	best := Result{Failed: -1, Exact: true}
@@ -141,17 +264,22 @@ func Exhaustive(in Instance) Result {
 // the set with single-swap local search. The result is a valid attack
 // (a lower bound on the worst case) but not guaranteed optimal. The
 // instance's failure counters are left dirty; Reset before reuse.
+// Visited reports the number of marginal-damage evaluations actually
+// performed (the unit of greedy work), so ablation tables compare real
+// effort.
 func Greedy(in Instance) Result {
 	m, k := in.Len(), in.K()
 	chosen := make([]bool, m)
 	sel := make([]int, 0, k)
 	failed := 0
+	var evals int64
 	for len(sel) < k {
 		bestI, bestGain := -1, -1
 		for i := 0; i < m; i++ {
 			if chosen[i] {
 				continue
 			}
+			evals++
 			if g := in.Marginal(i); g > bestGain {
 				bestGain = g
 				bestI = i
@@ -170,12 +298,14 @@ func Greedy(in Instance) Result {
 		rounds++
 		for si, ci := range sel {
 			in.Remove(ci)
+			evals++
 			lost := in.Marginal(ci) // damage this candidate was contributing
 			bestI, bestGain := ci, lost
 			for i := 0; i < m; i++ {
 				if chosen[i] { // includes ci itself
 					continue
 				}
+				evals++
 				if g := in.Marginal(i); g > bestGain {
 					bestGain = g
 					bestI = i
@@ -197,19 +327,28 @@ func Greedy(in Instance) Result {
 		Failed:  failed,
 		Sel:     sorted,
 		Exact:   false,
-		Visited: int64(rounds) * int64(m),
+		Visited: evals,
 	}
 }
 
 // BranchAndBound runs the depth-first search seeded with an incumbent
-// (conventionally Greedy's result on the same instance, after Reset).
-// The instance's failure counters must be clean. Every state entered
-// consumes one unit of bud; when bud runs dry the incumbent so far is
-// returned with Exact = false. Visited reports bud's total consumption,
-// so searches sharing a Budget report the shared count.
+// (conventionally Greedy's result on the same instance, after Reset),
+// pruning with the default BoundResidual discipline.
 func BranchAndBound(in Instance, seed Result, bud *Budget) Result {
+	return BranchAndBoundWith(in, seed, bud, BoundResidual)
+}
+
+// BranchAndBoundWith is BranchAndBound with an explicit pruning bound
+// (the -bound ablation switch). The instance's failure counters must be
+// clean. Every state entered consumes one unit of bud; when bud runs
+// dry the incumbent so far is returned with Exact = false. Visited
+// reports bud's total consumption, so searches sharing a Budget report
+// the shared count.
+func BranchAndBoundWith(in Instance, seed Result, bud *Budget, bound Bound) Result {
 	m, k, s := in.Len(), in.K(), in.S()
 	prefix := loadPrefix(in)
+	rb := residualOf(in, bound)
+	dup := dupFlags(in)
 	best := Result{Failed: seed.Failed, Sel: append([]int(nil), seed.Sel...), Exact: true}
 	cur := make([]int, 0, k)
 	exhausted := false
@@ -231,14 +370,11 @@ func BranchAndBound(in Instance, seed Result, bud *Budget) Result {
 			}
 			return
 		}
-		// Replica-counting bound: any completion adds at most the top
-		// rem remaining loads; s failed replicas are needed per failed
-		// object.
 		if start+rem > m {
 			return
 		}
-		maxLoad := loadSum + prefix[start+rem] - prefix[start]
-		if int(maxLoad/int64(s)) <= best.Failed {
+		window := prefix[start+rem] - prefix[start]
+		if prunable(rb, failed, loadSum, window, int64(s), int64(best.Failed), start, rem) {
 			return
 		}
 		if rem == 1 {
@@ -257,6 +393,12 @@ func BranchAndBound(in Instance, seed Result, bud *Budget) Result {
 			return
 		}
 		for i := start; i <= m-rem; i++ {
+			// Duplicate collapse: choosing i after skipping the
+			// identical i-1 at this level re-derives a selection whose
+			// damage the i-1 branch already realized.
+			if dup != nil && i > start && dup[i] {
+				continue
+			}
 			newly := in.Add(i)
 			cur = append(cur, i)
 			dfs(i+1, failed+newly, loadSum+in.Load(i))
@@ -275,6 +417,79 @@ func BranchAndBound(in Instance, seed Result, bud *Budget) Result {
 	return best
 }
 
+// prunable is the one copy of the bound algebra shared by the serial
+// and parallel drivers: it reports whether no completion of the current
+// state — failed objects down, the chosen candidates carrying loadSum
+// static load, rem picks left among candidates start..Len()-1 with
+// top-rem static window — can beat the incumbent.
+//
+// With rb == nil it is the static replica-counting bound: any
+// completion adds at most the top rem remaining loads, and s failed
+// replicas are needed per failed object. With rb, the residual-load
+// bound: completions can only newly fail objects that are still live,
+// with future hits capped by the static window, the candidates'
+// live-object residual, and (when the dead-load discount could flip
+// the decision) the exact top-rem residual scan. The residual form
+// dominates the static one (loadSum = liveSpent + deadSpent >=
+// liveSpent + s·failed), so it is the only prune residual mode needs.
+func prunable(rb ResidualBounder, failed int, loadSum, window, s, incumbent int64, start, rem int) bool {
+	if rb == nil {
+		return (loadSum+window)/s <= incumbent
+	}
+	deadSpent, residual, discount := rb.ResidualStats()
+	liveSpent := loadSum - deadSpent
+	cheap := window
+	if residual < cheap {
+		cheap = residual
+	}
+	f := int64(failed)
+	if f+(liveSpent+cheap)/s <= incumbent {
+		return true
+	}
+	if discount > 0 && f+(liveSpent+window-discount)/s <= incumbent &&
+		f+(liveSpent+rb.TopResidual(start, rem))/s <= incumbent {
+		return true
+	}
+	return false
+}
+
+// residualOf returns the instance's residual-bound view when the mode
+// asks for it and the instance maintains one — switching its upkeep on
+// (the instance is clean at driver entry) — else nil (static-only
+// pruning).
+func residualOf(in Instance, bound Bound) ResidualBounder {
+	if bound != BoundResidual {
+		return nil
+	}
+	rb, ok := in.(ResidualBounder)
+	if !ok {
+		return nil
+	}
+	rb.EnableResidual()
+	return rb
+}
+
+// dupFlags precomputes the duplicate-candidate flags (dup[i]: candidate
+// i's hits equal candidate i-1's) so the DFS inner loop avoids the
+// interface call; nil when the instance has no duplicates to collapse.
+func dupFlags(in Instance) []bool {
+	d, ok := in.(Deduper)
+	if !ok {
+		return nil
+	}
+	m := in.Len()
+	var flags []bool
+	for i := 1; i < m; i++ {
+		if d.DupOfPrev(i) {
+			if flags == nil {
+				flags = make([]bool, m)
+			}
+			flags[i] = true
+		}
+	}
+	return flags
+}
+
 // loadPrefix returns prefix sums of the instance's candidate loads
 // (prefix[i] = sum of Load(0..i-1)), panicking if the loads are not
 // non-increasing: the replica-counting bound is unsound on unsorted
@@ -289,97 +504,4 @@ func loadPrefix(in Instance) []int64 {
 		prefix[i+1] = prefix[i] + in.Load(i)
 	}
 	return prefix
-}
-
-// Hit records that failing a candidate adds C failed replicas to object
-// Obj — the aggregated accounting unit shared by every whole-domain
-// adapter (a node-level adapter is the special case C = 1 throughout).
-type Hit struct {
-	Obj int32
-	C   int32
-}
-
-// HitCounter is the s-threshold failure accounting over aggregated
-// hits: an object fails once its failed-replica count reaches S. It
-// exists so the two domain adapters (package adversary's engine
-// instance and package placement's never-worse evaluator) share one
-// copy of the crossing logic instead of mirroring it.
-type HitCounter struct {
-	S   int32
-	Cnt []int32 // failed replicas per object
-}
-
-// Add applies the hits and returns the number of newly failed objects.
-func (h *HitCounter) Add(hits []Hit) int {
-	newly := 0
-	for _, hit := range hits {
-		old := h.Cnt[hit.Obj]
-		h.Cnt[hit.Obj] = old + hit.C
-		if old < h.S && old+hit.C >= h.S {
-			newly++
-		}
-	}
-	return newly
-}
-
-// Remove reverts Add(hits).
-func (h *HitCounter) Remove(hits []Hit) {
-	for _, hit := range hits {
-		h.Cnt[hit.Obj] -= hit.C
-	}
-}
-
-// Marginal returns how many objects Add(hits) would newly fail, without
-// mutating state.
-func (h *HitCounter) Marginal(hits []Hit) int {
-	gain := 0
-	for _, hit := range hits {
-		if c := h.Cnt[hit.Obj]; c < h.S && c+hit.C >= h.S {
-			gain++
-		}
-	}
-	return gain
-}
-
-// Reset zeroes the counters.
-func (h *HitCounter) Reset() {
-	for i := range h.Cnt {
-		h.Cnt[i] = 0
-	}
-}
-
-// HitInstance is a ready-made Instance over aggregated hits: candidate
-// i fails every object in Hits[i] by the recorded replica counts, and
-// an object dies once Ctr.S of its replicas have failed. Callers supply
-// candidates in non-increasing Loads order (the branch-and-bound
-// invariant) and keep any identity mapping (candidate index → node or
-// domain id) on the side. Both domain search adapters — the adversary
-// engines and placement's never-worse evaluator — are this type plus a
-// candidate-selection policy.
-type HitInstance struct {
-	Count int // attack-set size K
-	Hits  [][]Hit
-	Loads []int64
-	Ctr   HitCounter
-}
-
-var _ Instance = (*HitInstance)(nil)
-
-func (in *HitInstance) Len() int           { return len(in.Hits) }
-func (in *HitInstance) K() int             { return in.Count }
-func (in *HitInstance) S() int             { return int(in.Ctr.S) }
-func (in *HitInstance) Load(i int) int64   { return in.Loads[i] }
-func (in *HitInstance) Add(i int) int      { return in.Ctr.Add(in.Hits[i]) }
-func (in *HitInstance) Remove(i int)       { in.Ctr.Remove(in.Hits[i]) }
-func (in *HitInstance) Marginal(i int) int { return in.Ctr.Marginal(in.Hits[i]) }
-func (in *HitInstance) Reset()             { in.Ctr.Reset() }
-
-// Clone returns an independent searcher over the same immutable
-// preprocessing: Hits and Loads are shared (read-only during search),
-// only the failure counters are fresh — the cheap way to stamp out
-// per-worker instances for BranchAndBoundParallel.
-func (in *HitInstance) Clone() *HitInstance {
-	cp := *in
-	cp.Ctr.Cnt = make([]int32, len(in.Ctr.Cnt))
-	return &cp
 }
