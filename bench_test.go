@@ -459,6 +459,76 @@ func BenchmarkDomainWorstCaseLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkDomainWorstCaseDeep attacks every level of a depth-3
+// region→zone→rack tree (5 × 5 × 20 = 500 racks over 1000 nodes, the
+// zone-confined placement of the Large benchmark): the level-taking
+// engines build their instance from Collapse(level) and run the very
+// same search core, so this tracks what each tier of the hierarchy
+// costs — the region search is tiny, the rack search is the 500-domain
+// case. Damage equality with a direct search on the collapsed topology
+// is asserted per level; visited-states is the hardware-independent
+// metric BENCH.json tracks.
+func BenchmarkDomainWorstCaseDeep(b *testing.B) {
+	topo, err := topology.UniformTree(1000, 5, 5, 20) // 5 regions x 25 zones x 500 racks
+	if err != nil {
+		b.Fatal(err)
+	}
+	if topo.Levels() != 3 {
+		b.Fatalf("Levels = %d, want 3", topo.Levels())
+	}
+	pl := zoneConfinedPlacement(b, 1000, 2000, 3, 25, 7)
+	const s = 2
+	cases := []struct {
+		name  string
+		level int
+		d     int
+	}{
+		{"level=region", 0, 2},
+		{"level=zone", 1, 3},
+		{"level=rack", 2, 3},
+	}
+	for _, tc := range cases {
+		flat, err := topo.Collapse(tc.level)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := adversary.DomainWorstCase(pl, flat, s, tc.d, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			var visited int64
+			for i := 0; i < b.N; i++ {
+				res, err := adversary.DomainWorstCaseAt(pl, topo, tc.level, s, tc.d, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != want.Failed {
+					b.Fatalf("level %d damage %d != collapsed search %d", tc.level, res.Failed, want.Failed)
+				}
+				visited = res.Visited
+			}
+			b.ReportMetric(float64(visited), "visited-states")
+		})
+	}
+	// The parallel engine at the expensive (rack) level.
+	rackSerial, err := adversary.DomainWorstCaseAt(pl, topo, 2, s, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("level=rack/workers=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCaseParAt(pl, topo, 2, s, 3, 0, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != rackSerial.Failed {
+				b.Fatalf("parallel %d != serial %d", res.Failed, rackSerial.Failed)
+			}
+		}
+	})
+}
+
 // BenchmarkBoundAblation measures the residual-load pruning bound
 // against the static replica-counting baseline (the -bound switch) on
 // two instance families over the 500-rack topology:

@@ -25,7 +25,7 @@ func cmdPlan(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := tf.requireRacks(fs); err != nil {
+	if err := tf.validate(fs); err != nil {
 		return err
 	}
 	pruneBound, err := search.ParseBound(*boundFlag)
@@ -59,7 +59,7 @@ func cmdPlan(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "random placement, probably available:        %d of %d (%.2f%%)\n",
 		pr, mf.b, 100*float64(pr)/float64(mf.b))
-	if tf.racks != 0 {
+	if tf.enabled() {
 		return planTopologySection(w, mf, tf, adversary.SearchOpts{
 			Workers: cliWorkers(*workers),
 			Bound:   pruneBound,
@@ -71,7 +71,7 @@ func cmdPlan(args []string, w io.Writer) error {
 // planTopologySection extends plan with the correlated-failure picture:
 // it materializes the constructible Combo, applies the domain-aware
 // spreading pass, and measures availability under dfail whole-domain
-// failures for both layouts.
+// failures at the chosen topology level for both layouts.
 func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts adversary.SearchOpts, stats bool) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
@@ -85,19 +85,29 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 	if err != nil {
 		return err
 	}
-	oblivious, err := adversary.DomainWorstCaseWith(combo, topo, mf.s, tf.dfail, opts)
+	nd, word, dl, err := levelDomains(topo, tf.level, tf.dfail)
 	if err != nil {
 		return err
 	}
-	spread, err := adversary.DomainWorstCaseWith(aware, topo, mf.s, tf.dfail, opts)
+	oblivious, err := adversary.DomainWorstCaseAtWith(combo, topo, tf.level, mf.s, dl, opts)
+	if err != nil {
+		return err
+	}
+	spread, err := adversary.DomainWorstCaseAtWith(aware, topo, tf.level, mf.s, dl, opts)
 	if err != nil {
 		return err
 	}
 	// The analytic section above may have planned with non-constructible
 	// units; this section always measures a constructible materialization,
-	// so name its lambdas to keep the output self-describing.
-	fmt.Fprintf(w, "failure domains (%d): measured on constructible combo (lambdas %v) under any %d whole-domain failures:\n",
-		topo.NumDomains(), spec.Lambdas, tf.dfail)
+	// so name its lambdas to keep the output self-describing. Flat
+	// topologies keep the historical header; trees name the attacked
+	// level.
+	levelNote := ""
+	if topo.Levels() > 1 {
+		levelNote = fmt.Sprintf(" %ss", word)
+	}
+	fmt.Fprintf(w, "failure domains (%d%s): measured on constructible combo (lambdas %v) under any %d whole-domain failures:\n",
+		nd, levelNote, spec.Lambdas, dl)
 	fmt.Fprintf(w, "  domain-oblivious combo:                    %d of %d (%.2f%%)\n",
 		oblivious.Avail(mf.b), mf.b, 100*float64(oblivious.Avail(mf.b))/float64(mf.b))
 	if stats {
@@ -160,7 +170,9 @@ func cmdPlace(args []string, w io.Writer) error {
 	return pl.EncodeJSON(dst)
 }
 
-// cmdAttack loads a placement and finds its worst k failures.
+// cmdAttack loads a placement and finds its worst k failures; with a
+// topology (-racks or -topo) it also reports the worst correlated
+// whole-domain failure at the chosen -level.
 func cmdAttack(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
 	in := fs.String("in", "", "placement JSON file (required)")
@@ -168,11 +180,15 @@ func cmdAttack(args []string, w io.Writer) error {
 	k := fs.Int("k", 4, "node failures")
 	budget := fs.Int64("budget", 0, "branch-and-bound node budget (0 = exact)")
 	boundFlag := addBoundFlag(fs)
+	tf := addTopologyFlags(fs, 0)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("attack: -in is required")
+	}
+	if err := tf.validate(fs); err != nil {
+		return err
 	}
 	bound, err := search.ParseBound(*boundFlag)
 	if err != nil {
@@ -200,6 +216,29 @@ func cmdAttack(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "failed nodes: %v\n", res.Nodes)
 	fmt.Fprintf(w, "Avail = %d (%.2f%%), search visited %d states (bound=%s)\n",
 		res.Avail(pl.B()), 100*float64(res.Avail(pl.B()))/float64(pl.B()), res.Visited, bound)
+	if !tf.enabled() {
+		return nil
+	}
+	topo, err := tf.build(pl.N)
+	if err != nil {
+		return err
+	}
+	_, word, dl, err := levelDomains(topo, tf.level, tf.dfail)
+	if err != nil {
+		return err
+	}
+	dres, err := adversary.DomainWorstCaseAtWith(pl, topo, tf.level, *s, dl, adversary.SearchOpts{Budget: *budget, Bound: bound})
+	if err != nil {
+		return err
+	}
+	dmode := "exact"
+	if !dres.Exact {
+		dmode = "lower bound (budget exhausted)"
+	}
+	fmt.Fprintf(w, "correlated: worst %d-%s failure %v fails %d objects (%s)\n",
+		dl, word, topo.DomainNamesAt(tf.level, dres.Domains), dres.Failed, dmode)
+	fmt.Fprintf(w, "correlated Avail = %d (%.2f%%), search visited %d states\n",
+		dres.Avail(pl.B()), 100*float64(dres.Avail(pl.B()))/float64(pl.B()), dres.Visited)
 	return nil
 }
 

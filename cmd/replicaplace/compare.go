@@ -29,7 +29,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := tf.requireRacks(fs); err != nil {
+	if err := tf.validate(fs); err != nil {
 		return err
 	}
 	bound, err := search.ParseBound(*boundFlag)
@@ -97,7 +97,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  analytic prAvail = %d\n", pr)
 	fmt.Fprintf(w, "\nverdict: combo guarantees %d; random achieved as low as %d\n", guarantee, worst)
-	if tf.racks != 0 {
+	if tf.enabled() {
 		domOpts := adversary.SearchOpts{Budget: *budget, Workers: cliWorkers(domainWorkers), Bound: bound}
 		return compareTopologySection(w, mf, tf, combo, p, *trials, *seed, domOpts, *stats)
 	}
@@ -106,7 +106,8 @@ func cmdCompare(args []string, w io.Writer) error {
 
 // compareTopologySection appends the correlated-failure comparison:
 // combo (oblivious and spread) and the same random trials as the
-// node-level section, under the worst dfail whole-domain failures.
+// node-level section, under the worst dfail whole-domain failures at
+// the chosen topology level.
 func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 	combo *placement.Placement, p placement.Params, trials int, seed int64, opts adversary.SearchOpts, stats bool) error {
 	topo, err := tf.build(mf.n)
@@ -117,8 +118,12 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\ndomain adversary (%d racks, worst %d whole-domain failures):\n",
-		topo.NumDomains(), tf.dfail)
+	nd, word, dl, err := levelDomains(topo, tf.level, tf.dfail)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ndomain adversary (%d %ss, worst %d whole-domain failures):\n",
+		nd, word, dl)
 	for _, layout := range []struct {
 		name string
 		pl   *placement.Placement
@@ -126,7 +131,7 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		{"combo, domain-oblivious", combo},
 		{"combo, domain-aware    ", aware},
 	} {
-		res, err := adversary.DomainWorstCaseWith(layout.pl, topo, mf.s, tf.dfail, opts)
+		res, err := adversary.DomainWorstCaseAtWith(layout.pl, topo, tf.level, mf.s, dl, opts)
 		if err != nil {
 			return err
 		}
@@ -145,7 +150,7 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		if err != nil {
 			return err
 		}
-		res, err := adversary.DomainWorstCaseWith(rp, topo, mf.s, tf.dfail, opts)
+		res, err := adversary.DomainWorstCaseAtWith(rp, topo, tf.level, mf.s, dl, opts)
 		if err != nil {
 			return err
 		}

@@ -58,7 +58,21 @@ var goldenCases = []struct {
 		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "1", "-stats"}},
 	{"compare_stats_static_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
 		"-trials", "2", "-budget", "0", "-racks", "4", "-dfail", "1", "-workers", "1", "-stats", "-bound", "static"}},
+	// -topo takes an explicit spec of any depth; -level aims the
+	// correlated adversary at one tier of it. deepSpec is a 12-node
+	// region→zone→rack tree (2 regions x 2 zones x 2 racks).
+	{"plan_topo_zone_n12", []string{"plan", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "16",
+		"-topo", deepSpec, "-level", "1"}},
+	{"compare_topo_region_n12", []string{"compare", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "16",
+		"-trials", "1", "-budget", "0", "-topo", deepSpec, "-level", "0"}},
+	{"topology_tree_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
+		"-topo", deepSpec, "-dfail", "1", "-budget", "0"}},
 }
+
+// deepSpec is the depth-3 topology the -topo golden cases share:
+// 12 nodes, 8 racks in 4 zones in 2 regions.
+const deepSpec = "r0@za@east:0,1;r1@za@east:2;r2@zb@east:3,4;r3@zb@east:5;" +
+	"r4@zc@west:6,7;r5@zc@west:8;r6@zd@west:9,10;r7@zd@west:11"
 
 // TestWorkersOutputDeterministic pins the -workers contract: the flag
 // fans the exact adversary searches out over goroutines, so the printed

@@ -2,17 +2,22 @@
 // availability-optimal replica placements (Li, Gao & Reiter, ICDCS 2015),
 // and regenerates every figure of the paper's evaluation. Beyond the
 // paper's independent-failure model, the topology subcommand and the
-// -racks/-zones/-dfail flags evaluate correlated whole-domain failures
-// (racks, zones) and the domain-aware spreading post-pass.
+// topology flags evaluate correlated whole-domain failures over
+// arbitrary-depth hierarchies (region → zone → rack) and the
+// domain-aware spreading post-pass. A topology is either uniform
+// (-racks, optionally grouped by -zones) or an explicit spec of any
+// depth (-topo "rack@zone@region:nodes;..."); -level picks the tree
+// level the correlated adversary fails (0 = top, -1 = leaf racks), and
+// the topology subcommand also sweeps every level.
 //
 // Usage:
 //
-//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-workers 8] [-stats] [-bound static]
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static]
 //	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
-//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000] [-bound static]
+//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000] [-bound static] [-topo spec -level 0 -dfail 1]
 //	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
-//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-workers 8] [-stats] [-bound static]
-//	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-dfail 1]
+//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static]
+//	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-topo spec] [-level 1] [-dfail 1]
 //	replicaplace experiment -fig 9a [-full] [-workers 8]
 //	replicaplace experiment -fig domains [-bound static]
 //

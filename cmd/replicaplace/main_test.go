@@ -152,10 +152,56 @@ func TestRunTopologyZoned(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"in 3 zones", "zone adversary"} {
+	for _, want := range []string{"(3 zones > 6 racks)", "per-level worst case",
+		"level 0 (3 zones)", "level 1 (6 racks)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("zoned topology output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunTopoLevelFlags drives the depth-3 path end to end: an explicit
+// -topo spec, -level aiming the adversary at each tier, and the attack
+// subcommand's correlated section.
+func TestRunTopoLevelFlags(t *testing.T) {
+	const spec = "r0@za@east:0-2;r1@zb@east:3-5;r2@zc@west:6-8;r3@zd@west:9-11"
+	var buf bytes.Buffer
+	err := run([]string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
+		"-topo", spec, "-level", "0", "-dfail", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"(2 regions > 4 zones > 4 racks)", "worst 1-region failure",
+		"level 2 (4 racks)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-topo -level topology output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	err = run([]string{"plan", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "16",
+		"-topo", spec, "-level", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "failure domains (4 zones)") {
+		t.Errorf("plan -topo -level output missing zone header:\n%s", buf.String())
+	}
+	// attack: correlated section rides on the loaded placement's n.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.json")
+	buf.Reset()
+	if err := run([]string{"place", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "16",
+		"-out", file}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"attack", "-in", file, "-s", "2", "-k", "6", "-topo", spec, "-level", "0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "correlated: worst 1-region failure") {
+		t.Errorf("attack -topo output missing correlated section:\n%s", buf.String())
 	}
 }
 
@@ -246,5 +292,17 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"compare", "-dfail", "2"}, &buf); err == nil {
 		t.Error("-dfail without -racks accepted")
+	}
+	if err := run([]string{"plan", "-level", "0"}, &buf); err == nil {
+		t.Error("-level without a topology accepted")
+	}
+	if err := run([]string{"plan", "-racks", "4", "-topo", "a:0-70"}, &buf); err == nil {
+		t.Error("-topo together with -racks accepted")
+	}
+	if err := run([]string{"topology", "-n", "12", "-topo", "a:0-11", "-level", "3"}, &buf); err == nil {
+		t.Error("-level beyond the spec's depth accepted")
+	}
+	if err := run([]string{"topology", "-n", "12", "-topo", "nonsense"}, &buf); err == nil {
+		t.Error("malformed -topo accepted")
 	}
 }

@@ -4,22 +4,28 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/placement"
 	"repro/internal/topology"
 )
 
-// topologyFlags registers the shared failure-domain parameters.
+// topologyFlags registers the shared failure-domain parameters. A
+// topology comes either from -racks/-zones (uniform) or from -topo (an
+// explicit spec of any depth); -level picks which level of the tree the
+// correlated adversary attacks.
 type topologyFlags struct {
 	racks int
 	zones int
 	dfail int
+	spec  string
+	level int
 }
 
 // addTopologyFlags registers the shared failure-domain flags.
 // defaultRacks is 0 for commands where the topology section is opt-in
-// (plan, compare) and positive where it is the point (topology).
+// (plan, compare, attack) and positive where it is the point (topology).
 func addTopologyFlags(fs *flag.FlagSet, defaultRacks int) *topologyFlags {
 	tf := &topologyFlags{}
 	help := "failure domains (racks) to spread nodes over"
@@ -29,50 +35,119 @@ func addTopologyFlags(fs *flag.FlagSet, defaultRacks int) *topologyFlags {
 	fs.IntVar(&tf.racks, "racks", defaultRacks, help)
 	fs.IntVar(&tf.zones, "zones", 0, "group racks into this many zones (0 = flat racks)")
 	fs.IntVar(&tf.dfail, "dfail", 1, "whole-domain failures the correlated adversary may pick")
+	fs.StringVar(&tf.spec, "topo", "", "explicit topology spec of any depth (rack@zone@region:nodes;...), instead of -racks/-zones")
+	fs.IntVar(&tf.level, "level", topology.Leaf, "topology level the domain adversary attacks (0 = top, -1 = leaf racks)")
 	return tf
 }
 
-// requireRacks errors when topology flags were set explicitly but
-// -racks was not, so plan/compare never silently drop -zones/-dfail.
-func (tf *topologyFlags) requireRacks(fs *flag.FlagSet) error {
-	if tf.racks != 0 {
-		return nil
-	}
-	var orphan string
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "zones" || f.Name == "dfail" {
-			orphan = f.Name
+// enabled reports whether any topology was requested.
+func (tf *topologyFlags) enabled() bool { return tf.racks != 0 || tf.spec != "" }
+
+// validate errors when topology flags were set inconsistently: -topo
+// excludes the uniform -racks/-zones pair, and -zones/-dfail/-level
+// without any topology would be silently dropped otherwise.
+func (tf *topologyFlags) validate(fs *flag.FlagSet) error {
+	var set []string
+	fs.Visit(func(f *flag.Flag) { set = append(set, f.Name) })
+	has := func(name string) bool {
+		for _, s := range set {
+			if s == name {
+				return true
+			}
 		}
-	})
-	if orphan != "" {
-		return fmt.Errorf("topology: -%s has no effect without -racks", orphan)
+		return false
+	}
+	if tf.spec != "" && (has("racks") || has("zones")) {
+		return fmt.Errorf("topology: -topo excludes -racks/-zones")
+	}
+	if !tf.enabled() {
+		for _, orphan := range []string{"zones", "dfail", "level"} {
+			if has(orphan) {
+				return fmt.Errorf("topology: -%s has no effect without -racks or -topo", orphan)
+			}
+		}
 	}
 	return nil
 }
 
 // build materializes the topology the flags describe for n nodes.
 func (tf *topologyFlags) build(n int) (*topology.Topology, error) {
+	if tf.spec != "" {
+		topo, err := topology.ParseSpec(n, tf.spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := topo.ResolveLevel(tf.level); err != nil {
+			return nil, err
+		}
+		return topo, nil
+	}
 	if tf.racks < 1 {
 		return nil, fmt.Errorf("topology: -racks must be positive")
 	}
+	var (
+		topo *topology.Topology
+		err  error
+	)
 	if tf.zones > 0 {
 		if tf.racks%tf.zones != 0 {
 			return nil, fmt.Errorf("topology: -racks %d not divisible by -zones %d", tf.racks, tf.zones)
 		}
-		return topology.UniformHierarchy(n, tf.zones, tf.racks/tf.zones)
+		topo, err = topology.UniformHierarchy(n, tf.zones, tf.racks/tf.zones)
+	} else {
+		topo, err = topology.Uniform(n, tf.racks)
 	}
-	return topology.Uniform(n, tf.racks)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := topo.ResolveLevel(tf.level); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// levelDomains returns the attacked level's domain count, its display
+// word ("rack", "zone", ...) for output that names what is failing, and
+// the dfail budget clamped to the count (a 2-region level accepts at
+// most d = 2 even when -dfail asked for more).
+func levelDomains(topo *topology.Topology, level, dfail int) (int, string, int, error) {
+	nd, err := topo.NumDomainsAt(level)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	if dfail > nd {
+		dfail = nd
+	}
+	return nd, topo.LevelName(level), dfail, nil
+}
+
+// describeTree summarizes a hierarchy top-down ("2 regions > 4 zones >
+// 8 racks"); flat topologies yield the empty string.
+func describeTree(topo *topology.Topology) string {
+	if topo.Levels() == 1 {
+		return ""
+	}
+	parts := make([]string, topo.Levels())
+	for l := 0; l < topo.Levels(); l++ {
+		nd, _ := topo.NumDomainsAt(l)
+		parts[l] = fmt.Sprintf("%d %ss", nd, topo.LevelName(l))
+	}
+	return strings.Join(parts, " > ")
 }
 
 // cmdTopology builds a Combo placement, applies the domain-aware
 // spreading pass, and contrasts the node-level and domain-correlated
-// adversaries on both layouts.
+// adversaries on both layouts — at the chosen attack level, and (for
+// hierarchies) at every level of the tree.
 func cmdTopology(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("topology", flag.ContinueOnError)
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 4)
 	budget := fs.Int64("budget", 0, "adversary search budget (0 = exact)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.validate(fs); err != nil {
 		return err
 	}
 	p := placement.Params{N: mf.n, B: mf.b, R: mf.r, S: mf.s, K: mf.k}
@@ -84,8 +159,8 @@ func cmdTopology(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "topology: %d nodes, %d domains", topo.N, topo.NumDomains())
-	if len(topo.Zones) > 0 {
-		fmt.Fprintf(w, " in %d zones", len(topo.Zones))
+	if desc := describeTree(topo); desc != "" {
+		fmt.Fprintf(w, " (%s)", desc)
 	}
 	fmt.Fprintf(w, "\n  %s\n", topo.Spec())
 
@@ -100,6 +175,10 @@ func cmdTopology(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "combo placement: lambdas %v, node-adversary guarantee >= %d of %d\n",
 		spec.Lambdas, bound, mf.b)
 
+	_, word, dl, err := levelDomains(topo, tf.level, tf.dfail)
+	if err != nil {
+		return err
+	}
 	for _, layout := range []struct {
 		name string
 		pl   *placement.Placement
@@ -108,13 +187,13 @@ func cmdTopology(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := adversary.DomainWorstCase(layout.pl, topo, mf.s, tf.dfail, *budget)
+		res, err := adversary.DomainWorstCaseAt(layout.pl, topo, tf.level, mf.s, dl, *budget)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s: replicas span %d-%d domains/object; worst %d-domain failure %v fails %d (Avail = %d, %s)\n",
-			layout.name, stats.MinDomains, stats.MaxDomains, tf.dfail,
-			topo.DomainNames(res.Domains), res.Failed, res.Avail(mf.b), exactness(res.Exact))
+		fmt.Fprintf(w, "%s: replicas span %d-%d domains/object; worst %d-%s failure %v fails %d (Avail = %d, %s)\n",
+			layout.name, stats.MinDomains, stats.MaxDomains, dl, word,
+			topo.DomainNamesAt(tf.level, res.Domains), res.Failed, res.Avail(mf.b), exactness(res.Exact))
 	}
 
 	nodeRes, err := adversary.WorstCase(combo, mf.s, mf.k, *budget)
@@ -123,24 +202,31 @@ func cmdTopology(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "node adversary (%d free nodes): fails %d (Avail = %d, %s)\n",
 		mf.k, nodeRes.Failed, nodeRes.Avail(mf.b), exactness(nodeRes.Exact))
-	conRes, err := adversary.ConstrainedWorstCase(aware, topo, mf.s, mf.k, tf.dfail, *budget)
+	conRes, err := adversary.ConstrainedWorstCaseAt(aware, topo, tf.level, mf.s, mf.k, dl, *budget)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "constrained adversary (%d nodes in <= %d domains, aware layout): fails %d (Avail = %d, %s)\n",
-		mf.k, tf.dfail, conRes.Failed, conRes.Avail(mf.b), exactness(conRes.Exact))
+	fmt.Fprintf(w, "constrained adversary (%d nodes in <= %d %ss, aware layout): fails %d (Avail = %d, %s)\n",
+		mf.k, dl, word, conRes.Failed, conRes.Avail(mf.b), exactness(conRes.Exact))
 
-	if len(topo.Zones) > 0 {
-		zl, err := topo.ZoneLevel()
-		if err != nil {
-			return err
+	// On hierarchies, sweep the whole tree: the worst whole-domain
+	// failure at every level, on the aware layout — the per-level
+	// availability picture one number per tier.
+	if topo.Levels() > 1 {
+		fmt.Fprintf(w, "per-level worst case (aware layout, d clamped to each level):\n")
+		for l := 0; l < topo.Levels(); l++ {
+			lnd, lword, ld, err := levelDomains(topo, l, tf.dfail)
+			if err != nil {
+				return err
+			}
+			res, err := adversary.DomainWorstCaseAt(aware, topo, l, mf.s, ld, *budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  level %d (%d %ss): worst %d-%s failure %v fails %d (Avail = %d, %s)\n",
+				l, lnd, lword, ld, lword,
+				topo.DomainNamesAt(l, res.Domains), res.Failed, res.Avail(mf.b), exactness(res.Exact))
 		}
-		zres, err := adversary.DomainWorstCase(aware, zl, mf.s, min(tf.dfail, zl.NumDomains()), *budget)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "zone adversary (whole zones, aware layout): fails %d (Avail = %d, %s)\n",
-			zres.Failed, zres.Avail(mf.b), exactness(zres.Exact))
 	}
 	return nil
 }

@@ -11,24 +11,30 @@ import (
 )
 
 // This file extends the worst-case adversary to correlated failures: the
-// attacker picks whole failure domains (racks, zones) from a Topology
-// instead of independent nodes, modeling the hierarchical correlated
-// failure setting of Mills, Chandrasekaran & Mittal (arXiv:1701.01539).
-// Two attack models are provided, both running on the same generic
-// search core (internal/search) as the node-level trio:
+// attacker picks whole failure domains from a Topology instead of
+// independent nodes, modeling the hierarchical correlated failure
+// setting of Mills, Chandrasekaran & Mittal (arXiv:1701.01539). Every
+// engine takes the attack level of the topology tree — racks, zones,
+// regions, or any deeper tier — through its At variant (the plain
+// functions attack the leaf level); the level only selects which
+// Collapse of the tree the instance is built from, so all depths run
+// the same generic search core (internal/search) as the node-level
+// trio, with no level-specific search code. Two attack models:
 //
 //   - d whole-domain failures: DomainExhaustive, DomainGreedy and
-//     DomainWorstCase find the d domains whose combined node set fails
-//     the most objects (an object fails once s of its replicas are
-//     covered, as in Definition 1).
+//     DomainWorstCase find the d domains at the attack level whose
+//     combined node set fails the most objects (an object fails once s
+//     of its replicas are covered, as in Definition 1).
 //   - k node failures confined to at most d domains:
 //     ConstrainedExhaustive and ConstrainedWorstCase bound how much an
 //     attacker with the paper's node budget can gain from correlation.
 
-// DomainResult reports the outcome of a worst-case domain failure search.
+// DomainResult reports the outcome of a worst-case domain failure
+// search. Domains indexes the topology level the search ran at (leaf
+// domains for the plain engines, Tree[level] for the At variants).
 type DomainResult struct {
 	Failed  int   // objects failed by the best attack found
-	Domains []int // attacking domain indices, sorted
+	Domains []int // attacking domain indices at the search level, sorted
 	Nodes   []int // union of the attacked domains' nodes, sorted
 	Exact   bool  // true if Failed is provably the maximum
 	Visited int64 // search states visited (diagnostics/ablation)
@@ -47,15 +53,34 @@ type domInstance struct {
 	cands []int // domains hosting at least one replica, by descending load
 }
 
-func newDomInstance(pl *placement.Placement, topo *topology.Topology, s, d int) (*domInstance, error) {
-	if err := pl.Validate(); err != nil {
-		return nil, err
-	}
+// collapseTo validates the topology and projects it to the requested
+// attack level: the flat depth-1 view every engine instance is built
+// from. The leaf level of any depth is already flat for the leaf-only
+// accessors, so it avoids the copy.
+func collapseTo(pl *placement.Placement, topo *topology.Topology, level int) (*topology.Topology, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
 	if topo.N != pl.N {
 		return nil, fmt.Errorf("adversary: topology covers %d nodes, placement has %d", topo.N, pl.N)
+	}
+	l, err := topo.ResolveLevel(level)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	if l == topo.Levels()-1 {
+		return topo, nil
+	}
+	return topo.Collapse(l)
+}
+
+func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, d int) (*domInstance, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := collapseTo(pl, topo, level)
+	if err != nil {
+		return nil, err
 	}
 	if s < 1 || s > pl.R {
 		return nil, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
@@ -119,43 +144,70 @@ func (in *domInstance) result(res search.Result) DomainResult {
 	}
 }
 
-// DomainExhaustive enumerates every d-subset of domains. Cost is C(D, d)
-// times the incremental update cost; the reference oracle for tests.
-// (newDomInstance pads its candidates with empty domains up to d, and
-// d <= NumDomains, so every engine always has at least d candidates.)
+// DomainExhaustive enumerates every d-subset of leaf domains. Cost is
+// C(D, d) times the incremental update cost; the reference oracle for
+// tests. (newDomInstance pads its candidates with empty domains up to
+// d, and d <= NumDomains, so every engine always has at least d
+// candidates.)
 func DomainExhaustive(pl *placement.Placement, topo *topology.Topology, s, d int) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, s, d)
+	return DomainExhaustiveAt(pl, topo, topology.Leaf, s, d)
+}
+
+// DomainExhaustiveAt is DomainExhaustive attacking whole domains of the
+// given topology level (0 = top, topology.Leaf = racks).
+func DomainExhaustiveAt(pl *placement.Placement, topo *topology.Topology, level, s, d int) (DomainResult, error) {
+	in, err := newDomInstance(pl, topo, level, s, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
 	return in.result(search.Exhaustive(in)), nil
 }
 
-// DomainGreedy picks d domains by maximum marginal damage, then improves
-// the set with single-swap local search. The result is a valid correlated
-// attack (a lower bound on the worst case) but not guaranteed optimal.
+// DomainGreedy picks d leaf domains by maximum marginal damage, then
+// improves the set with single-swap local search. The result is a valid
+// correlated attack (a lower bound on the worst case) but not
+// guaranteed optimal.
 func DomainGreedy(pl *placement.Placement, topo *topology.Topology, s, d int) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, s, d)
+	return DomainGreedyAt(pl, topo, topology.Leaf, s, d)
+}
+
+// DomainGreedyAt is DomainGreedy attacking whole domains of the given
+// topology level.
+func DomainGreedyAt(pl *placement.Placement, topo *topology.Topology, level, s, d int) (DomainResult, error) {
+	in, err := newDomInstance(pl, topo, level, s, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
 	return in.result(search.Greedy(in)), nil
 }
 
-// DomainWorstCase runs branch-and-bound over domains seeded with the
-// greedy incumbent, pruned with the shared residual-load bound. With
-// budget <= 0 the search is unbounded and the result is exact; otherwise
-// the incumbent is returned with Exact reflecting whether the search
-// completed (same state semantics as the node-level WorstCase — the
-// drivers are shared).
+// DomainWorstCase runs branch-and-bound over leaf domains seeded with
+// the greedy incumbent, pruned with the shared residual-load bound.
+// With budget <= 0 the search is unbounded and the result is exact;
+// otherwise the incumbent is returned with Exact reflecting whether the
+// search completed (same state semantics as the node-level WorstCase —
+// the drivers are shared).
 func DomainWorstCase(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64) (DomainResult, error) {
-	return DomainWorstCaseWith(pl, topo, s, d, SearchOpts{Budget: budget})
+	return DomainWorstCaseAtWith(pl, topo, topology.Leaf, s, d, SearchOpts{Budget: budget})
+}
+
+// DomainWorstCaseAt is DomainWorstCase attacking whole domains of the
+// given topology level — the one change needed to fail zones or regions
+// instead of racks; the search itself is identical at every level.
+func DomainWorstCaseAt(pl *placement.Placement, topo *topology.Topology, level, s, d int, budget int64) (DomainResult, error) {
+	return DomainWorstCaseAtWith(pl, topo, level, s, d, SearchOpts{Budget: budget})
 }
 
 // DomainWorstCaseWith is DomainWorstCase with explicit search options
 // (budget, worker fan-out, pruning-bound ablation).
 func DomainWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, d int, opts SearchOpts) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, s, d)
+	return DomainWorstCaseAtWith(pl, topo, topology.Leaf, s, d, opts)
+}
+
+// DomainWorstCaseAtWith is DomainWorstCaseAt with explicit search
+// options (budget, worker fan-out, pruning-bound ablation).
+func DomainWorstCaseAtWith(pl *placement.Placement, topo *topology.Topology, level, s, d int, opts SearchOpts) (DomainResult, error) {
+	in, err := newDomInstance(pl, topo, level, s, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -169,7 +221,13 @@ func DomainWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, d 
 // DomainAvail computes b − (worst d-domain damage): the availability
 // guarantee under the correlated adversary, with its witnessing attack.
 func DomainAvail(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64) (int, DomainResult, error) {
-	res, err := DomainWorstCase(pl, topo, s, d, budget)
+	return DomainAvailAt(pl, topo, topology.Leaf, s, d, budget)
+}
+
+// DomainAvailAt is DomainAvail with the adversary attacking whole
+// domains of the given topology level.
+func DomainAvailAt(pl *placement.Placement, topo *topology.Topology, level, s, d int, budget int64) (int, DomainResult, error) {
+	res, err := DomainWorstCaseAt(pl, topo, level, s, d, budget)
 	if err != nil {
 		return 0, DomainResult{}, err
 	}
@@ -190,15 +248,13 @@ type constrainedShared struct {
 	empty       []int // zero-load nodes, ascending id
 }
 
-func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, s, k, d int) (*constrainedShared, error) {
+func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, level, s, k, d int) (*constrainedShared, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
-	if err := topo.Validate(); err != nil {
+	topo, err := collapseTo(pl, topo, level)
+	if err != nil {
 		return nil, err
-	}
-	if topo.N != pl.N {
-		return nil, fmt.Errorf("adversary: topology covers %d nodes, placement has %d", topo.N, pl.N)
 	}
 	if s < 1 || s > pl.R {
 		return nil, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
@@ -285,8 +341,8 @@ func (sh *constrainedShared) subsetInstance(domains []int, sc *constrainedScratc
 // when positive, is shared across the whole search — every per-subset
 // branch-and-bound draws states from the same pool, matching the
 // unconstrained engines' semantics.
-func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, bnb bool, bound search.Bound) (DomainResult, error) {
-	sh, err := newConstrainedShared(pl, topo, s, k, d)
+func constrainedSearch(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, bnb bool, bound search.Bound) (DomainResult, error) {
+	sh, err := newConstrainedShared(pl, topo, level, s, k, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -294,7 +350,7 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 	bud := search.NewBudget(budget)
 	best := DomainResult{Failed: -1, Exact: true}
 	var exhaustiveVisited int64
-	combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
+	combin.ForEachSubset(sh.topo.NumDomains(), d, func(domains []int) bool {
 		// A drained budget ends the whole search — skipped subsets make
 		// the result inexact, and running their budget-free greedy
 		// seeding anyway would leave the budget unable to bound runtime
@@ -323,7 +379,7 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 		if res.Failed > best.Failed {
 			best.Failed = res.Failed
 			best.Nodes = res.Nodes
-			best.Domains = domainsOfNodes(topo, res.Nodes)
+			best.Domains = domainsOfNodes(sh.topo, res.Nodes)
 		}
 		if !res.Exact {
 			best.Exact = false
@@ -339,26 +395,46 @@ func constrainedSearch(pl *placement.Placement, topo *topology.Topology, s, k, d
 }
 
 // ConstrainedExhaustive finds the exact worst k node failures spanning at
-// most d domains by full enumeration. Reference oracle for tests.
+// most d leaf domains by full enumeration. Reference oracle for tests.
 func ConstrainedExhaustive(pl *placement.Placement, topo *topology.Topology, s, k, d int) (DomainResult, error) {
-	return constrainedSearch(pl, topo, s, k, d, 0, false, search.BoundResidual)
+	return ConstrainedExhaustiveAt(pl, topo, topology.Leaf, s, k, d)
 }
 
-// ConstrainedWorstCase finds the worst k node failures spanning at most d
-// domains via per-subset branch-and-bound. budget, when positive, bounds
-// the state total across all subsets (one shared pool, the package-wide
-// semantics); Exact reports whether every subset completed.
+// ConstrainedExhaustiveAt is ConstrainedExhaustive with the blast
+// radius counted in whole domains of the given topology level.
+func ConstrainedExhaustiveAt(pl *placement.Placement, topo *topology.Topology, level, s, k, d int) (DomainResult, error) {
+	return constrainedSearch(pl, topo, level, s, k, d, 0, false, search.BoundResidual)
+}
+
+// ConstrainedWorstCase finds the worst k node failures spanning at most
+// d leaf domains via per-subset branch-and-bound. budget, when
+// positive, bounds the state total across all subsets (one shared pool,
+// the package-wide semantics); Exact reports whether every subset
+// completed.
 func ConstrainedWorstCase(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64) (DomainResult, error) {
-	return ConstrainedWorstCaseWith(pl, topo, s, k, d, SearchOpts{Budget: budget})
+	return ConstrainedWorstCaseAtWith(pl, topo, topology.Leaf, s, k, d, SearchOpts{Budget: budget})
+}
+
+// ConstrainedWorstCaseAt is ConstrainedWorstCase with the blast radius
+// counted in whole domains of the given topology level (k nodes inside
+// at most d zones, regions, ...).
+func ConstrainedWorstCaseAt(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64) (DomainResult, error) {
+	return ConstrainedWorstCaseAtWith(pl, topo, level, s, k, d, SearchOpts{Budget: budget})
 }
 
 // ConstrainedWorstCaseWith is ConstrainedWorstCase with explicit search
 // options (budget, worker fan-out, pruning-bound ablation).
 func ConstrainedWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, k, d int, opts SearchOpts) (DomainResult, error) {
+	return ConstrainedWorstCaseAtWith(pl, topo, topology.Leaf, s, k, d, opts)
+}
+
+// ConstrainedWorstCaseAtWith is ConstrainedWorstCaseAt with explicit
+// search options (budget, worker fan-out, pruning-bound ablation).
+func ConstrainedWorstCaseAtWith(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, opts SearchOpts) (DomainResult, error) {
 	if workers := opts.resolveWorkers(); workers > 1 {
-		return constrainedSearchPar(pl, topo, s, k, d, opts.Budget, workers, opts.Bound)
+		return constrainedSearchPar(pl, topo, level, s, k, d, opts.Budget, workers, opts.Bound)
 	}
-	return constrainedSearch(pl, topo, s, k, d, opts.Budget, true, opts.Bound)
+	return constrainedSearch(pl, topo, level, s, k, d, opts.Budget, true, opts.Bound)
 }
 
 // domainsOfNodes returns the sorted, deduplicated domain indices touched

@@ -52,7 +52,7 @@ func randomTopology(rng *rand.Rand, n int) *topology.Topology {
 	// Random (non-contiguous) assignment with every rack non-empty.
 	domains := make([]topology.Domain, racks)
 	for i := range domains {
-		domains[i] = topology.Domain{Name: string(rune('a' + i)), Zone: -1}
+		domains[i] = topology.Domain{Name: string(rune('a' + i)), Parent: -1}
 	}
 	perm := rng.Perm(n)
 	for i, nd := range perm {

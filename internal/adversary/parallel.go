@@ -41,10 +41,16 @@ func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers 
 // GOMAXPROCS; workers == 1 is exactly the serial engine. Exact runs
 // return the same DomainResult damage as DomainWorstCase.
 func DomainWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, d int, budget int64, workers int) (DomainResult, error) {
+	return DomainWorstCaseParAt(pl, topo, topology.Leaf, s, d, budget, workers)
+}
+
+// DomainWorstCaseParAt is DomainWorstCasePar attacking whole domains of
+// the given topology level (0 = top, topology.Leaf = racks).
+func DomainWorstCaseParAt(pl *placement.Placement, topo *topology.Topology, level, s, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return DomainWorstCaseWith(pl, topo, s, d, SearchOpts{Budget: budget, Workers: workers})
+	return DomainWorstCaseAtWith(pl, topo, level, s, d, SearchOpts{Budget: budget, Workers: workers})
 }
 
 // ConstrainedWorstCasePar is ConstrainedWorstCase with the C(D, d)
@@ -54,16 +60,22 @@ func DomainWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, d i
 // workers <= 0 selects GOMAXPROCS; workers == 1 is exactly the serial
 // engine.
 func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, workers int) (DomainResult, error) {
+	return ConstrainedWorstCaseParAt(pl, topo, topology.Leaf, s, k, d, budget, workers)
+}
+
+// ConstrainedWorstCaseParAt is ConstrainedWorstCasePar with the blast
+// radius counted in whole domains of the given topology level.
+func ConstrainedWorstCaseParAt(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return ConstrainedWorstCaseWith(pl, topo, s, k, d, SearchOpts{Budget: budget, Workers: workers})
+	return ConstrainedWorstCaseAtWith(pl, topo, level, s, k, d, SearchOpts{Budget: budget, Workers: workers})
 }
 
 // constrainedSearchPar is the sharded constrained search behind
 // ConstrainedWorstCaseWith for workers > 1.
-func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, s, k, d int, budget int64, workers int, bound search.Bound) (DomainResult, error) {
-	sh, err := newConstrainedShared(pl, topo, s, k, d)
+func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, workers int, bound search.Bound) (DomainResult, error) {
+	sh, err := newConstrainedShared(pl, topo, level, s, k, d)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -83,7 +95,7 @@ func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, s, k
 	aborted := false
 	go func() {
 		defer close(jobs)
-		combin.ForEachSubset(topo.NumDomains(), d, func(domains []int) bool {
+		combin.ForEachSubset(sh.topo.NumDomains(), d, func(domains []int) bool {
 			if bud.Exhausted() {
 				aborted = true
 				return false
@@ -116,7 +128,7 @@ func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, s, k
 				if res.Failed > best.Failed {
 					best.Failed = res.Failed
 					best.Nodes = res.Nodes
-					best.Domains = domainsOfNodes(topo, res.Nodes)
+					best.Domains = domainsOfNodes(sh.topo, res.Nodes)
 				}
 				if !res.Exact {
 					best.Exact = false

@@ -11,36 +11,49 @@ import (
 )
 
 // This experiment extends the paper's evaluation beyond its independent-
-// failure model: the adversary fails whole racks (the correlated
-// failure-domain setting of Mills, Chandrasekaran & Mittal,
-// arXiv:1701.01539) instead of k free nodes. For each scenario the table
-// contrasts, on the same DP-optimized Combo placement,
+// failure model: the adversary fails whole failure domains (the
+// correlated setting of Mills, Chandrasekaran & Mittal,
+// arXiv:1701.01539) instead of k free nodes — racks on the flat rows,
+// and every level of the tree (racks, zones, regions) on the
+// hierarchical rows. For each scenario the table contrasts, on the same
+// DP-optimized Combo placement,
 //
 //   - Avail under the paper's node adversary (k worst nodes, exact),
-//   - Avail under the domain adversary (d worst whole racks, exact) for
-//     the domain-oblivious placement (abstract ids = physical nodes), and
+//   - Avail under the domain adversary (d worst whole domains, exact,
+//     per level) for the domain-oblivious placement (abstract ids =
+//     physical nodes), and
 //   - the same after the domain-aware spreading post-pass
-//     (placement.SpreadAcrossDomains).
+//     (placement.SpreadAcrossDomains — hierarchical on trees).
 //
-// The aware column is never worse than the oblivious column — the
-// spreading pass guarantees it, and TestDomainTableAwareNeverWorse
-// enforces it on every row.
+// Every aware column is never worse than its oblivious twin at the same
+// level — the spreading pass guarantees it, and
+// TestDomainTableAwareNeverWorse enforces it on every row and level.
 
 // DomainScenario is one row of the domain-adversary table. K is chosen
 // per scenario so the node and domain attacks are comparable (k ≈ the
-// node count of the d largest racks).
+// node count of the d largest racks). Zones, when positive, groups the
+// racks into that many zones (Racks divisible by Zones); Regions
+// further groups the zones (Zones divisible by Regions). The adversary
+// then attacks every level, with d clamped to the level's domain count.
 type DomainScenario struct {
 	N, R, S, K, B int
-	Racks         int // flat rack count (topology.Uniform)
-	D             int // whole-rack failure budget
+	Racks         int // leaf rack count
+	Zones         int // optional zone count over the racks (0 = flat)
+	Regions       int // optional region count over the zones (0 = none)
+	D             int // whole-domain failure budget (per level, clamped)
 }
 
-// DomainCell is a computed row.
+// DomainCell is a computed row. The zone and region columns are -1 on
+// rows whose topology does not have that level.
 type DomainCell struct {
 	DomainScenario
 	NodeAvail       int // oblivious Combo vs k-node adversary
 	ObliviousAvail  int // oblivious Combo vs d-rack adversary
 	AwareAvail      int // spread Combo vs d-rack adversary
+	ZoneOblivAvail  int // oblivious Combo vs d-zone adversary
+	ZoneAwareAvail  int // spread Combo vs d-zone adversary
+	RegionObliv     int // oblivious Combo vs d-region adversary
+	RegionAware     int // spread Combo vs d-region adversary
 	MinSpreadBefore int // min distinct racks per object, oblivious
 	MinSpreadAfter  int // min distinct racks per object, aware
 }
@@ -56,8 +69,9 @@ type DomainOpts struct {
 }
 
 // defaultDomainScenarios keeps every adversary exactly solvable in
-// milliseconds while covering both Steiner orders, two rack widths, and
-// one- and two-rack failures.
+// milliseconds while covering both Steiner orders, two rack widths,
+// one- and two-rack failures, and — on the hierarchical rows — zone and
+// region adversaries over depth-2 and depth-3 trees.
 func defaultDomainScenarios() []DomainScenario {
 	return []DomainScenario{
 		{N: 9, R: 3, S: 2, K: 3, B: 12, Racks: 3, D: 1},
@@ -71,6 +85,33 @@ func defaultDomainScenarios() []DomainScenario {
 		{N: 13, R: 3, S: 2, K: 7, B: 26, Racks: 4, D: 2},
 		{N: 13, R: 3, S: 3, K: 7, B: 26, Racks: 4, D: 2},
 		{N: 15, R: 3, S: 2, K: 6, B: 35, Racks: 5, D: 2},
+		// Hierarchical rows: the same partition-chunk placement under
+		// rack, zone, and region adversaries. The hierarchical spread
+		// separates replicas at the coarse levels first, so the aware
+		// columns hold up even when a whole region dies.
+		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 4, Zones: 2, D: 1},
+		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 8, Zones: 4, Regions: 2, D: 1},
+		{N: 13, R: 3, S: 2, K: 7, B: 26, Racks: 8, Zones: 4, Regions: 2, D: 2},
+	}
+}
+
+// buildScenarioTopology materializes the (possibly hierarchical) tree a
+// scenario describes.
+func buildScenarioTopology(sc DomainScenario) (*topology.Topology, error) {
+	switch {
+	case sc.Regions > 0:
+		if sc.Zones < 1 || sc.Zones%sc.Regions != 0 || sc.Racks%sc.Zones != 0 {
+			return nil, fmt.Errorf("experiments: regions=%d zones=%d racks=%d must nest evenly",
+				sc.Regions, sc.Zones, sc.Racks)
+		}
+		return topology.UniformTree(sc.N, sc.Regions, sc.Zones/sc.Regions, sc.Racks/sc.Zones)
+	case sc.Zones > 0:
+		if sc.Racks%sc.Zones != 0 {
+			return nil, fmt.Errorf("experiments: racks=%d not divisible by zones=%d", sc.Racks, sc.Zones)
+		}
+		return topology.UniformTree(sc.N, sc.Zones, sc.Racks/sc.Zones)
+	default:
+		return topology.Uniform(sc.N, sc.Racks)
 	}
 }
 
@@ -94,7 +135,7 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: combo for %+v: %w", sc, err)
 		}
-		topo, err := topology.Uniform(sc.N, sc.Racks)
+		topo, err := buildScenarioTopology(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -102,17 +143,55 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		oblivRes, err := adversary.DomainWorstCaseWith(combo, topo, sc.S, sc.D, searchOpts)
-		if err != nil {
-			return nil, err
-		}
 		aware, _, err := placement.SpreadAcrossDomains(combo, topo, sc.S, sc.D)
 		if err != nil {
 			return nil, err
 		}
-		awareRes, err := adversary.DomainWorstCaseWith(aware, topo, sc.S, sc.D, searchOpts)
-		if err != nil {
+		// Avail for both layouts under the whole-domain adversary at
+		// the given level, with d clamped to the level's domain count.
+		levelAvail := func(pl *placement.Placement, level int) (int, error) {
+			nd, err := topo.NumDomainsAt(level)
+			if err != nil {
+				return 0, err
+			}
+			dl := sc.D
+			if dl > nd {
+				dl = nd
+			}
+			res, err := adversary.DomainWorstCaseAtWith(pl, topo, level, sc.S, dl, searchOpts)
+			if err != nil {
+				return 0, err
+			}
+			return res.Avail(sc.B), nil
+		}
+		cell := DomainCell{
+			DomainScenario: sc,
+			NodeAvail:      nodeRes.Avail(sc.B),
+			ZoneOblivAvail: -1, ZoneAwareAvail: -1, RegionObliv: -1, RegionAware: -1,
+		}
+		if cell.ObliviousAvail, err = levelAvail(combo, topology.Leaf); err != nil {
 			return nil, err
+		}
+		if cell.AwareAvail, err = levelAvail(aware, topology.Leaf); err != nil {
+			return nil, err
+		}
+		if topo.Levels() >= 2 {
+			zoneLevel := topo.Levels() - 2
+			if cell.ZoneOblivAvail, err = levelAvail(combo, zoneLevel); err != nil {
+				return nil, err
+			}
+			if cell.ZoneAwareAvail, err = levelAvail(aware, zoneLevel); err != nil {
+				return nil, err
+			}
+		}
+		if topo.Levels() >= 3 {
+			regionLevel := topo.Levels() - 3
+			if cell.RegionObliv, err = levelAvail(combo, regionLevel); err != nil {
+				return nil, err
+			}
+			if cell.RegionAware, err = levelAvail(aware, regionLevel); err != nil {
+				return nil, err
+			}
 		}
 		before, err := placement.DomainSpread(combo, topo)
 		if err != nil {
@@ -122,34 +201,50 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		cells = append(cells, DomainCell{
-			DomainScenario:  sc,
-			NodeAvail:       nodeRes.Avail(sc.B),
-			ObliviousAvail:  oblivRes.Avail(sc.B),
-			AwareAvail:      awareRes.Avail(sc.B),
-			MinSpreadBefore: before.MinDomains,
-			MinSpreadAfter:  after.MinDomains,
-		})
+		cell.MinSpreadBefore = before.MinDomains
+		cell.MinSpreadAfter = after.MinDomains
+		cells = append(cells, cell)
 	}
 	return cells, nil
 }
 
 // RenderDomainTable writes the comparison in the repo's table layout.
+// The zone and region columns print oblivious/aware pairs, "-" on flat
+// rows.
 func RenderDomainTable(w io.Writer, cells []DomainCell) error {
-	if _, err := fmt.Fprintf(w, "Node adversary vs domain (whole-rack) adversary on Combo placements\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "Node adversary vs whole-domain adversary (rack/zone/region) on Combo placements\n"); err != nil {
 		return err
 	}
-	headers := []string{"n", "r", "s", "k", "b", "racks", "d",
-		"Avail(node,k)", "Avail(rack,d) obliv", "Avail(rack,d) aware", "minspread"}
+	pair := func(obliv, aware int) string {
+		if obliv < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d/%d", obliv, aware)
+	}
+	topoCol := func(c DomainCell) string {
+		switch {
+		case c.Regions > 0:
+			return fmt.Sprintf("%dx%dx%d", c.Regions, c.Zones/c.Regions, c.Racks/c.Zones)
+		case c.Zones > 0:
+			return fmt.Sprintf("%dx%d", c.Zones, c.Racks/c.Zones)
+		default:
+			return fmt.Sprintf("%d", c.Racks)
+		}
+	}
+	headers := []string{"n", "r", "s", "k", "b", "topo", "d",
+		"Avail(node,k)", "Avail(rack,d) obliv", "Avail(rack,d) aware",
+		"Avail(zone,d) ob/aw", "Avail(region,d) ob/aw", "minspread"}
 	rows := make([][]string, 0, len(cells))
 	for _, c := range cells {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", c.N), fmt.Sprintf("%d", c.R), fmt.Sprintf("%d", c.S),
 			fmt.Sprintf("%d", c.K), fmt.Sprintf("%d", c.B),
-			fmt.Sprintf("%d", c.Racks), fmt.Sprintf("%d", c.D),
+			topoCol(c), fmt.Sprintf("%d", c.D),
 			fmt.Sprintf("%d", c.NodeAvail),
 			fmt.Sprintf("%d", c.ObliviousAvail),
 			fmt.Sprintf("%d", c.AwareAvail),
+			pair(c.ZoneOblivAvail, c.ZoneAwareAvail),
+			pair(c.RegionObliv, c.RegionAware),
 			fmt.Sprintf("%d->%d", c.MinSpreadBefore, c.MinSpreadAfter),
 		})
 	}

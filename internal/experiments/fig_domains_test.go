@@ -19,9 +19,30 @@ func TestDomainTableAwareNeverWorse(t *testing.T) {
 	if len(cells) == 0 {
 		t.Fatal("empty table")
 	}
+	sawZone, sawRegion := false, false
 	for _, c := range cells {
 		if c.AwareAvail < c.ObliviousAvail {
 			t.Errorf("%+v: aware Avail %d < oblivious %d", c.DomainScenario, c.AwareAvail, c.ObliviousAvail)
+		}
+		// The per-level guarantee: aware never loses to oblivious under
+		// the zone or region adversary either.
+		if c.ZoneOblivAvail >= 0 {
+			sawZone = true
+			if c.ZoneAwareAvail < c.ZoneOblivAvail {
+				t.Errorf("%+v: zone aware Avail %d < oblivious %d", c.DomainScenario, c.ZoneAwareAvail, c.ZoneOblivAvail)
+			}
+		}
+		if c.RegionObliv >= 0 {
+			sawRegion = true
+			if c.RegionAware < c.RegionObliv {
+				t.Errorf("%+v: region aware Avail %d < oblivious %d", c.DomainScenario, c.RegionAware, c.RegionObliv)
+			}
+			// A region failure covers at least a zone, a zone at least a
+			// rack: coarser adversaries can only do more damage.
+			if c.RegionAware > c.ZoneAwareAvail || c.ZoneAwareAvail > c.AwareAvail {
+				t.Errorf("%+v: aware avail not monotone across levels: rack %d, zone %d, region %d",
+					c.DomainScenario, c.AwareAvail, c.ZoneAwareAvail, c.RegionAware)
+			}
 		}
 		if c.MinSpreadAfter < c.MinSpreadBefore {
 			t.Errorf("%+v: min spread regressed %d -> %d", c.DomainScenario, c.MinSpreadBefore, c.MinSpreadAfter)
@@ -29,6 +50,9 @@ func TestDomainTableAwareNeverWorse(t *testing.T) {
 		if c.ObliviousAvail < 0 || c.ObliviousAvail > c.B || c.AwareAvail > c.B || c.NodeAvail > c.B {
 			t.Errorf("%+v: availability out of range: %+v", c.DomainScenario, c)
 		}
+	}
+	if !sawZone || !sawRegion {
+		t.Errorf("default table must include hierarchical rows (zone %v, region %v)", sawZone, sawRegion)
 	}
 }
 

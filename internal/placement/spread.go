@@ -189,20 +189,62 @@ func WorstDomainDamage(pl *Placement, topo *topology.Topology, s, d int) (int, e
 // top-loaded-domains proxy instead of the exact worst case.
 const maxExactSpreadSubsets = 200_000
 
+// WorstDomainDamageAt is WorstDomainDamage with the adversary failing
+// whole domains of the given topology level (0 = top, topology.Leaf =
+// the leaves), evaluated on the flat Collapse of that level.
+func WorstDomainDamageAt(pl *Placement, topo *topology.Topology, level, s, d int) (int, error) {
+	l, err := topo.ResolveLevel(level)
+	if err != nil {
+		return 0, fmt.Errorf("placement: %w", err)
+	}
+	if l != topo.Levels()-1 {
+		if topo, err = topo.Collapse(l); err != nil {
+			return 0, err
+		}
+	}
+	return WorstDomainDamage(pl, topo, s, d)
+}
+
+// SpreadOpts tunes SpreadAcrossDomainsWith; the zero value matches
+// SpreadAcrossDomains.
+type SpreadOpts struct {
+	// Caps[di] bounds the total replicas the relabeled placement may put
+	// in leaf domain di (a rack has nodes, but also disks and uplinks);
+	// a negative entry means unlimited. Non-nil Caps must cover every
+	// leaf domain. Candidate mappings that would exceed a cap are
+	// discarded — including the identity, so the never-worse guarantee
+	// then holds relative to the best cap-feasible candidate instead of
+	// the oblivious layout; if no candidate fits, an error is returned.
+	Caps []int
+}
+
 // SpreadAcrossDomains relabels pl's abstract node ids onto physical
 // nodes so that each object's r replicas land in maximally distinct
 // failure domains, and returns the relabeled placement together with the
 // mapping used (mapping[abstract] = physical).
 //
-// Three candidate mappings are evaluated — the identity, a striped
-// assignment, and a conflict-minimizing greedy assignment — and the one
-// with the least exact worst-case d-domain damage (ties: candidate
-// order, identity first) is returned. Because the identity competes,
-// the result is never worse than the domain-oblivious placement under
-// the exact d-domain adversary whenever C(D, d) <= 200000 (the exact
-// evaluation regime; larger searches fall back to a top-loaded-domains
-// proxy, which preserves the guarantee in spirit but not provably).
+// Candidate mappings are evaluated — the identity, a striped and a
+// conflict-minimizing greedy assignment over the leaf domains, and (on
+// hierarchies) their level-recursive variants, which separate each
+// object's replicas across the top level first and then recursively
+// within each subtree. Each candidate is scored by its worst-case
+// d-domain damage at every level of the tree (leaf level first;
+// d clamps to the level's domain count), candidates worse than the
+// identity at any level are discarded, and the survivor with the
+// lexicographically least damage vector wins (ties: candidate order,
+// identity first). Because the identity competes, the result is never
+// worse than the domain-oblivious placement under the exact adversary
+// at ANY level of the hierarchy whenever C(D_level, d) <= 200000 (the
+// exact evaluation regime; larger searches fall back to a
+// top-loaded-domains proxy, which preserves the guarantee in spirit
+// but not provably).
 func SpreadAcrossDomains(pl *Placement, topo *topology.Topology, s, d int) (*Placement, []int, error) {
+	return SpreadAcrossDomainsWith(pl, topo, s, d, SpreadOpts{})
+}
+
+// SpreadAcrossDomainsWith is SpreadAcrossDomains with explicit options
+// (per-leaf-domain replica caps).
+func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, opts SpreadOpts) (*Placement, []int, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -215,39 +257,282 @@ func SpreadAcrossDomains(pl *Placement, topo *topology.Topology, s, d int) (*Pla
 	if d < 1 || d > topo.NumDomains() {
 		return nil, nil, fmt.Errorf("placement: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
+	if opts.Caps != nil && len(opts.Caps) != topo.NumDomains() {
+		return nil, nil, fmt.Errorf("placement: %d caps for %d leaf domains", len(opts.Caps), topo.NumDomains())
+	}
 
 	identity := make([]int, pl.N)
 	for i := range identity {
 		identity[i] = i
 	}
-	candidates := [][]int{identity, stripedMapping(pl, topo), conflictGreedyMapping(pl, topo)}
+	var candidates [][]int
+	identityIdx := -1
+	add := func(mapping []int, ok bool) {
+		if ok && mapping != nil {
+			candidates = append(candidates, mapping)
+		}
+	}
+	if opts.Caps == nil {
+		identityIdx = 0
+		add(identity, true)
+		add(stripedMapping(pl, topo), true)
+		add(conflictGreedyMapping(pl, topo), true)
+		if topo.Levels() > 1 {
+			add(hierMapping(pl, topo, false, nil))
+			add(hierMapping(pl, topo, true, nil))
+		}
+	} else {
+		// The identity competes only when it fits the caps; the
+		// recursive constructors respect them by construction.
+		if capsRespected(pl, topo, opts.Caps) {
+			identityIdx = 0
+			add(identity, true)
+		}
+		add(hierMapping(pl, topo, false, opts.Caps))
+		add(hierMapping(pl, topo, true, opts.Caps))
+		if len(candidates) == 0 {
+			return nil, nil, fmt.Errorf("placement: no relabeling satisfies the domain caps")
+		}
+	}
 
-	// Choose returns 0 on int64 overflow — treat that as "too many
-	// subsets", not as under the cap.
-	subsets := combin.Choose(topo.NumDomains(), d)
-	exact := subsets > 0 && subsets <= maxExactSpreadSubsets
-	bestIdx, bestDamage := -1, -1
+	// Score every candidate at every level, finest first. Choose
+	// returns 0 on int64 overflow — treat that as "too many subsets",
+	// not as under the cap.
+	type levelEval struct {
+		flat  *topology.Topology
+		d     int
+		exact bool
+	}
+	var levels []levelEval
+	for l := topo.Levels() - 1; l >= 0; l-- {
+		flat := topo
+		if l != topo.Levels()-1 {
+			var err error
+			if flat, err = topo.Collapse(l); err != nil {
+				return nil, nil, err
+			}
+		}
+		dl := d
+		if nd := flat.NumDomains(); dl > nd {
+			dl = nd
+		}
+		subsets := combin.Choose(flat.NumDomains(), dl)
+		levels = append(levels, levelEval{flat: flat, d: dl, exact: subsets > 0 && subsets <= maxExactSpreadSubsets})
+	}
 	mapped := make([]*Placement, len(candidates))
+	damages := make([][]int, len(candidates))
 	for i, mapping := range candidates {
 		m, err := Relabel(pl, mapping)
 		if err != nil {
 			return nil, nil, err
 		}
 		mapped[i] = m
-		var damage int
-		if exact {
-			damage, err = WorstDomainDamage(m, topo, s, d)
-			if err != nil {
-				return nil, nil, err
+		vec := make([]int, len(levels))
+		for li, le := range levels {
+			if le.exact {
+				if vec[li], err = WorstDomainDamage(m, le.flat, s, le.d); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				vec[li] = topLoadedDamage(m, le.flat, s, le.d)
 			}
-		} else {
-			damage = topLoadedDamage(m, topo, s, d)
 		}
-		if bestIdx < 0 || damage < bestDamage {
-			bestIdx, bestDamage = i, damage
+		damages[i] = vec
+	}
+	bestIdx := -1
+	for i := range candidates {
+		if identityIdx >= 0 && i != identityIdx && worseAtAnyLevel(damages[i], damages[identityIdx]) {
+			continue
+		}
+		if bestIdx < 0 || lessVec(damages[i], damages[bestIdx]) {
+			bestIdx = i
 		}
 	}
 	return mapped[bestIdx], candidates[bestIdx], nil
+}
+
+// worseAtAnyLevel reports whether a does more damage than b at any
+// level — the per-level never-worse filter against the identity.
+func worseAtAnyLevel(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// lessVec is strict lexicographic order on damage vectors (leaf level
+// first).
+func lessVec(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// capsRespected reports whether pl's per-leaf-domain replica loads stay
+// within caps (negative entries are unlimited).
+func capsRespected(pl *Placement, topo *topology.Topology, caps []int) bool {
+	_, loads := DomainHits(pl, topo)
+	for di, load := range loads {
+		if caps[di] >= 0 && load > int64(caps[di]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hierMapping assigns abstract node ids to physical nodes one level at
+// a time: ids are distributed over the top-level domains first (striped
+// round-robin, or conflict-minimizing greedy when greedy is set), then
+// recursively within each subtree, so each object's replicas separate
+// at the coarsest level before the finer ones. caps, when non-nil,
+// bounds the replica load each leaf domain may receive (its subtree
+// budget is the sum of its leaves'); an infeasible distribution reports
+// ok = false and the candidate is dropped.
+func hierMapping(pl *Placement, topo *topology.Topology, greedy bool, caps []int) ([]int, bool) {
+	loads := pl.NodeLoads()
+	numLevels := topo.Levels()
+	// children[level][di] lists the level+1 domains nested in di.
+	children := make([][][]int, numLevels-1)
+	for level := 0; level < numLevels-1; level++ {
+		children[level] = make([][]int, len(topo.Tree[level]))
+		for ci, child := range topo.Tree[level+1] {
+			children[level][child.Parent] = append(children[level][child.Parent], ci)
+		}
+	}
+	// capOf[level][di]: the subtree's replica budget (leaf caps summed
+	// bottom-up, saturating at the unlimited sentinel so several
+	// unlimited leaves cannot overflow into a negative budget); nil when
+	// caps are unlimited.
+	const unlimited = int64(1) << 62
+	satAdd := func(a, b int64) int64 {
+		if s := a + b; s >= 0 && s < unlimited {
+			return s
+		}
+		return unlimited
+	}
+	var capOf [][]int64
+	if caps != nil {
+		capOf = make([][]int64, numLevels)
+		capOf[numLevels-1] = make([]int64, topo.NumDomains())
+		for di, c := range caps {
+			if c < 0 {
+				capOf[numLevels-1][di] = unlimited
+			} else {
+				capOf[numLevels-1][di] = int64(c)
+			}
+		}
+		for level := numLevels - 2; level >= 0; level-- {
+			capOf[level] = make([]int64, len(topo.Tree[level]))
+			for ci, child := range topo.Tree[level+1] {
+				capOf[level][child.Parent] = satAdd(capOf[level][child.Parent], capOf[level+1][ci])
+			}
+		}
+	}
+	var objsOf [][]int32
+	if greedy {
+		objsOf = make([][]int32, pl.N)
+		var buf []int
+		for obj := 0; obj < pl.B(); obj++ {
+			buf = pl.Objects[obj].Members(buf[:0])
+			for _, nd := range buf {
+				objsOf[nd] = append(objsOf[nd], int32(obj))
+			}
+		}
+	}
+
+	mapping := make([]int, pl.N)
+	var assign func(level int, doms []int, ids []int) bool
+	assign = func(level int, doms []int, ids []int) bool {
+		buckets := make([][]int, len(doms))
+		slotsFree := make([]int, len(doms))
+		loadUsed := make([]int64, len(doms))
+		for i, di := range doms {
+			slotsFree[i] = len(topo.Tree[level][di].Nodes)
+		}
+		eligible := func(i, id int) bool {
+			if slotsFree[i] == 0 {
+				return false
+			}
+			return capOf == nil || loadUsed[i]+int64(loads[id]) <= capOf[level][doms[i]]
+		}
+		place := func(i, id int) {
+			buckets[i] = append(buckets[i], id)
+			slotsFree[i]--
+			loadUsed[i] += int64(loads[id])
+		}
+		if greedy {
+			// placed[obj*len(doms)+i] = replicas of obj already routed to
+			// branch i: route each id to the branch sharing the fewest of
+			// its objects (ties: most free slots, then lowest index).
+			placed := make([]int32, pl.B()*len(doms))
+			for _, id := range ids {
+				bestI, bestConflict, bestFree := -1, int64(1)<<62, -1
+				for i := range doms {
+					if !eligible(i, id) {
+						continue
+					}
+					var conflict int64
+					for _, obj := range objsOf[id] {
+						conflict += int64(placed[int(obj)*len(doms)+i])
+					}
+					if conflict < bestConflict || (conflict == bestConflict && slotsFree[i] > bestFree) {
+						bestI, bestConflict, bestFree = i, conflict, slotsFree[i]
+					}
+				}
+				if bestI < 0 {
+					return false
+				}
+				place(bestI, id)
+				for _, obj := range objsOf[id] {
+					placed[int(obj)*len(doms)+bestI]++
+				}
+			}
+		} else {
+			next := 0
+			for _, id := range ids {
+				picked := -1
+				for step := 0; step < len(doms); step++ {
+					i := (next + step) % len(doms)
+					if eligible(i, id) {
+						picked = i
+						break
+					}
+				}
+				if picked < 0 {
+					return false
+				}
+				place(picked, id)
+				next = (picked + 1) % len(doms)
+			}
+		}
+		for i, di := range doms {
+			if level == numLevels-1 {
+				slots := append([]int(nil), topo.Tree[level][di].Nodes...)
+				sort.Ints(slots)
+				for j, id := range buckets[i] {
+					mapping[id] = slots[j]
+				}
+			} else if len(buckets[i]) > 0 {
+				if !assign(level+1, children[level][di], buckets[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	top := make([]int, len(topo.Tree[0]))
+	for i := range top {
+		top[i] = i
+	}
+	if !assign(0, top, nodesByLoad(pl)) {
+		return nil, false
+	}
+	return mapping, true
 }
 
 // stripedMapping deals abstract node ids across domains round-robin in
@@ -257,7 +542,7 @@ func stripedMapping(pl *Placement, topo *topology.Topology) []int {
 	order := nodesByLoad(pl)
 	// Physical slots per domain, lowest node ids first.
 	slots := make([][]int, topo.NumDomains())
-	for di, dom := range topo.Domains {
+	for di, dom := range topo.Leaves() {
 		slots[di] = append([]int(nil), dom.Nodes...)
 		sort.Ints(slots[di])
 	}
@@ -291,7 +576,7 @@ func conflictGreedyMapping(pl *Placement, topo *topology.Topology) []int {
 	}
 	nd := topo.NumDomains()
 	slots := make([][]int, nd)
-	for di, dom := range topo.Domains {
+	for di, dom := range topo.Leaves() {
 		slots[di] = append([]int(nil), dom.Nodes...)
 		sort.Ints(slots[di])
 	}

@@ -63,9 +63,9 @@ func TestDomainSpreadStats(t *testing.T) {
 		}
 	}
 	topo, err := topology.New(6, []topology.Domain{
-		{Name: "a", Zone: -1, Nodes: []int{0, 1, 2}},
-		{Name: "b", Zone: -1, Nodes: []int{3, 4}},
-		{Name: "c", Zone: -1, Nodes: []int{5}},
+		{Name: "a", Parent: -1, Nodes: []int{0, 1, 2}},
+		{Name: "b", Parent: -1, Nodes: []int{3, 4}},
+		{Name: "c", Parent: -1, Nodes: []int{5}},
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -259,5 +259,255 @@ func TestSpreadValidation(t *testing.T) {
 	}
 	if _, err := placement.WorstDomainDamage(pl, other, 1, 1); err == nil {
 		t.Error("WorstDomainDamage with mismatched topology accepted")
+	}
+}
+
+// TestWorstDomainDamageAt pins the level plumbing: damage at a level
+// equals damage on that level's flat Collapse, and bad levels error.
+func TestWorstDomainDamageAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	pl := randomSpreadPlacement(rng, 12, 3, 20)
+	topo, err := topology.UniformTree(12, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level < topo.Levels(); level++ {
+		flat, err := topo.Collapse(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := placement.WorstDomainDamage(pl, flat, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := placement.WorstDomainDamageAt(pl, topo, level, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("level %d: WorstDomainDamageAt = %d, Collapse damage = %d", level, got, want)
+		}
+	}
+	if _, err := placement.WorstDomainDamageAt(pl, topo, 3, 2, 1); err == nil {
+		t.Error("level 3 accepted on a depth-3 topology")
+	}
+}
+
+// TestSpreadHierarchicalNeverWorseEveryLevel is the tentpole guarantee
+// on trees: the spread placement never does worse than the oblivious
+// one under the exact adversary at ANY level of the hierarchy.
+func TestSpreadHierarchicalNeverWorseEveryLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 12; trial++ {
+		n := 12 + rng.Intn(8)
+		r := 2 + rng.Intn(2)
+		b := 10 + rng.Intn(25)
+		s := 1 + rng.Intn(r)
+		pl := randomSpreadPlacement(rng, n, r, b)
+		var topo *topology.Topology
+		var err error
+		if trial%2 == 0 {
+			topo, err = topology.UniformTree(n, 2, 2, 2)
+		} else {
+			topo, err = topology.UniformTree(n, 2, 3)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 1 + rng.Intn(2)
+		aware, _, err := placement.SpreadAcrossDomains(pl, topo, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for level := 0; level < topo.Levels(); level++ {
+			nd, err := topo.NumDomainsAt(level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dl := d
+			if dl > nd {
+				dl = nd
+			}
+			before, err := placement.WorstDomainDamageAt(pl, topo, level, s, dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := placement.WorstDomainDamageAt(aware, topo, level, s, dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after > before {
+				t.Errorf("trial %d (n=%d r=%d b=%d s=%d d=%d) level %d: spread damage %d > oblivious %d",
+					trial, n, r, b, s, dl, level, after, before)
+			}
+		}
+	}
+}
+
+// TestSpreadHierarchicalSeparatesZones: rack-aligned objects on a
+// zones→racks tree can be relabeled to survive any single rack AND any
+// single zone failure; the hierarchical pass must find such a mapping
+// (top level first, then within each zone).
+func TestSpreadHierarchicalSeparatesZones(t *testing.T) {
+	pl := placement.NewPlacement(8, 2)
+	for _, obj := range [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.UniformTree(8, 2, 2) // 2 zones x 2 racks x 2 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s, d = 2, 1
+	beforeZone, err := placement.WorstDomainDamageAt(pl, topo, 0, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beforeZone != 2 {
+		t.Fatalf("oblivious zone damage = %d, want 2 (two objects per zone)", beforeZone)
+	}
+	aware, _, err := placement.SpreadAcrossDomains(pl, topo, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterRack, err := placement.WorstDomainDamageAt(aware, topo, topology.Leaf, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterZone, err := placement.WorstDomainDamageAt(aware, topo, 0, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterRack != 0 || afterZone != 0 {
+		t.Errorf("spread damage rack=%d zone=%d, want 0 and 0 (replicas split across zones)", afterRack, afterZone)
+	}
+}
+
+// TestSpreadCapsNeverExceeded is the capacity satellite's contract: the
+// relabeled placement never exceeds a leaf domain's replica cap, the
+// never-worse selection still runs among cap-feasible candidates, and
+// infeasible caps error out rather than silently overflowing.
+func TestSpreadCapsNeverExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.Intn(8)
+		r := 2 + rng.Intn(2)
+		b := 8 + rng.Intn(16)
+		s := 1 + rng.Intn(r)
+		pl := randomSpreadPlacement(rng, n, r, b)
+		racks := 2 + rng.Intn(3)
+		topo, err := topology.Uniform(n, racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A loose-but-binding cap: a bit above a perfectly balanced
+		// share, sometimes unlimited on one domain.
+		caps := make([]int, racks)
+		for i := range caps {
+			caps[i] = (r*b+racks-1)/racks + 1 + rng.Intn(2)
+		}
+		if rng.Intn(3) == 0 {
+			caps[rng.Intn(racks)] = -1
+		}
+		aware, mapping, err := placement.SpreadAcrossDomainsWith(pl, topo, s, 1, placement.SpreadOpts{Caps: caps})
+		if err != nil {
+			// Feasibility is not guaranteed for every draw; an error is
+			// acceptable, silently exceeding a cap is not.
+			continue
+		}
+		if len(mapping) != n {
+			t.Fatalf("trial %d: mapping has %d entries, want %d", trial, len(mapping), n)
+		}
+		_, loads := placement.DomainHits(aware, topo)
+		for di, load := range loads {
+			if caps[di] >= 0 && load > int64(caps[di]) {
+				t.Errorf("trial %d: domain %d holds %d replicas, cap %d", trial, di, load, caps[di])
+			}
+		}
+	}
+	// Impossible caps must error.
+	pl := randomSpreadPlacement(rng, 8, 2, 10)
+	topo, err := topology.Uniform(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := placement.SpreadAcrossDomainsWith(pl, topo, 1, 1, placement.SpreadOpts{Caps: []int{0, 0, 0, 0}}); err == nil {
+		t.Error("all-zero caps accepted for a placement with replicas")
+	}
+	if _, _, err := placement.SpreadAcrossDomainsWith(pl, topo, 1, 1, placement.SpreadOpts{Caps: []int{5, 5}}); err == nil {
+		t.Error("cap vector shorter than the domain count accepted")
+	}
+}
+
+// TestSpreadCapsRedistribute: when the oblivious layout overloads one
+// rack beyond its cap, the capped spread must move replicas off it —
+// identity is excluded and a feasible candidate found.
+func TestSpreadCapsRedistribute(t *testing.T) {
+	// Every object touches node 0 or 1: rack0 = {0, 1} holds 4 of the 8
+	// replicas, double its cap.
+	pl := placement.NewPlacement(8, 2)
+	for _, obj := range [][]int{{0, 2}, {0, 4}, {1, 6}, {1, 3}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.Uniform(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{2, 2, 2, 2}
+	aware, _, err := placement.SpreadAcrossDomainsWith(pl, topo, 2, 1, placement.SpreadOpts{Caps: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, loads := placement.DomainHits(aware, topo)
+	for di, load := range loads {
+		if load > 2 {
+			t.Errorf("domain %d holds %d replicas, cap 2", di, load)
+		}
+	}
+}
+
+// TestSpreadUnlimitedCapsStillSpread is the regression test for the
+// unlimited-cap sentinel: all-negative caps mean "no cap", so the
+// hierarchical candidates must still compete (the sentinel sum must not
+// overflow into a negative subtree budget) and reach the same
+// zone-separating layout the uncapped pass finds.
+func TestSpreadUnlimitedCapsStillSpread(t *testing.T) {
+	pl := placement.NewPlacement(8, 2)
+	for _, obj := range [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := topology.UniformTree(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{-1, -1, -1, -1}
+	aware, _, err := placement.SpreadAcrossDomainsWith(pl, topo, 2, 1, placement.SpreadOpts{Caps: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterZone, err := placement.WorstDomainDamageAt(aware, topo, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterZone != 0 {
+		t.Errorf("unlimited caps: zone damage = %d, want 0 (hierarchical candidates must compete)", afterZone)
+	}
+	// Mixed unlimited + finite caps under one parent must not disable
+	// the finite ones either.
+	mixed := []int{-1, 2, -1, 2}
+	aware, _, err = placement.SpreadAcrossDomainsWith(pl, topo, 2, 1, placement.SpreadOpts{Caps: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, loads := placement.DomainHits(aware, topo)
+	for di, load := range loads {
+		if mixed[di] >= 0 && load > int64(mixed[di]) {
+			t.Errorf("domain %d holds %d replicas, cap %d", di, load, mixed[di])
+		}
 	}
 }

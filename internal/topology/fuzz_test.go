@@ -6,7 +6,8 @@ import (
 
 // FuzzParseSpec feeds arbitrary specs through the parser; whatever it
 // accepts must validate, render a canonical Spec, and survive a second
-// parse with both the canonical form and the node→domain map unchanged.
+// parse with the canonical form, the depth, and the per-level
+// node→domain maps all unchanged.
 func FuzzParseSpec(f *testing.F) {
 	f.Add(13, "rack0:0-3;rack1:4-6;rack2:7-9;rack3:10-12")
 	f.Add(7, "rack0:0-2;rack1:3,4;rack2:5-6")
@@ -14,6 +15,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add(6, "a:0,2,4;b:1,3,5")
 	f.Add(1, "solo:0")
 	f.Add(3, "a:0;b:1;c:2")
+	// Depth-3 region→zone→rack seeds (one uniform, one ragged with
+	// non-contiguous nodes), plus a depth-4 tier.
+	f.Add(12, "g0z0r0@g0z0@region0:0-2;g0z0r1@g0z0@region0:3-5;g1z0r0@g1z0@region1:6-8;g1z0r1@g1z0@region1:9-11")
+	f.Add(8, "r0@za@east:0,2;r1@za@east:1,3;r2@zb@west:4-6;r3@zc@west:7")
+	f.Add(4, "a@b@c@d:0-3")
 	f.Fuzz(func(t *testing.T, n int, spec string) {
 		if n < 1 || n > 256 || len(spec) > 4096 {
 			return
@@ -33,11 +39,24 @@ func FuzzParseSpec(f *testing.F) {
 		if got := back.Spec(); got != canon {
 			t.Fatalf("canonical spec not a fixed point:\n  first:  %s\n  second: %s", canon, got)
 		}
+		if back.Levels() != topo.Levels() {
+			t.Fatalf("spec %q: depth changed %d -> %d across the round trip", spec, topo.Levels(), back.Levels())
+		}
 		for nd := 0; nd < n; nd++ {
-			a := topo.Domains[topo.DomainOf(nd)].Name
-			b := back.Domains[back.DomainOf(nd)].Name
-			if a != b {
-				t.Fatalf("spec %q: node %d in %q, reparsed in %q", spec, nd, a, b)
+			for level := 0; level < topo.Levels(); level++ {
+				ai, err := topo.DomainOfAt(nd, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bi, err := back.DomainOfAt(nd, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := topo.Tree[level][ai].Name
+				b := back.Tree[level][bi].Name
+				if a != b {
+					t.Fatalf("spec %q: node %d in %q at level %d, reparsed in %q", spec, nd, a, level, b)
+				}
 			}
 		}
 	})

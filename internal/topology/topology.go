@@ -1,22 +1,38 @@
-// Package topology models correlated failure domains for the n nodes of
-// a placement: racks (flat) or a two-level zone→rack hierarchy. The
-// paper's adversary fails any k independent nodes; real outages take out
-// whole racks, power domains, or zones at once — the hierarchical
+// Package topology models hierarchical correlated failure domains for
+// the n nodes of a placement as a level-indexed tree of named domains:
+// region → zone → rack, any depth >= 1. The paper's adversary fails any
+// k independent nodes; real outages take out whole racks, power
+// domains, zones, or regions at once — the hierarchical
 // correlated-failure setting of Mills, Chandrasekaran & Mittal
-// (arXiv:1701.01539, arXiv:1503.02654). A Topology assigns every node to
-// exactly one domain and feeds two consumers:
+// (arXiv:1701.01539, arXiv:1503.02654).
+//
+// A Topology is a Tree of levels: Tree[0] is the coarsest level (e.g.
+// regions), Tree[Levels()-1] the leaves (racks). Every leaf domain owns
+// a disjoint set of nodes covering [0, n); every domain below the top
+// level nests in exactly one parent on the level above, and an interior
+// domain's node set is the union of its children's (derived, kept
+// up to date by validation). A depth-1 tree is the flat racks-only
+// topology; depth 2 is the zone→rack hierarchy.
+//
+// Three consumers feed off the tree:
 //
 //   - the domain-correlated adversary (package adversary), which fails
-//     whole domains instead of individual nodes, and
+//     whole domains at a chosen level instead of individual nodes,
 //   - the domain-aware placement post-pass (package placement), which
 //     relabels a placement's abstract node ids onto physical nodes so
-//     each object's replicas land in as many distinct domains as
-//     possible.
+//     each object's replicas spread across the top level first and then
+//     recursively within each subtree, and
+//   - Collapse(level), which projects any level to a flat depth-1
+//     topology — the one operation the level-taking engines need, so
+//     the generic search core runs unchanged at every depth.
 //
-// Topologies are constructed with Uniform / UniformHierarchy / New, or
-// parsed from a compact textual spec (ParseSpec); Spec renders the
-// canonical form of that spec, and ParseSpec∘Spec is the identity on
-// valid topologies (fuzz-tested).
+// Topologies are constructed with UniformTree (any depth), the
+// backward-compatible Uniform / UniformHierarchy / New wrappers, or
+// NewTree from explicit levels; or parsed from a compact textual spec
+// (ParseSpec) in which each leaf names its ancestor chain
+// ("rack@zone@region:nodes"). Spec renders the canonical form of that
+// spec, and ParseSpec∘Spec is the identity on valid topologies
+// (fuzz-tested at every depth).
 package topology
 
 import (
@@ -28,69 +44,102 @@ import (
 	"repro/internal/combin"
 )
 
-// Domain is one named failure domain (a rack): a set of node ids that
-// fail together. Zone indexes Topology.Zones, or is -1 in a flat
-// topology.
+// Leaf is the sentinel level value meaning "the leaf (finest) level" —
+// Levels()-1 — accepted everywhere a level is taken. It keeps callers
+// depth-agnostic: the default adversary and spread behavior is leaf
+// level at any depth.
+const Leaf = -1
+
+// Domain is one named failure domain at some level of a Topology: a set
+// of nodes that fail together. Parent indexes the level above (-1 at
+// the top level). Leaf domains list their nodes; an interior domain's
+// Nodes is the derived union of its children's, (re)computed by
+// validation.
 type Domain struct {
-	Name  string
-	Zone  int
-	Nodes []int
+	Name   string
+	Parent int
+	Nodes  []int
 }
 
-// Topology maps n nodes into named failure domains. Zones is empty for a
-// flat (racks-only) topology; otherwise every domain's Zone field indexes
-// it, giving a two-level zone→rack hierarchy.
+// Topology maps n nodes into a level-indexed tree of named failure
+// domains. Tree[0] is the coarsest level, Tree[len(Tree)-1] the leaf
+// level whose domains partition the nodes.
 type Topology struct {
-	N       int
-	Zones   []string
-	Domains []Domain
+	N    int
+	Tree [][]Domain
 
-	domainOf []int // node -> index into Domains
+	domainOf []int // node -> leaf domain index
 }
 
-// New builds and validates a topology from explicit domains. Every node
-// in [0, n) must appear in exactly one domain; domain names must be
-// non-empty and unique; zone indices must all be valid (or all -1 with
-// no zones declared).
-func New(n int, domains []Domain, zones []string) (*Topology, error) {
-	t := &Topology{N: n, Zones: zones, Domains: domains}
+// NewTree builds and validates a topology from explicit levels. Every
+// node in [0, n) must appear in exactly one leaf domain; every non-top
+// domain's Parent must index the level above (top-level parents are
+// -1); every interior domain must have at least one child; names must
+// be non-empty and unique within their level. Interior Nodes need not
+// be filled in — validation derives them from the leaves.
+func NewTree(n int, tree [][]Domain) (*Topology, error) {
+	t := &Topology{N: n, Tree: tree}
 	if err := t.index(); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// index (re)builds the node→domain map, validating all invariants.
+// New builds a depth-1 (zones nil) or depth-2 topology from leaf
+// domains, whose Parent fields index zones. It is the backward-
+// compatible constructor predating arbitrary-depth trees.
+func New(n int, domains []Domain, zones []string) (*Topology, error) {
+	if len(zones) == 0 {
+		return NewTree(n, [][]Domain{domains})
+	}
+	top := make([]Domain, len(zones))
+	for i, z := range zones {
+		top[i] = Domain{Name: z, Parent: -1}
+	}
+	return NewTree(n, [][]Domain{top, domains})
+}
+
+// index (re)builds the node→domain map and the derived interior node
+// sets, validating all invariants.
 func (t *Topology) index() error {
 	if t.N < 1 {
 		return fmt.Errorf("topology: n = %d must be positive", t.N)
 	}
-	if len(t.Domains) < 1 {
-		return fmt.Errorf("topology: no domains")
+	if len(t.Tree) < 1 {
+		return fmt.Errorf("topology: no levels")
 	}
-	names := make(map[string]bool, len(t.Domains))
+	for level, doms := range t.Tree {
+		if len(doms) < 1 {
+			return fmt.Errorf("topology: level %d has no domains", level)
+		}
+		names := make(map[string]bool, len(doms))
+		for di, d := range doms {
+			if d.Name == "" {
+				return fmt.Errorf("topology: level %d domain %d has no name", level, di)
+			}
+			if strings.ContainsAny(d.Name, ":;,@- \t\n") {
+				return fmt.Errorf("topology: domain name %q contains reserved characters", d.Name)
+			}
+			if names[d.Name] {
+				return fmt.Errorf("topology: duplicate domain name %q at level %d", d.Name, level)
+			}
+			names[d.Name] = true
+			if level == 0 {
+				if d.Parent != -1 {
+					return fmt.Errorf("topology: top-level domain %q has parent %d, want -1", d.Name, d.Parent)
+				}
+			} else if d.Parent < 0 || d.Parent >= len(t.Tree[level-1]) {
+				return fmt.Errorf("topology: domain %q parent %d out of range [0, %d) at level %d",
+					d.Name, d.Parent, len(t.Tree[level-1]), level-1)
+			}
+		}
+	}
+	leaves := t.Tree[len(t.Tree)-1]
 	t.domainOf = make([]int, t.N)
 	for i := range t.domainOf {
 		t.domainOf[i] = -1
 	}
-	for di, d := range t.Domains {
-		if d.Name == "" {
-			return fmt.Errorf("topology: domain %d has no name", di)
-		}
-		if strings.ContainsAny(d.Name, ":;,@- \t\n") {
-			return fmt.Errorf("topology: domain name %q contains reserved characters", d.Name)
-		}
-		if names[d.Name] {
-			return fmt.Errorf("topology: duplicate domain name %q", d.Name)
-		}
-		names[d.Name] = true
-		if len(t.Zones) == 0 {
-			if d.Zone != -1 {
-				return fmt.Errorf("topology: domain %q has zone %d but no zones declared", d.Name, d.Zone)
-			}
-		} else if d.Zone < 0 || d.Zone >= len(t.Zones) {
-			return fmt.Errorf("topology: domain %q zone %d out of range [0, %d)", d.Name, d.Zone, len(t.Zones))
-		}
+	for di, d := range leaves {
 		if len(d.Nodes) == 0 {
 			return fmt.Errorf("topology: domain %q is empty", d.Name)
 		}
@@ -100,33 +149,9 @@ func (t *Topology) index() error {
 			}
 			if t.domainOf[nd] != -1 {
 				return fmt.Errorf("topology: node %d in both %q and %q",
-					nd, t.Domains[t.domainOf[nd]].Name, d.Name)
+					nd, leaves[t.domainOf[nd]].Name, d.Name)
 			}
 			t.domainOf[nd] = di
-		}
-	}
-	zoneNames := make(map[string]bool, len(t.Zones))
-	zoneUsed := make([]bool, len(t.Zones))
-	for zi, z := range t.Zones {
-		if z == "" {
-			return fmt.Errorf("topology: zone %d has no name", zi)
-		}
-		if strings.ContainsAny(z, ":;,@- \t\n") {
-			return fmt.Errorf("topology: zone name %q contains reserved characters", z)
-		}
-		if zoneNames[z] {
-			return fmt.Errorf("topology: duplicate zone name %q", z)
-		}
-		zoneNames[z] = true
-	}
-	for _, d := range t.Domains {
-		if d.Zone >= 0 {
-			zoneUsed[d.Zone] = true
-		}
-	}
-	for zi, used := range zoneUsed {
-		if !used {
-			return fmt.Errorf("topology: zone %q has no domains", t.Zones[zi])
 		}
 	}
 	for nd, di := range t.domainOf {
@@ -134,12 +159,137 @@ func (t *Topology) index() error {
 			return fmt.Errorf("topology: node %d not in any domain", nd)
 		}
 	}
+	// Derive interior node sets bottom-up and insist every interior
+	// domain has at least one child (childless domains are inexpressible
+	// in the spec format, so they would break the round-trip).
+	for level := len(t.Tree) - 2; level >= 0; level-- {
+		for di := range t.Tree[level] {
+			t.Tree[level][di].Nodes = nil
+		}
+		for _, child := range t.Tree[level+1] {
+			d := &t.Tree[level][child.Parent]
+			d.Nodes = append(d.Nodes, child.Nodes...)
+		}
+		for di, d := range t.Tree[level] {
+			if len(d.Nodes) == 0 {
+				return fmt.Errorf("topology: level %d domain %q has no children", level, d.Name)
+			}
+			sort.Ints(t.Tree[level][di].Nodes)
+		}
+	}
 	return nil
 }
 
-// Validate re-checks every invariant (useful after manual mutation of the
-// exported fields) and refreshes the node→domain index.
+// Validate re-checks every invariant (useful after manual mutation of
+// the exported fields), refreshes the node→domain index, and recomputes
+// the derived interior node sets.
 func (t *Topology) Validate() error { return t.index() }
+
+// levelWord is the display name given to whole levels and to the
+// top-level domains of UniformTree topologies, by distance from the
+// leaves: racks, then zones, then regions, then numbered tiers.
+func levelWord(distFromLeaf int) string {
+	switch distFromLeaf {
+	case 0:
+		return "rack"
+	case 1:
+		return "zone"
+	case 2:
+		return "region"
+	default:
+		return fmt.Sprintf("tier%d", distFromLeaf-2)
+	}
+}
+
+// levelLetter is the single-letter tag used for path-encoded domain
+// names below the top level ("z0r1" = rack 1 of zone 0).
+func levelLetter(distFromLeaf int) string {
+	switch distFromLeaf {
+	case 0:
+		return "r"
+	case 1:
+		return "z"
+	case 2:
+		return "g"
+	default:
+		return "t"
+	}
+}
+
+// UniformTree builds a uniform topology of arbitrary depth: branching
+// lists the fan-out per level from the top down, so UniformTree(n, 4)
+// is 4 racks, UniformTree(n, 3, 2) is 3 zones of 2 racks, and
+// UniformTree(n, 2, 3, 4) is 2 regions × 3 zones × 4 racks. The n
+// nodes are spread over the leaf domains as evenly as possible
+// (contiguous blocks, the first n mod leaves racks one node larger).
+// Top-level domains are named by their level word ("rack0", "zone0",
+// "region0", ...); deeper domains path-encode their ancestry with
+// per-level letters ("z0r1", "g0z1r2"), which keeps depth-1 and
+// depth-2 output identical to Uniform and UniformHierarchy.
+func UniformTree(n int, branching ...int) (*Topology, error) {
+	depth := len(branching)
+	if depth == 0 {
+		return nil, fmt.Errorf("topology: no branching factors")
+	}
+	leaves := 1
+	for level, b := range branching {
+		if b < 1 {
+			return nil, fmt.Errorf("topology: branching %d at level %d must be positive", b, level)
+		}
+		leaves *= b
+	}
+	if leaves > n {
+		return nil, fmt.Errorf("topology: %d leaf domains exceed n = %d nodes", leaves, n)
+	}
+	tree := make([][]Domain, depth)
+	count := 1
+	for level, b := range branching {
+		count *= b
+		tree[level] = make([]Domain, count)
+		for i := range tree[level] {
+			parent := -1
+			if level > 0 {
+				parent = i / b
+			}
+			tree[level][i] = Domain{Name: uniformName(branching, level, i), Parent: parent}
+		}
+	}
+	next := 0
+	for i := range tree[depth-1] {
+		size := n / leaves
+		if i < n%leaves {
+			size++
+		}
+		nodes := make([]int, size)
+		for j := range nodes {
+			nodes[j] = next
+			next++
+		}
+		tree[depth-1][i].Nodes = nodes
+	}
+	return NewTree(n, tree)
+}
+
+// uniformName names domain i of the given level in a UniformTree:
+// "<levelword><i>" at the top, path-encoded letters below.
+func uniformName(branching []int, level, i int) string {
+	depth := len(branching)
+	if level == 0 {
+		return fmt.Sprintf("%s%d", levelWord(depth-1), i)
+	}
+	// Decompose i into per-level ordinals along the path from the top.
+	ordinals := make([]int, level+1)
+	for l := level; l >= 0; l-- {
+		ordinals[l] = i % branching[l]
+		i /= branching[l]
+	}
+	var sb strings.Builder
+	for l, ord := range ordinals {
+		sb.WriteString(levelLetter(depth - 1 - l))
+		sb.WriteString(strconv.Itoa(ord))
+	}
+	return sb.String()
+}
 
 // Uniform spreads n nodes over numDomains racks named rack0..rackD-1 as
 // evenly as possible: contiguous blocks, the first n mod numDomains racks
@@ -148,21 +298,7 @@ func Uniform(n, numDomains int) (*Topology, error) {
 	if numDomains < 1 || numDomains > n {
 		return nil, fmt.Errorf("topology: %d domains must satisfy 1 <= domains <= n = %d", numDomains, n)
 	}
-	domains := make([]Domain, numDomains)
-	next := 0
-	for i := range domains {
-		size := n / numDomains
-		if i < n%numDomains {
-			size++
-		}
-		nodes := make([]int, size)
-		for j := range nodes {
-			nodes[j] = next
-			next++
-		}
-		domains[i] = Domain{Name: fmt.Sprintf("rack%d", i), Zone: -1, Nodes: nodes}
-	}
-	return New(n, domains, nil)
+	return UniformTree(n, numDomains)
 }
 
 // UniformHierarchy builds a two-level topology: numZones zones named
@@ -173,80 +309,138 @@ func UniformHierarchy(n, numZones, racksPerZone int) (*Topology, error) {
 	if numZones < 1 || racksPerZone < 1 {
 		return nil, fmt.Errorf("topology: zones = %d, racks/zone = %d must be positive", numZones, racksPerZone)
 	}
-	racks := numZones * racksPerZone
-	if racks > n {
+	if racks := numZones * racksPerZone; racks > n {
 		return nil, fmt.Errorf("topology: %d racks exceed n = %d nodes", racks, n)
 	}
-	zones := make([]string, numZones)
-	for z := range zones {
-		zones[z] = fmt.Sprintf("zone%d", z)
-	}
-	domains := make([]Domain, racks)
-	next := 0
-	for i := range domains {
-		size := n / racks
-		if i < n%racks {
-			size++
-		}
-		nodes := make([]int, size)
-		for j := range nodes {
-			nodes[j] = next
-			next++
-		}
-		z := i / racksPerZone
-		domains[i] = Domain{Name: fmt.Sprintf("z%dr%d", z, i%racksPerZone), Zone: z, Nodes: nodes}
-	}
-	return New(n, domains, zones)
+	return UniformTree(n, numZones, racksPerZone)
 }
 
-// NumDomains returns the number of failure domains.
-func (t *Topology) NumDomains() int { return len(t.Domains) }
+// Levels returns the depth of the hierarchy: 1 for flat racks, 2 for
+// zone→rack, 3 for region→zone→rack, and so on.
+func (t *Topology) Levels() int { return len(t.Tree) }
 
-// DomainOf returns the index of the domain holding node nd.
+// ResolveLevel maps a caller-facing level (0 = top, Levels()-1 = leaf,
+// or the Leaf sentinel) to a concrete index, validating range.
+func (t *Topology) ResolveLevel(level int) (int, error) {
+	if level == Leaf {
+		return t.Levels() - 1, nil
+	}
+	if level < 0 || level >= t.Levels() {
+		return 0, fmt.Errorf("topology: level %d out of range [0, %d) (or topology.Leaf)", level, t.Levels())
+	}
+	return level, nil
+}
+
+// LevelName returns the display word for a level by its distance from
+// the leaves: the leaf level is "rack", the one above "zone", then
+// "region", then numbered tiers. Invalid levels return "level?".
+func (t *Topology) LevelName(level int) string {
+	l, err := t.ResolveLevel(level)
+	if err != nil {
+		return "level?"
+	}
+	return levelWord(t.Levels() - 1 - l)
+}
+
+// Leaves returns the leaf (finest) level's domains — the partition of
+// the nodes the flat consumers (DomainOf, FailedSet, placement's
+// DomainHits) operate on.
+func (t *Topology) Leaves() []Domain { return t.Tree[len(t.Tree)-1] }
+
+// NumDomains returns the number of leaf failure domains.
+func (t *Topology) NumDomains() int { return len(t.Leaves()) }
+
+// NumDomainsAt returns the number of domains at the given level.
+func (t *Topology) NumDomainsAt(level int) (int, error) {
+	l, err := t.ResolveLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.Tree[l]), nil
+}
+
+// DomainOf returns the index of the leaf domain holding node nd.
 func (t *Topology) DomainOf(nd int) int { return t.domainOf[nd] }
 
-// FailedSet returns the node bitset covered by the given domain indices —
-// the node-level footprint of a correlated domain failure.
+// DomainOfAt returns the index of the domain holding node nd at the
+// given level, chasing parent pointers up from the leaf.
+func (t *Topology) DomainOfAt(nd, level int) (int, error) {
+	l, err := t.ResolveLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	di := t.domainOf[nd]
+	for cur := t.Levels() - 1; cur > l; cur-- {
+		di = t.Tree[cur][di].Parent
+	}
+	return di, nil
+}
+
+// FailedSet returns the node bitset covered by the given leaf domain
+// indices — the node-level footprint of a correlated domain failure.
 func (t *Topology) FailedSet(domains []int) *combin.Bitset {
+	leaves := t.Leaves()
 	bs := combin.NewBitset(t.N)
 	for _, di := range domains {
-		for _, nd := range t.Domains[di].Nodes {
+		for _, nd := range leaves[di].Nodes {
 			bs.Set(nd)
 		}
 	}
 	return bs
 }
 
-// DomainNames maps domain indices to their names.
+// DomainNames maps leaf domain indices to their names.
 func (t *Topology) DomainNames(domains []int) []string {
+	return t.DomainNamesAt(Leaf, domains)
+}
+
+// DomainNamesAt maps domain indices at the given level to their names
+// (an invalid level yields nil — pair it with ResolveLevel when the
+// level is untrusted).
+func (t *Topology) DomainNamesAt(level int, domains []int) []string {
+	l, err := t.ResolveLevel(level)
+	if err != nil {
+		return nil
+	}
 	names := make([]string, len(domains))
 	for i, di := range domains {
-		names[i] = t.Domains[di].Name
+		names[i] = t.Tree[l][di].Name
 	}
 	return names
 }
 
-// ZoneLevel collapses a hierarchical topology to its zones: the returned
-// flat topology has one domain per zone, covering the union of the zone's
-// racks. It errors on an already-flat topology.
-func (t *Topology) ZoneLevel() (*Topology, error) {
-	if len(t.Zones) == 0 {
-		return nil, fmt.Errorf("topology: no zones to collapse to")
+// Collapse projects the given level to a flat depth-1 topology: one
+// leaf domain per level-l domain, in level order, covering the union of
+// its subtree's nodes. Collapse is how the level-taking adversary
+// engines and the hierarchical spreading pass reduce any depth to the
+// flat instance the generic search core runs on; Collapse(Leaf) is the
+// flat projection of the leaves themselves.
+func (t *Topology) Collapse(level int) (*Topology, error) {
+	l, err := t.ResolveLevel(level)
+	if err != nil {
+		return nil, err
 	}
-	domains := make([]Domain, len(t.Zones))
-	for z, name := range t.Zones {
-		domains[z] = Domain{Name: name, Zone: -1}
+	domains := make([]Domain, len(t.Tree[l]))
+	for i, d := range t.Tree[l] {
+		domains[i] = Domain{Name: d.Name, Parent: -1, Nodes: append([]int(nil), d.Nodes...)}
 	}
-	for _, d := range t.Domains {
-		domains[d.Zone].Nodes = append(domains[d.Zone].Nodes, d.Nodes...)
-	}
-	return New(t.N, domains, nil)
+	return NewTree(t.N, [][]Domain{domains})
 }
 
-// MaxDomainSize returns the node count of the largest domain.
+// ZoneLevel collapses a hierarchical topology to the level above the
+// racks (its zones, in a depth-2 tree). It errors on an already-flat
+// topology. Deprecated in favor of Collapse, which reaches any level.
+func (t *Topology) ZoneLevel() (*Topology, error) {
+	if t.Levels() < 2 {
+		return nil, fmt.Errorf("topology: no zones to collapse to")
+	}
+	return t.Collapse(t.Levels() - 2)
+}
+
+// MaxDomainSize returns the node count of the largest leaf domain.
 func (t *Topology) MaxDomainSize() int {
 	maxSize := 0
-	for _, d := range t.Domains {
+	for _, d := range t.Leaves() {
 		if len(d.Nodes) > maxSize {
 			maxSize = len(d.Nodes)
 		}
@@ -254,20 +448,23 @@ func (t *Topology) MaxDomainSize() int {
 	return maxSize
 }
 
-// Spec renders the canonical textual form parsed by ParseSpec:
-// domains separated by ';', each "name:nodes" (flat) or "name@zone:nodes"
-// (hierarchical), with nodes as comma-separated values and a-b ranges
-// over sorted node ids. Example: "rack0:0-3;rack1:4-6".
+// Spec renders the canonical textual form parsed by ParseSpec: leaf
+// domains separated by ';', each "name:nodes" with the name extended by
+// its '@'-separated ancestor chain ("rack@zone@region") below depth 1,
+// and nodes as comma-separated values with a-b ranges over sorted node
+// ids. Example: "z0r0@zone0:0-3;z0r1@zone0:4-6;z1r0@zone1:7-9".
 func (t *Topology) Spec() string {
 	var sb strings.Builder
-	for i, d := range t.Domains {
+	leafLevel := t.Levels() - 1
+	for i, d := range t.Leaves() {
 		if i > 0 {
 			sb.WriteByte(';')
 		}
 		sb.WriteString(d.Name)
-		if d.Zone >= 0 {
+		for level, p := leafLevel-1, d.Parent; level >= 0; level-- {
 			sb.WriteByte('@')
-			sb.WriteString(t.Zones[d.Zone])
+			sb.WriteString(t.Tree[level][p].Name)
+			p = t.Tree[level][p].Parent
 		}
 		sb.WriteByte(':')
 		nodes := append([]int(nil), d.Nodes...)
@@ -291,38 +488,52 @@ func (t *Topology) Spec() string {
 	return sb.String()
 }
 
-// ParseSpec parses the Spec format for n nodes. Zones are declared
-// implicitly by first use and ordered by first appearance; a spec must
-// name zones on either all or none of its domains.
+// ParseSpec parses the Spec format for n nodes. Every leaf domain
+// carries the same-length ancestor chain (deepest first), fixing the
+// tree depth; ancestor domains are declared implicitly by first use and
+// ordered by first appearance within their level, and naming an
+// ancestor under two different parents is an error.
 func ParseSpec(n int, spec string) (*Topology, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("topology: empty spec")
 	}
 	var (
-		domains []Domain
-		zones   []string
-		zoneIdx = make(map[string]int)
-		sawZone bool
-		sawFlat bool
+		tree     [][]Domain
+		levelIdx []map[string]int
+		depth    = -1
 	)
 	for _, part := range strings.Split(spec, ";") {
 		head, nodesPart, ok := strings.Cut(part, ":")
 		if !ok {
 			return nil, fmt.Errorf("topology: domain %q missing ':'", part)
 		}
-		name, zoneName, hasZone := strings.Cut(head, "@")
-		zone := -1
-		if hasZone {
-			sawZone = true
-			zi, seen := zoneIdx[zoneName]
-			if !seen {
-				zi = len(zones)
-				zones = append(zones, zoneName)
-				zoneIdx[zoneName] = zi
+		chain := strings.Split(head, "@")
+		name := chain[0]
+		if depth == -1 {
+			depth = len(chain)
+			tree = make([][]Domain, depth)
+			levelIdx = make([]map[string]int, depth)
+			for l := range levelIdx {
+				levelIdx[l] = make(map[string]int)
 			}
-			zone = zi
-		} else {
-			sawFlat = true
+		} else if len(chain) != depth {
+			return nil, fmt.Errorf("topology: domain %q names %d levels, others name %d",
+				name, len(chain), depth)
+		}
+		// Resolve the ancestor chain top-down: chain[depth-1] is the
+		// top-level name, chain[1] the leaf's parent.
+		parent := -1
+		for level := 0; level < depth-1; level++ {
+			anc := chain[depth-1-level]
+			idx, seen := levelIdx[level][anc]
+			if !seen {
+				idx = len(tree[level])
+				tree[level] = append(tree[level], Domain{Name: anc, Parent: parent})
+				levelIdx[level][anc] = idx
+			} else if tree[level][idx].Parent != parent {
+				return nil, fmt.Errorf("topology: domain %q appears under two parents at level %d", anc, level)
+			}
+			parent = idx
 		}
 		var nodes []int
 		for _, tok := range strings.Split(nodesPart, ",") {
@@ -347,10 +558,7 @@ func ParseSpec(n int, spec string) (*Topology, error) {
 				nodes = append(nodes, v)
 			}
 		}
-		domains = append(domains, Domain{Name: name, Zone: zone, Nodes: nodes})
+		tree[depth-1] = append(tree[depth-1], Domain{Name: name, Parent: parent, Nodes: nodes})
 	}
-	if sawZone && sawFlat {
-		return nil, fmt.Errorf("topology: mix of zoned and zoneless domains")
-	}
-	return New(n, domains, zones)
+	return NewTree(n, tree)
 }

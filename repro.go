@@ -21,11 +21,15 @@
 //     (Vuln, prAvail — Theorem 2, Definition 6, Lemma 4);
 //   - an exact/branch-and-bound worst-case adversary for evaluating
 //     Avail(π) on concrete placements;
-//   - failure-domain topologies (racks, zone→rack hierarchies), a
-//     domain-correlated adversary that fails whole domains, and a
-//     domain-aware spreading post-pass (SpreadAcrossDomains) that maps
-//     abstract node ids onto physical nodes without ever hurting
-//     availability under the domain adversary;
+//   - failure-domain topologies of any depth (flat racks, zone→rack,
+//     region→zone→rack and deeper, as level-indexed trees), a
+//     domain-correlated adversary that fails whole domains of any
+//     chosen level (the At variants; Topology.Collapse projects a level
+//     to the flat view the shared search core runs on), and a
+//     hierarchical domain-aware spreading post-pass
+//     (SpreadAcrossDomains) that maps abstract node ids onto physical
+//     nodes — optionally under per-rack replica caps — without ever
+//     hurting availability under the domain adversary at any level;
 //   - a cluster simulation layer (NewCluster) with object lifecycle,
 //     failure injection, and adaptive capacity growth.
 //
@@ -63,10 +67,13 @@ type (
 	SimpleOptions = placement.SimpleOptions
 	// AttackResult reports a worst-case failure search outcome.
 	AttackResult = adversary.Result
-	// Topology maps nodes into named failure domains (racks, zones).
+	// Topology maps nodes into a level-indexed tree of named failure
+	// domains (regions, zones, racks — any depth >= 1).
 	Topology = topology.Topology
 	// FailureDomain is one named domain of a Topology.
 	FailureDomain = topology.Domain
+	// SpreadOptions tunes SpreadAcrossDomainsWith (per-rack replica caps).
+	SpreadOptions = placement.SpreadOpts
 	// DomainAttackResult reports a worst-case correlated (whole-domain)
 	// failure search outcome.
 	DomainAttackResult = adversary.DomainResult
@@ -85,6 +92,10 @@ const (
 	StrategyCombo  = cluster.StrategyCombo
 	StrategyRandom = cluster.StrategyRandom
 )
+
+// LeafLevel selects the leaf (finest) level of a topology wherever an
+// attack level is taken — the default the level-less functions use.
+const LeafLevel = topology.Leaf
 
 // PlanCombo chooses the availability-optimal Combo configuration ⟨λx⟩ for
 // placing b objects on n nodes (r replicas, fatality threshold s) against
@@ -180,6 +191,23 @@ func HierarchicalTopology(n, zones, racksPerZone int) (*Topology, error) {
 	return topology.UniformHierarchy(n, zones, racksPerZone)
 }
 
+// TreeTopology builds a uniform failure hierarchy of any depth:
+// branching is the fan-out per level from the top down, so
+// TreeTopology(n, 2, 3, 4) is 2 regions × 3 zones × 4 racks. Use
+// Topology.Collapse(level) for the flat view of any level, and the At
+// functions below to attack one.
+func TreeTopology(n int, branching ...int) (*Topology, error) {
+	return topology.UniformTree(n, branching...)
+}
+
+// ParseTopology parses the textual topology spec format for n nodes:
+// ';'-separated leaf domains, each naming its ancestor chain
+// ("rack@zone@region:nodes"). Topology.Spec renders the canonical form
+// back.
+func ParseTopology(n int, spec string) (*Topology, error) {
+	return topology.ParseSpec(n, spec)
+}
+
 // SpreadAcrossDomains relabels a placement's abstract node ids onto
 // physical nodes so each object's replicas land in maximally distinct
 // failure domains. The result is never worse than the input under the
@@ -188,6 +216,13 @@ func HierarchicalTopology(n, zones, racksPerZone int) (*Topology, error) {
 // blind). It returns the relabeled placement and the mapping used.
 func SpreadAcrossDomains(pl *Placement, topo *Topology, s, d int) (*Placement, []int, error) {
 	return placement.SpreadAcrossDomains(pl, topo, s, d)
+}
+
+// SpreadAcrossDomainsWith is SpreadAcrossDomains with explicit options:
+// SpreadOptions.Caps bounds the replicas each leaf domain may absorb
+// (the never-worse guarantee then holds among cap-feasible layouts).
+func SpreadAcrossDomainsWith(pl *Placement, topo *Topology, s, d int, opts SpreadOptions) (*Placement, []int, error) {
+	return placement.SpreadAcrossDomainsWith(pl, topo, s, d, opts)
 }
 
 // DomainSpread reports per-object domain-spread statistics.
@@ -201,10 +236,23 @@ func DomainAvail(pl *Placement, topo *Topology, s, d int, budget int64) (int, Do
 	return adversary.DomainAvail(pl, topo, s, d, budget)
 }
 
+// DomainAvailAt is DomainAvail with the adversary failing whole domains
+// of the given topology level (0 = top, LeafLevel = racks).
+func DomainAvailAt(pl *Placement, topo *Topology, level, s, d int, budget int64) (int, DomainAttackResult, error) {
+	return adversary.DomainAvailAt(pl, topo, level, s, d, budget)
+}
+
 // WorstDomainAttack returns the most damaging d-whole-domain failure
 // found (see DomainAvail for budget semantics).
 func WorstDomainAttack(pl *Placement, topo *Topology, s, d int, budget int64) (DomainAttackResult, error) {
 	return adversary.DomainWorstCase(pl, topo, s, d, budget)
+}
+
+// WorstDomainAttackAt is WorstDomainAttack against whole domains of the
+// given topology level — fail zones or regions instead of racks with no
+// other change; the search core is identical at every level.
+func WorstDomainAttackAt(pl *Placement, topo *Topology, level, s, d int, budget int64) (DomainAttackResult, error) {
+	return adversary.DomainWorstCaseAt(pl, topo, level, s, d, budget)
 }
 
 // WorstDomainAttackParallel is WorstDomainAttack fanned out over worker
@@ -216,11 +264,24 @@ func WorstDomainAttackParallel(pl *Placement, topo *Topology, s, d int, budget i
 	return adversary.DomainWorstCasePar(pl, topo, s, d, budget, workers)
 }
 
+// WorstDomainAttackParallelAt is WorstDomainAttackParallel against
+// whole domains of the given topology level.
+func WorstDomainAttackParallelAt(pl *Placement, topo *Topology, level, s, d int, budget int64, workers int) (DomainAttackResult, error) {
+	return adversary.DomainWorstCaseParAt(pl, topo, level, s, d, budget, workers)
+}
+
 // WorstConstrainedAttack returns the most damaging k-node failure
 // confined to at most d failure domains — the paper's adversary with a
 // correlation budget.
 func WorstConstrainedAttack(pl *Placement, topo *Topology, s, k, d int, budget int64) (DomainAttackResult, error) {
 	return adversary.ConstrainedWorstCase(pl, topo, s, k, d, budget)
+}
+
+// WorstConstrainedAttackAt is WorstConstrainedAttack with the blast
+// radius counted in whole domains of the given topology level (k node
+// failures inside at most d zones, regions, ...).
+func WorstConstrainedAttackAt(pl *Placement, topo *Topology, level, s, k, d int, budget int64) (DomainAttackResult, error) {
+	return adversary.ConstrainedWorstCaseAt(pl, topo, level, s, k, d, budget)
 }
 
 // WorstConstrainedAttackParallel is WorstConstrainedAttack with the

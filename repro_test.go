@@ -141,3 +141,103 @@ func ExamplePlanCombo() {
 	// lambdas: [0 1]
 	// guaranteed available: 594
 }
+
+// TestMultiRegionFacade drives the acceptance scenario end to end
+// through the public facade: a depth-3 region→zone→rack topology is
+// parsed from a spec, attacked at each of its three levels via the
+// shared search core, spread hierarchically (with and without rack
+// caps), and never loses availability to the oblivious layout at any
+// level.
+func TestMultiRegionFacade(t *testing.T) {
+	const (
+		n, r, s, k = 12, 3, 2, 6
+		b          = 16
+	)
+	spec, _, err := repro.PlanComboConstructible(n, r, s, k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := repro.Materialize(n, r, spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := repro.TreeTopology(n, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Levels() != 3 {
+		t.Fatalf("Levels = %d, want 3", topo.Levels())
+	}
+	// The spec round-trips through the facade parser.
+	back, err := repro.ParseTopology(n, topo.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec() != topo.Spec() {
+		t.Errorf("spec round trip changed: %q -> %q", topo.Spec(), back.Spec())
+	}
+
+	aware, _, err := repro.SpreadAcrossDomains(pl, topo, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level < topo.Levels(); level++ {
+		obliv, err := repro.WorstDomainAttackAt(pl, topo, level, s, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spreadRes, err := repro.WorstDomainAttackAt(aware, topo, level, s, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obliv.Exact || !spreadRes.Exact {
+			t.Fatalf("level %d: exact searches expected", level)
+		}
+		if spreadRes.Failed > obliv.Failed {
+			t.Errorf("level %d: aware fails %d > oblivious %d", level, spreadRes.Failed, obliv.Failed)
+		}
+		// The parallel engine agrees with the serial one at every level.
+		par, err := repro.WorstDomainAttackParallelAt(pl, topo, level, s, 1, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Failed != obliv.Failed {
+			t.Errorf("level %d: parallel %d != serial %d", level, par.Failed, obliv.Failed)
+		}
+	}
+	// Constrained at region level: k nodes inside one region.
+	conRes, err := repro.WorstConstrainedAttackAt(aware, topo, 0, s, k, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := repro.WorstAttack(aware, s, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conRes.Failed > free.Failed {
+		t.Errorf("region-confined attack %d beats the free adversary %d", conRes.Failed, free.Failed)
+	}
+	// Capped spread through the facade: no rack over its cap.
+	caps := make([]int, topo.NumDomains())
+	for i := range caps {
+		caps[i] = 8
+	}
+	capped, _, err := repro.SpreadAcrossDomainsWith(pl, topo, s, 1, repro.SpreadOptions{Caps: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadStats, err := repro.DomainSpread(capped, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spreadStats.MinDomains < 1 {
+		t.Errorf("capped spread min domains = %d", spreadStats.MinDomains)
+	}
+	availAt, _, err := repro.DomainAvailAt(capped, topo, repro.LeafLevel, s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if availAt < 0 || availAt > b {
+		t.Errorf("DomainAvailAt out of range: %d", availAt)
+	}
+}
