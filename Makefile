@@ -8,7 +8,7 @@ SHELL := /bin/bash
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: build vet test test-short bench
+.PHONY: build vet test test-short bench bench-check
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH.json
 	@echo wrote BENCH.json
+
+# bench-check regenerates a fresh baseline into BENCH.new.json (leaving
+# the committed BENCH.json untouched) and fails when any deterministic
+# visited-states metric regressed by more than 10% against it — the
+# guard CI runs on every push (see cmd/benchcheck). Wall-clock numbers
+# are machine-dependent and not checked, so BENCHTIME=1x is fine.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH.new.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH.json -new BENCH.new.json
+	rm -f BENCH.new.json

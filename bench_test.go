@@ -387,6 +387,75 @@ func BenchmarkDomainWorstCasePar(b *testing.B) {
 	}
 }
 
+// BenchmarkWeightedWorstCase tracks the weighted adversary on the
+// 120-rack instance of BenchmarkDomainWorstCasePar: "unit" runs with an
+// explicit all-ones weight vector and must reproduce the unweighted
+// engine byte for byte (damage AND visited states — the weights≡1
+// acceptance pin, asserted every run), "hot" gives every 16th node
+// weight 8 and maximizes lost weight. The visited-states metrics are
+// deterministic and guarded by make bench-check.
+func BenchmarkWeightedWorstCase(b *testing.B) {
+	topo, err := topology.UniformHierarchy(240, 10, 12) // 120 racks in 10 zones
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := randplace.Generate(placement.Params{N: 240, B: 600, R: 3, S: 2, K: 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const s, d = 2, 4
+	plain, err := adversary.DomainWorstCase(pl, topo, s, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ones := make([]int64, pl.B())
+	for i := range ones {
+		ones[i] = 1
+	}
+	weights := make([]int, topo.N)
+	for i := range weights {
+		weights[i] = 1
+		if i%16 == 0 {
+			weights[i] = 8
+		}
+	}
+	topo.Weights = weights
+	hotW, err := placement.ObjectWeights(pl, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unit", func(b *testing.B) {
+		var visited int64
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCaseWith(pl, topo, s, d, adversary.SearchOpts{ObjWeights: ones})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != plain.Failed || res.Visited != plain.Visited {
+				b.Fatalf("unit weights diverge: %+v vs unweighted %+v", res, plain)
+			}
+			visited = res.Visited
+		}
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+	b.Run("hot", func(b *testing.B) {
+		var visited int64
+		for i := 0; i < b.N; i++ {
+			res, err := adversary.DomainWorstCaseWith(pl, topo, s, d, adversary.SearchOpts{ObjWeights: hotW})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Weights >= 1, so the weighted optimum dominates the count
+			// optimum (the count-optimal attack already weighs that much).
+			if res.Failed < plain.Failed {
+				b.Fatalf("weighted damage %d below unweighted %d", res.Failed, plain.Failed)
+			}
+			visited = res.Visited
+		}
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+}
+
 // zoneConfinedPlacement places each object's r replicas inside one
 // random zone — the partition-heavy layout (objects live and die with
 // their zone) where the residual-load bound prunes deepest. Real

@@ -1,0 +1,122 @@
+// Command benchcheck compares a freshly generated BENCH.json against a
+// committed baseline and fails on regressions in the DETERMINISTIC
+// benchmark metrics — the adversary core's visited-states counters,
+// which measure search effort independently of the machine. Wall-clock
+// numbers (ns/op) vary with hardware and are deliberately not checked.
+//
+// A benchmark regresses when its fresh metric exceeds the baseline by
+// more than the tolerance (default 10%), and when a baseline benchmark
+// disappears entirely (coverage loss is a regression too; intentional
+// removals update the committed BENCH.json in the same change). New
+// benchmarks absent from the baseline pass — they become tracked once
+// the regenerated BENCH.json is committed.
+//
+// Usage:
+//
+//	go run ./cmd/benchcheck -baseline BENCH.json -new BENCH.new.json [-tolerance 0.10]
+//
+// `make bench-check` wires this against the committed baseline; CI runs
+// it on every push.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchmark mirrors the cmd/benchjson row shape (only the fields the
+// check needs).
+type benchmark struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH.json", "committed baseline BENCH.json")
+	newPath := flag.String("new", "BENCH.new.json", "freshly generated BENCH.json")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative increase before a metric counts as regressed")
+	metric := flag.String("metric", "visited-states", "deterministic metric to compare")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	failures, checked := compare(baseline, fresh, *metric, *tolerance)
+	fmt.Printf("benchcheck: %d %s metrics compared against %s (tolerance %.0f%%)\n",
+		checked, *metric, *baselinePath, *tolerance*100)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline has no %s metrics — nothing was checked\n", *metric)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}
+
+func load(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// key identifies a benchmark row across reports.
+func key(b benchmark) string { return b.Package + " " + b.Name }
+
+// compare returns the regression messages (stable order) and the number
+// of baseline metrics that were compared.
+func compare(baseline, fresh report, metric string, tolerance float64) ([]string, int) {
+	freshVals := make(map[string]float64)
+	for _, b := range fresh.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok {
+			freshVals[key(b)] = v
+		}
+	}
+	var failures []string
+	checked := 0
+	for _, b := range baseline.Benchmarks {
+		base, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		checked++
+		now, ok := freshVals[key(b)]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s metric disappeared (baseline %.0f); update BENCH.json if the benchmark was intentionally removed",
+					key(b), metric, base))
+			continue
+		}
+		if now > base*(1+tolerance)+0.5 {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					key(b), metric, base, now, 100*(now-base)/base, tolerance*100))
+		}
+	}
+	sort.Strings(failures)
+	return failures, checked
+}

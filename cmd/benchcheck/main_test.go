@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(pkg, name string, visited float64) benchmark {
+	return benchmark{Name: name, Package: pkg, Metrics: map[string]float64{"visited-states": visited}}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := report{Benchmarks: []benchmark{
+		bench("repro", "BenchmarkA-8", 1000),
+		bench("repro", "BenchmarkB-8", 200),
+		bench("repro", "BenchmarkGone-8", 50),
+		{Name: "BenchmarkNoMetric-8", Package: "repro", Metrics: map[string]float64{"ns/op": 123}},
+	}}
+	fresh := report{Benchmarks: []benchmark{
+		bench("repro", "BenchmarkA-8", 1099), // +9.9%: inside tolerance
+		bench("repro", "BenchmarkB-8", 260),  // +30%: regression
+		bench("repro", "BenchmarkNew-8", 999999),
+	}}
+	failures, checked := compare(baseline, fresh, "visited-states", 0.10)
+	if checked != 3 {
+		t.Errorf("checked %d baseline metrics, want 3", checked)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want the +30%% regression and the disappearance", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "BenchmarkB-8") || !strings.Contains(joined, "200 -> 260") {
+		t.Errorf("missing the BenchmarkB regression: %v", failures)
+	}
+	if !strings.Contains(joined, "BenchmarkGone-8") || !strings.Contains(joined, "disappeared") {
+		t.Errorf("missing the disappearance failure: %v", failures)
+	}
+	if strings.Contains(joined, "BenchmarkA-8") || strings.Contains(joined, "BenchmarkNew-8") {
+		t.Errorf("within-tolerance or new benchmarks flagged: %v", failures)
+	}
+
+	// Identical reports pass; small absolute wiggle on tiny counts
+	// stays within the +0.5 guard.
+	failures, _ = compare(baseline, baseline, "visited-states", 0.10)
+	if len(failures) != 0 {
+		t.Errorf("self-comparison failed: %v", failures)
+	}
+	small := report{Benchmarks: []benchmark{bench("repro", "BenchmarkTiny-8", 4)}}
+	smallNow := report{Benchmarks: []benchmark{bench("repro", "BenchmarkTiny-8", 4.4)}}
+	if failures, _ = compare(small, smallNow, "visited-states", 0.10); len(failures) != 0 {
+		t.Errorf("sub-unit wiggle flagged: %v", failures)
+	}
+}

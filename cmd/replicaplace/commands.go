@@ -10,6 +10,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/randplace"
 	"repro/internal/search"
+	"repro/internal/topology"
 )
 
 // cmdPlan runs the DP and prints the chosen ⟨λx⟩ with its guarantee.
@@ -81,7 +82,11 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 	if err != nil {
 		return err
 	}
-	aware, _, err := placement.SpreadAcrossDomains(combo, topo, mf.s, tf.dfail)
+	// Weighted topologies are spread weighted-aware; capped ones (cap=
+	// annotations or -caps) are spread under their caps — an infeasible
+	// cap set surfaces the checker's certificate as this error.
+	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
+		placement.SpreadOpts{Weighted: topo.Weighted()})
 	if err != nil {
 		return err
 	}
@@ -117,6 +122,45 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 		spread.Avail(mf.b), mf.b, 100*float64(spread.Avail(mf.b))/float64(mf.b))
 	if stats {
 		fmt.Fprint(w, statsLine("domain-aware", opts.Bound, spread.Visited, opts.Budget, spread.Exact))
+	}
+	if topo.Weighted() {
+		if err := weightedDomainSection(w, topo, tf.level, mf.s, dl, opts,
+			[]namedLayout{{"domain-oblivious", combo}, {"domain-aware", aware}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// namedLayout pairs a placement with its display name for the weighted
+// sections.
+type namedLayout struct {
+	name string
+	pl   *placement.Placement
+}
+
+// weightedDomainSection prints the lost-weight picture of the same
+// whole-domain attack for each layout: the adversary maximizes the
+// failed objects' total weight (objects inherit their hottest replica
+// host's weight), so hot-node topologies expose risk the plain object
+// count hides.
+func weightedDomainSection(w io.Writer, topo *topology.Topology, level, s, dl int,
+	opts adversary.SearchOpts, layouts []namedLayout) error {
+	fmt.Fprintf(w, "  weighted (node weights set; adversary maximizes lost weight):\n")
+	for _, layout := range layouts {
+		objW, err := placement.ObjectWeights(layout.pl, topo)
+		if err != nil {
+			return err
+		}
+		wOpts := opts
+		wOpts.ObjWeights = objW
+		res, err := adversary.DomainWorstCaseAtWith(layout.pl, topo, level, s, dl, wOpts)
+		if err != nil {
+			return err
+		}
+		total := placement.SumWeights(objW, layout.pl.B())
+		fmt.Fprintf(w, "    %-24s loses weight %d of %d (%.2f%% survives)\n",
+			layout.name+":", res.Failed, total, 100*float64(total-int64(res.Failed))/float64(total))
 	}
 	return nil
 }
@@ -239,6 +283,20 @@ func cmdAttack(args []string, w io.Writer) error {
 		dl, word, topo.DomainNamesAt(tf.level, dres.Domains), dres.Failed, dmode)
 	fmt.Fprintf(w, "correlated Avail = %d (%.2f%%), search visited %d states\n",
 		dres.Avail(pl.B()), 100*float64(dres.Avail(pl.B()))/float64(pl.B()), dres.Visited)
+	if topo.Weighted() {
+		objW, err := placement.ObjectWeights(pl, topo)
+		if err != nil {
+			return err
+		}
+		wres, err := adversary.DomainWorstCaseAtWith(pl, topo, tf.level, *s, dl,
+			adversary.SearchOpts{Budget: *budget, Bound: bound, ObjWeights: objW})
+		if err != nil {
+			return err
+		}
+		total := placement.SumWeights(objW, pl.B())
+		fmt.Fprintf(w, "weighted correlated: worst %d-%s failure %v loses weight %d of %d\n",
+			dl, word, topo.DomainNamesAt(tf.level, wres.Domains), wres.Failed, total)
+	}
 	return nil
 }
 

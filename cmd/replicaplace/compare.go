@@ -114,7 +114,8 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 	if err != nil {
 		return err
 	}
-	aware, _, err := placement.SpreadAcrossDomains(combo, topo, mf.s, tf.dfail)
+	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
+		placement.SpreadOpts{Weighted: topo.Weighted()})
 	if err != nil {
 		return err
 	}
@@ -138,6 +139,12 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		fmt.Fprintf(w, "  %s: Avail = %d (%s)\n", layout.name, res.Avail(mf.b), exactness(res.Exact))
 		if stats {
 			fmt.Fprint(w, statsLine(strings.TrimSpace(layout.name), opts.Bound, res.Visited, opts.Budget, res.Exact))
+		}
+	}
+	if topo.Weighted() {
+		if err := weightedDomainSection(w, topo, tf.level, mf.s, dl, opts,
+			[]namedLayout{{"combo, domain-oblivious", combo}, {"combo, domain-aware", aware}}); err != nil {
+			return err
 		}
 	}
 	if trials < 1 {

@@ -67,6 +67,17 @@ var goldenCases = []struct {
 		"-trials", "1", "-budget", "0", "-topo", deepSpec, "-level", "0"}},
 	{"topology_tree_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
 		"-topo", deepSpec, "-dfail", "1", "-budget", "0"}},
+	// -weights switches the topology sections to ALSO report lost
+	// weight (hot node 0 and a warm node 6); -caps annotates domains
+	// with replica caps the spreading pass must respect — the rendered
+	// spec line shows the cap= annotation, and the spread stays
+	// feasible, so the availability numbers are unchanged.
+	{"plan_weighted_n13", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-racks", "4", "-dfail", "1", "-weights", "0*4,6*2"}},
+	{"compare_weighted_n13", []string{"compare", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+		"-trials", "1", "-budget", "0", "-racks", "4", "-dfail", "1", "-weights", "0*5"}},
+	{"topology_caps_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
+		"-racks", "3", "-dfail", "1", "-budget", "0", "-caps", "rack0=8"}},
 }
 
 // deepSpec is the depth-3 topology the -topo golden cases share:

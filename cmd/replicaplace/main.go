@@ -12,14 +12,24 @@
 //
 // Usage:
 //
-//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static]
+//	replicaplace plan    -n 71 -r 3 -s 2 -k 4 -b 600 [-racks 8 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static] [-weights 0*4] [-caps rack0=8]
 //	replicaplace place   -n 71 -r 3 -s 2 -k 4 -b 600 -out placement.json
-//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000] [-bound static] [-topo spec -level 0 -dfail 1]
+//	replicaplace attack  -in placement.json -s 2 -k 4 [-budget 5000000] [-bound static] [-topo spec -level 0 -dfail 1] [-weights 0*4]
 //	replicaplace analyze -n 71 -r 3 -s 2 -k 4 -b 600
-//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static]
-//	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-topo spec] [-level 1] [-dfail 1]
+//	replicaplace compare -n 13 -r 3 -s 2 -k 3 -b 26 [-racks 4 -dfail 1] [-topo spec -level 0] [-workers 8] [-stats] [-bound static] [-weights 0*4]
+//	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-topo spec] [-level 1] [-dfail 1] [-weights 0*4] [-caps rack0=8]
 //	replicaplace experiment -fig 9a [-full] [-workers 8]
 //	replicaplace experiment -fig domains [-bound static]
+//
+// Heterogeneity: -weights marks hot nodes ("0*4,6-8*2": node 0 weighs
+// 4, nodes 6-8 weigh 2, the rest 1) — the topology sections then also
+// report LOST WEIGHT, with each object inheriting its hottest replica
+// host's weight, and the spreading pass minimizes lost weight instead
+// of lost objects. -caps bounds the replicas any domain's subtree may
+// absorb ("rack0=8,zone1=12", any level of the tree); an unsatisfiable
+// cap set fails with a pigeonhole certificate naming the violated
+// subtree ("zone z1 allows 3 replicas but its racks need 5"). Both
+// annotations can also live inside a -topo spec ("rack0 cap=8:0*4,1-2").
 //
 // The -workers flag fans the branch-and-bound adversaries out over that
 // many goroutines (0 = GOMAXPROCS, 1 = serial); exact search results are

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/adversary"
@@ -16,11 +17,13 @@ import (
 // explicit spec of any depth); -level picks which level of the tree the
 // correlated adversary attacks.
 type topologyFlags struct {
-	racks int
-	zones int
-	dfail int
-	spec  string
-	level int
+	racks   int
+	zones   int
+	dfail   int
+	spec    string
+	level   int
+	weights string
+	caps    string
 }
 
 // addTopologyFlags registers the shared failure-domain flags.
@@ -37,6 +40,8 @@ func addTopologyFlags(fs *flag.FlagSet, defaultRacks int) *topologyFlags {
 	fs.IntVar(&tf.dfail, "dfail", 1, "whole-domain failures the correlated adversary may pick")
 	fs.StringVar(&tf.spec, "topo", "", "explicit topology spec of any depth (rack@zone@region:nodes;...), instead of -racks/-zones")
 	fs.IntVar(&tf.level, "level", topology.Leaf, "topology level the domain adversary attacks (0 = top, -1 = leaf racks)")
+	fs.StringVar(&tf.weights, "weights", "", "node weights as node[-node]*w tokens (e.g. 0*4,6-8*2; unlisted nodes weigh 1) — adversary sections additionally score lost weight")
+	fs.StringVar(&tf.caps, "caps", "", "per-domain replica caps as name=N pairs (e.g. rack0=8,zone1=12; any level) — the spreading pass must respect them")
 	return tf
 }
 
@@ -61,7 +66,7 @@ func (tf *topologyFlags) validate(fs *flag.FlagSet) error {
 		return fmt.Errorf("topology: -topo excludes -racks/-zones")
 	}
 	if !tf.enabled() {
-		for _, orphan := range []string{"zones", "dfail", "level"} {
+		for _, orphan := range []string{"zones", "dfail", "level", "weights", "caps"} {
 			if has(orphan) {
 				return fmt.Errorf("topology: -%s has no effect without -racks or -topo", orphan)
 			}
@@ -70,34 +75,119 @@ func (tf *topologyFlags) validate(fs *flag.FlagSet) error {
 	return nil
 }
 
-// build materializes the topology the flags describe for n nodes.
-func (tf *topologyFlags) build(n int) (*topology.Topology, error) {
-	if tf.spec != "" {
-		topo, err := topology.ParseSpec(n, tf.spec)
+// parseWeightsSpec parses the -weights flag: comma-separated
+// node[-node]*w tokens reusing the topology spec's node-token grammar.
+// base carries weights already declared (e.g. *w annotations inside a
+// -topo spec): listed nodes override it, unlisted nodes keep it (or
+// weigh 1 when base is nil).
+func parseWeightsSpec(n int, spec string, base []int) ([]int, error) {
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	copy(weights, base)
+	for _, tok := range strings.Split(spec, ",") {
+		body, wstr, ok := strings.Cut(tok, "*")
+		if !ok {
+			return nil, fmt.Errorf("weights: token %q missing *weight", tok)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weights: bad weight in %q (want an integer >= 1)", tok)
+		}
+		lo, hi, isRange := strings.Cut(body, "-")
+		a, err := strconv.Atoi(lo)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("weights: bad node in %q", tok)
 		}
-		if _, err := topo.ResolveLevel(tf.level); err != nil {
-			return nil, err
+		b := a
+		if isRange {
+			if b, err = strconv.Atoi(hi); err != nil {
+				return nil, fmt.Errorf("weights: bad range in %q", tok)
+			}
 		}
-		return topo, nil
+		if a < 0 || b < a || b >= n {
+			return nil, fmt.Errorf("weights: nodes %q out of range [0, %d)", tok, n)
+		}
+		for v := a; v <= b; v++ {
+			weights[v] = w
+		}
 	}
-	if tf.racks < 1 {
-		return nil, fmt.Errorf("topology: -racks must be positive")
+	return weights, nil
+}
+
+// applyCapsSpec parses the -caps flag (name=N pairs) and sets the caps
+// on the named domains, which may sit at any level of the tree.
+func applyCapsSpec(topo *topology.Topology, spec string) error {
+	for _, tok := range strings.Split(spec, ",") {
+		name, capStr, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("caps: token %q is not name=N", tok)
+		}
+		c, err := strconv.Atoi(capStr)
+		if err != nil || c < 1 {
+			return fmt.Errorf("caps: bad cap in %q (want an integer >= 1)", tok)
+		}
+		found := false
+		for level := range topo.Tree {
+			for di := range topo.Tree[level] {
+				if topo.Tree[level][di].Name != name {
+					continue
+				}
+				if found {
+					return fmt.Errorf("caps: domain name %q is ambiguous across levels", name)
+				}
+				topo.Tree[level][di].Cap = c
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("caps: no domain named %q", name)
+		}
 	}
+	return nil
+}
+
+// build materializes the topology the flags describe for n nodes,
+// applying the -weights and -caps annotations on top.
+func (tf *topologyFlags) build(n int) (*topology.Topology, error) {
 	var (
 		topo *topology.Topology
 		err  error
 	)
-	if tf.zones > 0 {
-		if tf.racks%tf.zones != 0 {
-			return nil, fmt.Errorf("topology: -racks %d not divisible by -zones %d", tf.racks, tf.zones)
-		}
-		topo, err = topology.UniformHierarchy(n, tf.zones, tf.racks/tf.zones)
+	if tf.spec != "" {
+		topo, err = topology.ParseSpec(n, tf.spec)
 	} else {
-		topo, err = topology.Uniform(n, tf.racks)
+		if tf.racks < 1 {
+			return nil, fmt.Errorf("topology: -racks must be positive")
+		}
+		if tf.zones > 0 {
+			if tf.racks%tf.zones != 0 {
+				return nil, fmt.Errorf("topology: -racks %d not divisible by -zones %d", tf.racks, tf.zones)
+			}
+			topo, err = topology.UniformHierarchy(n, tf.zones, tf.racks/tf.zones)
+		} else {
+			topo, err = topology.Uniform(n, tf.racks)
+		}
 	}
 	if err != nil {
+		return nil, err
+	}
+	if tf.weights != "" {
+		// Merge over any *w annotations the -topo spec declared: the
+		// flag overrides the nodes it lists, the spec keeps the rest.
+		w, werr := parseWeightsSpec(n, tf.weights, topo.Weights)
+		if werr != nil {
+			return nil, werr
+		}
+		topo.Weights = w
+	}
+	if tf.caps != "" {
+		if cerr := applyCapsSpec(topo, tf.caps); cerr != nil {
+			return nil, cerr
+		}
+	}
+	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
 	if _, err := topo.ResolveLevel(tf.level); err != nil {
@@ -168,7 +258,8 @@ func cmdTopology(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	aware, _, err := placement.SpreadAcrossDomains(combo, topo, mf.s, tf.dfail)
+	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
+		placement.SpreadOpts{Weighted: topo.Weighted()})
 	if err != nil {
 		return err
 	}
@@ -194,6 +285,14 @@ func cmdTopology(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "%s: replicas span %d-%d domains/object; worst %d-%s failure %v fails %d (Avail = %d, %s)\n",
 			layout.name, stats.MinDomains, stats.MaxDomains, dl, word,
 			topo.DomainNamesAt(tf.level, res.Domains), res.Failed, res.Avail(mf.b), exactness(res.Exact))
+	}
+
+	if topo.Weighted() {
+		if err := weightedDomainSection(w, topo, tf.level, mf.s, dl,
+			adversary.SearchOpts{Budget: *budget},
+			[]namedLayout{{"domain-oblivious", combo}, {"domain-aware", aware}}); err != nil {
+			return err
+		}
 	}
 
 	nodeRes, err := adversary.WorstCase(combo, mf.s, mf.k, *budget)

@@ -39,9 +39,12 @@ import (
 	"repro/internal/search"
 )
 
-// Result reports the outcome of a worst-case search.
+// Result reports the outcome of a worst-case search. Under
+// SearchOpts.ObjWeights, Failed is the total WEIGHT of the failed
+// objects (lost weight, not count); Avail then reads b as the total
+// weight — pair weighted searches with placement.SumWeights.
 type Result struct {
-	Failed  int   // objects failed by the best attack found
+	Failed  int   // objects (or weight, under ObjWeights) failed by the best attack found
 	Nodes   []int // the attacking node set, sorted
 	Exact   bool  // true if Failed is provably the maximum
 	Visited int64 // search states visited (diagnostics/ablation)
@@ -67,6 +70,17 @@ type SearchOpts struct {
 	// default) or search.BoundStatic (the ablation baseline). Both
 	// return identical results; residual visits no more states.
 	Bound search.Bound
+	// ObjWeights switches every engine to weighted damage: object obj
+	// is worth ObjWeights[obj] (>= 0) and the adversary maximizes the
+	// total weight of the failed objects instead of their count —
+	// Result.Failed / DomainResult.Failed are then lost weight. The
+	// candidate ordering, the pruning bounds and the residual ledger all
+	// run in weight units (see internal/search), so an all-ones vector
+	// reproduces the unweighted search byte for byte: same damage, same
+	// witness, same visited-state count. nil means unit weights. Derive
+	// per-object weights from a topology's node weights with
+	// placement.ObjectWeights.
+	ObjWeights []int64
 }
 
 // resolveWorkers maps the SearchOpts convention onto a concrete count.
@@ -103,7 +117,43 @@ type nodeInstance struct {
 	candidates []int // nodes hosting at least one replica, by descending load
 }
 
-func newInstance(pl *placement.Placement, s, k int) (*nodeInstance, error) {
+// checkObjWeights validates an optional per-object weight vector
+// against a placement's object count.
+func checkObjWeights(w []int64, b int) error {
+	if w == nil {
+		return nil
+	}
+	if len(w) != b {
+		return fmt.Errorf("adversary: %d object weights for %d objects", len(w), b)
+	}
+	for obj, v := range w {
+		if v < 0 {
+			return fmt.Errorf("adversary: object %d weight %d negative", obj, v)
+		}
+	}
+	return nil
+}
+
+// weightedLoads maps per-candidate hit lists to their weighted loads
+// Σ C·w[obj] — the load contract of a SetWeights instance. With w nil
+// it returns the plain replica counts.
+func weightedLoads(hitLists [][]search.Hit, w []int64) []int64 {
+	loads := make([]int64, len(hitLists))
+	for i, hl := range hitLists {
+		var sum int64
+		for _, h := range hl {
+			c := int64(h.C)
+			if w != nil {
+				c *= w[h.Obj]
+			}
+			sum += c
+		}
+		loads[i] = sum
+	}
+	return loads
+}
+
+func newInstance(pl *placement.Placement, s, k int, w []int64) (*nodeInstance, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,8 +163,12 @@ func newInstance(pl *placement.Placement, s, k int) (*nodeInstance, error) {
 	if k < 1 || k >= pl.N {
 		return nil, fmt.Errorf("adversary: k = %d must satisfy 1 <= k < n = %d", k, pl.N)
 	}
+	if err := checkObjWeights(w, pl.B()); err != nil {
+		return nil, err
+	}
 	perNode := nodeHits(pl)
 	loadsByNode := pl.NodeLoads()
+	wloads := weightedLoads(perNode, w)
 	var candidates []int
 	for nd, l := range loadsByNode {
 		if l > 0 {
@@ -122,8 +176,8 @@ func newInstance(pl *placement.Placement, s, k int) (*nodeInstance, error) {
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool {
-		if loadsByNode[candidates[i]] != loadsByNode[candidates[j]] {
-			return loadsByNode[candidates[i]] > loadsByNode[candidates[j]]
+		if wloads[candidates[i]] != wloads[candidates[j]] {
+			return wloads[candidates[i]] > wloads[candidates[j]]
 		}
 		return candidates[i] < candidates[j]
 	})
@@ -139,10 +193,11 @@ func newInstance(pl *placement.Placement, s, k int) (*nodeInstance, error) {
 	loads := make([]int64, len(candidates))
 	for i, nd := range candidates {
 		hitLists[i] = perNode[nd]
-		loads[i] = int64(loadsByNode[nd])
+		loads[i] = wloads[nd]
 	}
 	inst := &nodeInstance{HitInstance: search.NewHitInstance(s, pl.B()), candidates: candidates}
 	inst.Reinit(k, hitLists, loads)
+	inst.SetWeights(w)
 	return inst, nil
 }
 
@@ -185,7 +240,13 @@ func (in *nodeInstance) result(res search.Result) Result {
 // Exhaustive enumerates every k-subset of nodes. Cost is C(n, k) times the
 // incremental update cost; use only when that product is small.
 func Exhaustive(pl *placement.Placement, s, k int) (Result, error) {
-	in, err := newInstance(pl, s, k)
+	return ExhaustiveWith(pl, s, k, SearchOpts{})
+}
+
+// ExhaustiveWith is Exhaustive with explicit search options; only
+// ObjWeights applies (enumeration has no budget, workers or bound).
+func ExhaustiveWith(pl *placement.Placement, s, k int, opts SearchOpts) (Result, error) {
+	in, err := newInstance(pl, s, k, opts.ObjWeights)
 	if err != nil {
 		return Result{}, err
 	}
@@ -196,7 +257,13 @@ func Exhaustive(pl *placement.Placement, s, k int) (Result, error) {
 // with single-swap local search. The result is a valid attack (its damage
 // is a lower bound on the worst case) but is not guaranteed optimal.
 func Greedy(pl *placement.Placement, s, k int) (Result, error) {
-	in, err := newInstance(pl, s, k)
+	return GreedyWith(pl, s, k, SearchOpts{})
+}
+
+// GreedyWith is Greedy with explicit search options; only ObjWeights
+// applies.
+func GreedyWith(pl *placement.Placement, s, k int, opts SearchOpts) (Result, error) {
+	in, err := newInstance(pl, s, k, opts.ObjWeights)
 	if err != nil {
 		return Result{}, err
 	}
@@ -216,7 +283,7 @@ func WorstCase(pl *placement.Placement, s, k int, budget int64) (Result, error) 
 // WorstCaseWith is WorstCase with explicit search options (budget,
 // worker fan-out, pruning-bound ablation).
 func WorstCaseWith(pl *placement.Placement, s, k int, opts SearchOpts) (Result, error) {
-	in, err := newInstance(pl, s, k)
+	in, err := newInstance(pl, s, k, opts.ObjWeights)
 	if err != nil {
 		return Result{}, err
 	}

@@ -32,8 +32,9 @@ import (
 // DomainResult reports the outcome of a worst-case domain failure
 // search. Domains indexes the topology level the search ran at (leaf
 // domains for the plain engines, Tree[level] for the At variants).
+// Under SearchOpts.ObjWeights, Failed is the lost weight (see Result).
 type DomainResult struct {
-	Failed  int   // objects failed by the best attack found
+	Failed  int   // objects (or weight, under ObjWeights) failed by the best attack found
 	Domains []int // attacking domain indices at the search level, sorted
 	Nodes   []int // union of the attacked domains' nodes, sorted
 	Exact   bool  // true if Failed is provably the maximum
@@ -74,7 +75,7 @@ func collapseTo(pl *placement.Placement, topo *topology.Topology, level int) (*t
 	return topo.Collapse(l)
 }
 
-func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, d int) (*domInstance, error) {
+func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, d int, w []int64) (*domInstance, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,6 +86,9 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, 
 	if s < 1 || s > pl.R {
 		return nil, fmt.Errorf("adversary: s = %d must satisfy 1 <= s <= r = %d", s, pl.R)
 	}
+	if err := checkObjWeights(w, pl.B()); err != nil {
+		return nil, err
+	}
 	nd := topo.NumDomains()
 	// Unlike the node-level k < n, d = NumDomains is allowed: "every
 	// domain fails" is a well-defined (if grim) query, and the placement
@@ -94,14 +98,15 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, 
 	}
 	in := &domInstance{HitInstance: search.NewHitInstance(s, pl.B()), topo: topo}
 	byDomain, loads := placement.DomainHits(pl, topo)
+	wloads := weightedLoads(byDomain, w)
 	for di := 0; di < nd; di++ {
 		if loads[di] > 0 {
 			in.cands = append(in.cands, di)
 		}
 	}
 	sort.Slice(in.cands, func(i, j int) bool {
-		if loads[in.cands[i]] != loads[in.cands[j]] {
-			return loads[in.cands[i]] > loads[in.cands[j]]
+		if wloads[in.cands[i]] != wloads[in.cands[j]] {
+			return wloads[in.cands[i]] > wloads[in.cands[j]]
 		}
 		return in.cands[i] < in.cands[j]
 	})
@@ -115,9 +120,10 @@ func newDomInstance(pl *placement.Placement, topo *topology.Topology, level, s, 
 	ordered := make([]int64, len(in.cands))
 	for i, di := range in.cands {
 		hitLists[i] = byDomain[di]
-		ordered[i] = loads[di]
+		ordered[i] = wloads[di]
 	}
 	in.Reinit(d, hitLists, ordered)
+	in.SetWeights(w)
 	return in, nil
 }
 
@@ -156,7 +162,13 @@ func DomainExhaustive(pl *placement.Placement, topo *topology.Topology, s, d int
 // DomainExhaustiveAt is DomainExhaustive attacking whole domains of the
 // given topology level (0 = top, topology.Leaf = racks).
 func DomainExhaustiveAt(pl *placement.Placement, topo *topology.Topology, level, s, d int) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, level, s, d)
+	return DomainExhaustiveAtWith(pl, topo, level, s, d, SearchOpts{})
+}
+
+// DomainExhaustiveAtWith is DomainExhaustiveAt with explicit search
+// options; only ObjWeights applies.
+func DomainExhaustiveAtWith(pl *placement.Placement, topo *topology.Topology, level, s, d int, opts SearchOpts) (DomainResult, error) {
+	in, err := newDomInstance(pl, topo, level, s, d, opts.ObjWeights)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -174,7 +186,13 @@ func DomainGreedy(pl *placement.Placement, topo *topology.Topology, s, d int) (D
 // DomainGreedyAt is DomainGreedy attacking whole domains of the given
 // topology level.
 func DomainGreedyAt(pl *placement.Placement, topo *topology.Topology, level, s, d int) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, level, s, d)
+	return DomainGreedyAtWith(pl, topo, level, s, d, SearchOpts{})
+}
+
+// DomainGreedyAtWith is DomainGreedyAt with explicit search options;
+// only ObjWeights applies.
+func DomainGreedyAtWith(pl *placement.Placement, topo *topology.Topology, level, s, d int, opts SearchOpts) (DomainResult, error) {
+	in, err := newDomInstance(pl, topo, level, s, d, opts.ObjWeights)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -207,7 +225,7 @@ func DomainWorstCaseWith(pl *placement.Placement, topo *topology.Topology, s, d 
 // DomainWorstCaseAtWith is DomainWorstCaseAt with explicit search
 // options (budget, worker fan-out, pruning-bound ablation).
 func DomainWorstCaseAtWith(pl *placement.Placement, topo *topology.Topology, level, s, d int, opts SearchOpts) (DomainResult, error) {
-	in, err := newDomInstance(pl, topo, level, s, d)
+	in, err := newDomInstance(pl, topo, level, s, d, opts.ObjWeights)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -242,13 +260,15 @@ type constrainedShared struct {
 	pl          *placement.Placement
 	topo        *topology.Topology
 	s, k, d     int
+	w           []int64        // optional per-object weights (nil = unit)
 	nodeHits    [][]search.Hit // per node, C = 1, objects ascending
 	loadsByNode []int
-	loaded      []int // nodes with load, by descending load (ties: id)
-	empty       []int // zero-load nodes, ascending id
+	wloads      []int64 // per-node weighted loads Σ w[obj] (== loads when w nil)
+	loaded      []int   // nodes with load, by descending weighted load (ties: id)
+	empty       []int   // zero-load nodes, ascending id
 }
 
-func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, level, s, k, d int) (*constrainedShared, error) {
+func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, w []int64) (*constrainedShared, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -265,9 +285,13 @@ func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, leve
 	if d < 1 || d > topo.NumDomains() {
 		return nil, fmt.Errorf("adversary: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
-	sh := &constrainedShared{pl: pl, topo: topo, s: s, k: k, d: d}
+	if err := checkObjWeights(w, pl.B()); err != nil {
+		return nil, err
+	}
+	sh := &constrainedShared{pl: pl, topo: topo, s: s, k: k, d: d, w: w}
 	sh.nodeHits = nodeHits(pl)
 	sh.loadsByNode = pl.NodeLoads()
+	sh.wloads = weightedLoads(sh.nodeHits, w)
 	for node, l := range sh.loadsByNode {
 		if l > 0 {
 			sh.loaded = append(sh.loaded, node)
@@ -276,8 +300,8 @@ func newConstrainedShared(pl *placement.Placement, topo *topology.Topology, leve
 		}
 	}
 	sort.Slice(sh.loaded, func(i, j int) bool {
-		if sh.loadsByNode[sh.loaded[i]] != sh.loadsByNode[sh.loaded[j]] {
-			return sh.loadsByNode[sh.loaded[i]] > sh.loadsByNode[sh.loaded[j]]
+		if sh.wloads[sh.loaded[i]] != sh.wloads[sh.loaded[j]] {
+			return sh.wloads[sh.loaded[i]] > sh.wloads[sh.loaded[j]]
 		}
 		return sh.loaded[i] < sh.loaded[j]
 	})
@@ -329,9 +353,10 @@ func (sh *constrainedShared) subsetInstance(domains []int, sc *constrainedScratc
 	sc.loads = sc.loads[:0]
 	for _, node := range sc.cands {
 		sc.lists = append(sc.lists, sh.nodeHits[node])
-		sc.loads = append(sc.loads, int64(sh.loadsByNode[node]))
+		sc.loads = append(sc.loads, sh.wloads[node])
 	}
 	sc.inst.Reinit(kEff, sc.lists, sc.loads)
+	sc.inst.SetWeights(sh.w)
 	return &nodeInstance{HitInstance: sc.inst, candidates: sc.cands}
 }
 
@@ -341,8 +366,8 @@ func (sh *constrainedShared) subsetInstance(domains []int, sc *constrainedScratc
 // when positive, is shared across the whole search — every per-subset
 // branch-and-bound draws states from the same pool, matching the
 // unconstrained engines' semantics.
-func constrainedSearch(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, bnb bool, bound search.Bound) (DomainResult, error) {
-	sh, err := newConstrainedShared(pl, topo, level, s, k, d)
+func constrainedSearch(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, bnb bool, bound search.Bound, w []int64) (DomainResult, error) {
+	sh, err := newConstrainedShared(pl, topo, level, s, k, d, w)
 	if err != nil {
 		return DomainResult{}, err
 	}
@@ -403,7 +428,13 @@ func ConstrainedExhaustive(pl *placement.Placement, topo *topology.Topology, s, 
 // ConstrainedExhaustiveAt is ConstrainedExhaustive with the blast
 // radius counted in whole domains of the given topology level.
 func ConstrainedExhaustiveAt(pl *placement.Placement, topo *topology.Topology, level, s, k, d int) (DomainResult, error) {
-	return constrainedSearch(pl, topo, level, s, k, d, 0, false, search.BoundResidual)
+	return ConstrainedExhaustiveAtWith(pl, topo, level, s, k, d, SearchOpts{})
+}
+
+// ConstrainedExhaustiveAtWith is ConstrainedExhaustiveAt with explicit
+// search options; only ObjWeights applies.
+func ConstrainedExhaustiveAtWith(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, opts SearchOpts) (DomainResult, error) {
+	return constrainedSearch(pl, topo, level, s, k, d, 0, false, search.BoundResidual, opts.ObjWeights)
 }
 
 // ConstrainedWorstCase finds the worst k node failures spanning at most
@@ -432,9 +463,9 @@ func ConstrainedWorstCaseWith(pl *placement.Placement, topo *topology.Topology, 
 // search options (budget, worker fan-out, pruning-bound ablation).
 func ConstrainedWorstCaseAtWith(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, opts SearchOpts) (DomainResult, error) {
 	if workers := opts.resolveWorkers(); workers > 1 {
-		return constrainedSearchPar(pl, topo, level, s, k, d, opts.Budget, workers, opts.Bound)
+		return constrainedSearchPar(pl, topo, level, s, k, d, opts.Budget, workers, opts.Bound, opts.ObjWeights)
 	}
-	return constrainedSearch(pl, topo, level, s, k, d, opts.Budget, true, opts.Bound)
+	return constrainedSearch(pl, topo, level, s, k, d, opts.Budget, true, opts.Bound, opts.ObjWeights)
 }
 
 // domainsOfNodes returns the sorted, deduplicated domain indices touched

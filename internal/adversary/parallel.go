@@ -74,8 +74,8 @@ func ConstrainedWorstCaseParAt(pl *placement.Placement, topo *topology.Topology,
 
 // constrainedSearchPar is the sharded constrained search behind
 // ConstrainedWorstCaseWith for workers > 1.
-func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, workers int, bound search.Bound) (DomainResult, error) {
-	sh, err := newConstrainedShared(pl, topo, level, s, k, d)
+func constrainedSearchPar(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, workers int, bound search.Bound, w []int64) (DomainResult, error) {
+	sh, err := newConstrainedShared(pl, topo, level, s, k, d, w)
 	if err != nil {
 		return DomainResult{}, err
 	}

@@ -13,6 +13,7 @@ package capacity
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/combin"
 	"repro/internal/design"
@@ -77,8 +78,17 @@ func AvailableOrders(t, r, maxV, maxMu int) ([]int, error) {
 // table achieved[budget] and a choice table for reconstruction.
 func BestDecompositions(t int, orders []int, maxN, m int) (achieved []int64, choose [][]int32) {
 	caps := make([]int64, len(orders))
+	// An overflowed C(v, t) must rank as "astronomically large", never 0
+	// (Choose's overflow convention would make the biggest chunks the
+	// least attractive); clamp below MaxInt64/(m+1) so the DP's m-fold
+	// sums cannot overflow either.
+	hugeClamp := int64(math.MaxInt64) / int64(m+1)
 	for i, v := range orders {
-		caps[i] = combin.Choose(v, t)
+		c := combin.ChooseOrHuge(v, t)
+		if c > hugeClamp {
+			c = hugeClamp
+		}
+		caps[i] = c
 	}
 	prev := make([]int64, maxN+1)
 	choose = make([][]int32, m+1)
@@ -114,7 +124,7 @@ func BestGap(t, r, n, m int, orders []int) (Gap, error) {
 	achieved, choose := BestDecompositions(t, orders, n, m)
 	g := Gap{
 		N:        n,
-		Ideal:    combin.Choose(n, t),
+		Ideal:    combin.ChooseOrHuge(n, t),
 		Achieved: achieved[n],
 	}
 	// Reconstruct the chunk orders.
@@ -147,7 +157,7 @@ func GapCurve(t, r, nLo, nHi, m, maxMu int) ([]Gap, error) {
 	achieved, choose := BestDecompositions(t, orders, nHi, m)
 	gaps := make([]Gap, 0, nHi-nLo+1)
 	for n := nLo; n <= nHi; n++ {
-		g := Gap{N: n, Ideal: combin.Choose(n, t), Achieved: achieved[n]}
+		g := Gap{N: n, Ideal: combin.ChooseOrHuge(n, t), Achieved: achieved[n]}
 		budget := n
 		for j := m; j >= 1 && budget > 0; j-- {
 			oi := choose[j][budget]

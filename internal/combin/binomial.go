@@ -80,10 +80,31 @@ func binomialCareful(n, k int) (int64, error) {
 
 // Choose returns C(n, k), or 0 if the value is undefined or overflows.
 // It is a convenience wrapper for call sites that have already validated
-// their parameter ranges; prefer Binomial when overflow must be detected.
+// their parameter ranges; prefer Binomial when overflow must be
+// detected, and ChooseOrHuge when the value feeds a budget comparison
+// or an upper bound — a 0 there silently reads as "tiny", the exact
+// opposite of an overflow.
 func Choose(n, k int) int64 {
 	v, err := Binomial(n, k)
 	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// ChooseOrHuge returns C(n, k), saturating at math.MaxInt64 when the
+// exact value overflows int64. This is the right form wherever the
+// binomial is compared against an enumeration budget or used as an
+// upper bound: an overflowed C(n, k) means "astronomically many",
+// never "zero", so budget guards built on Choose's 0 convention would
+// treat the largest instances as the cheapest. Undefined values (k < 0,
+// k > n) still return 0, matching Choose.
+func ChooseOrHuge(n, k int) int64 {
+	v, err := Binomial(n, k)
+	if err != nil {
+		if errors.Is(err, ErrOverflow) {
+			return math.MaxInt64
+		}
 		return 0
 	}
 	return v

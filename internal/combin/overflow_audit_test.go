@@ -1,0 +1,95 @@
+// The Choose-overflow audit test lives in the external test package so
+// it can pin the behavior of every downstream call site (design,
+// placement, capacity) alongside the combin helper itself: Choose
+// returns 0 on int64 overflow, and a 0 must always read as "too many /
+// astronomically large / cannot verify" — never as "zero, we're under
+// the budget".
+package combin_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/combin"
+	"repro/internal/design"
+	"repro/internal/placement"
+)
+
+// hugeK makes C(hugeK, 2) ≈ 1.25e19 overflow int64.
+const hugeK = 5_000_000_000
+
+func TestChooseOverflowCallSites(t *testing.T) {
+	// C(100, 30) ≈ 2.9e25 overflows int64; C(31, 30) = 31 does not.
+	if v := combin.Choose(100, 30); v != 0 {
+		t.Fatalf("Choose(100, 30) = %d, want the 0 overflow convention", v)
+	}
+
+	for _, tc := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"ChooseOrHuge overflow saturates", combin.ChooseOrHuge(100, 30), math.MaxInt64},
+		{"ChooseOrHuge small exact", combin.ChooseOrHuge(5, 2), 10},
+		{"ChooseOrHuge undefined still 0", combin.ChooseOrHuge(2, 5), 0},
+		{"ChooseOrHuge negative n still 0", combin.ChooseOrHuge(-1, 1), 0},
+
+		// design.MaxBlocks is an UPPER bound on packable blocks (tested
+		// separately below: an overflowed numerator must stay huge).
+		{"MaxBlocks small exact", design.MaxBlocks(2, 7, 3, 1), 7},
+
+		// placement.LBAvailSimple: an overflowed λ·C(k, t) means the
+		// failure term is astronomical — the availability bound degrades
+		// to 0, it must NOT claim all b objects survive.
+		{"LBAvailSimple overflow degrades to 0", placement.LBAvailSimple(100, hugeK, 2, 1, 1), 0},
+		{"LBAvailSimple small exact", placement.LBAvailSimple(100, 4, 2, 1, 1), 100 - 6},
+
+		// placement.LBAvailCombo: same saturation per term.
+		{"LBAvailCombo overflow degrades to 0", placement.LBAvailCombo(100, hugeK, 2, []int{0, 1}), 0},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+
+	// design.MaxBlocks with an overflowed C(v, t): the bound must stay a
+	// valid (astronomical) upper bound — the old path returned 0, which
+	// claims nothing can be packed at all.
+	if mb := design.MaxBlocks(30, 100, 31, 1); mb < math.MaxInt64/31 {
+		t.Errorf("MaxBlocks on an overflowing numerator = %d, want an astronomically large bound", mb)
+	}
+
+	// design.DesignBlocks / Admissible: overflow means the divisibility
+	// conditions cannot be verified — both must report false, where the
+	// old Choose-is-0 path reported an exact zero-block design and
+	// vacuous admissibility.
+	if blocks, exact := design.DesignBlocks(30, 100, 31, 1); exact {
+		t.Errorf("DesignBlocks on overflowing parameters reported exact %d blocks", blocks)
+	}
+	if design.Admissible(30, 100, 31, 1) {
+		t.Error("Admissible reported true on overflowing parameters")
+	}
+	if blocks, exact := design.DesignBlocks(2, 7, 3, 1); !exact || blocks != 7 {
+		t.Errorf("DesignBlocks(2,7,3,1) = (%d, %v), want (7, true)", blocks, exact)
+	}
+	if !design.Admissible(2, 7, 3, 1) {
+		t.Error("Admissible(2,7,3,1) = false, want true (the Fano plane exists)")
+	}
+
+	// placement.SimpleCapacity: overflowed chunk capacity cannot verify
+	// integrality — (0, false), not an exact zero capacity.
+	if c, ok := placement.SimpleCapacity([]int{hugeK}, 3, 1, 1, 1); ok {
+		t.Errorf("SimpleCapacity on an overflowing order reported exact capacity %d", c)
+	}
+
+	// capacity.BestGap: the ideal capacity saturates high instead of
+	// reporting a zero ideal (which would read as "no gap at all").
+	gap, err := capacity.BestGap(2, 3, 7, 1, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.Ideal != 21 {
+		t.Errorf("BestGap small ideal = %d, want 21", gap.Ideal)
+	}
+}

@@ -2,6 +2,7 @@ package design
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/combin"
 )
@@ -32,7 +33,17 @@ func BacktrackDesign(t, v, k, lambda int, budget int64) (*Packing, bool, error) 
 	}
 	// In a complete design every point lies in exactly
 	// λ·C(v-1, t-1)/C(k-1, t-1) blocks; exceeding that is a dead end.
-	degMax := int(combin.FloorDiv(int64(lambda)*combin.Choose(v-1, t-1), combin.Choose(k-1, t-1)))
+	// An int64 overflow in the numerator means the true degree bound is
+	// astronomical — leave it unconstrained rather than 0, which would
+	// reject every block and fake a nonexistence proof.
+	degMax := math.MaxInt
+	if num := combin.ChooseOrHuge(v-1, t-1); num < math.MaxInt64/int64(lambda) {
+		if den := combin.Choose(k-1, t-1); den > 0 {
+			if dm := combin.FloorDiv(int64(lambda)*num, den); dm < int64(math.MaxInt) {
+				degMax = int(dm)
+			}
+		}
+	}
 	deg := make([]int, v)
 
 	counts := make(map[uint64]int)

@@ -15,6 +15,7 @@ package design
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/combin"
@@ -48,23 +49,39 @@ func (p *Packing) MaxBlocks() int64 {
 	return MaxBlocks(p.T, p.V, p.K, p.Lambda)
 }
 
-// MaxBlocks returns floor(lambda * C(v, t) / C(k, t)).
+// MaxBlocks returns floor(lambda * C(v, t) / C(k, t)), saturating at
+// math.MaxInt64 when the numerator overflows int64: the Lemma 1 value
+// is an UPPER bound on packable blocks, so an overflow must read as
+// "astronomically many", never as 0 (which would claim nothing packs).
 func MaxBlocks(t, v, k, lambda int) int64 {
-	num := combin.Choose(v, t)
-	den := combin.Choose(k, t)
+	den := combin.ChooseOrHuge(k, t)
 	if den == 0 {
 		return 0
+	}
+	num := combin.ChooseOrHuge(v, t)
+	if lambda > 0 && num > math.MaxInt64/int64(lambda) {
+		return math.MaxInt64
 	}
 	return combin.FloorDiv(int64(lambda)*num, den)
 }
 
 // DesignBlocks returns the exact number of blocks of a t-(v, k, lambda)
-// design: lambda * C(v, t) / C(k, t). The second result reports whether the
-// division is exact (a necessary condition for the design to exist).
+// design: lambda * C(v, t) / C(k, t). The second result reports whether
+// the division is exact (a necessary condition for the design to
+// exist); an int64 overflow anywhere reports false — exactness cannot
+// be verified, and the old Choose-is-0 path silently claimed an exact
+// zero-block design instead.
 func DesignBlocks(t, v, k, lambda int) (int64, bool) {
-	num := int64(lambda) * combin.Choose(v, t)
+	c, err := combin.Binomial(v, t)
+	if err != nil {
+		return 0, false
+	}
 	den := combin.Choose(k, t)
-	if den == 0 || num%den != 0 {
+	if den == 0 || (lambda > 0 && c > math.MaxInt64/int64(lambda)) {
+		return 0, false
+	}
+	num := int64(lambda) * c
+	if num%den != 0 {
 		return 0, false
 	}
 	return num / den, true
@@ -72,15 +89,23 @@ func DesignBlocks(t, v, k, lambda int) (int64, bool) {
 
 // Admissible reports whether the standard divisibility conditions for the
 // existence of a t-(v, k, lambda) design hold: for every 0 <= i < t,
-// lambda * C(v-i, t-i) must be divisible by C(k-i, t-i).
+// lambda * C(v-i, t-i) must be divisible by C(k-i, t-i). Overflowing
+// parameters report false — the conditions cannot be verified, which
+// must not read as "they hold".
 func Admissible(t, v, k, lambda int) bool {
 	if v < k || k < t || t < 1 || lambda < 1 {
 		return false
 	}
 	for i := 0; i < t; i++ {
-		num := int64(lambda) * combin.Choose(v-i, t-i)
+		c, err := combin.Binomial(v-i, t-i)
+		if err != nil {
+			return false
+		}
 		den := combin.Choose(k-i, t-i)
-		if den == 0 || num%den != 0 {
+		if den == 0 || c > math.MaxInt64/int64(lambda) {
+			return false
+		}
+		if (int64(lambda)*c)%den != 0 {
 			return false
 		}
 	}

@@ -41,21 +41,32 @@ type DomainScenario struct {
 	Zones         int // optional zone count over the racks (0 = flat)
 	Regions       int // optional region count over the zones (0 = none)
 	D             int // whole-domain failure budget (per level, clamped)
+	// HotWeight, when > 1, makes node 0 a hot node of that weight (all
+	// others weigh 1) and switches the row to WEIGHTED accounting: every
+	// availability column is W0 − lost weight, where W0 is the oblivious
+	// labeling's total object weight (a shared baseline, so the aware
+	// column stays >= the oblivious one exactly when it loses no more
+	// weight), the spread pass runs weighted-aware, and the adversaries
+	// maximize lost weight.
+	HotWeight int
 }
 
 // DomainCell is a computed row. The zone and region columns are -1 on
-// rows whose topology does not have that level.
+// rows whose topology does not have that level. On weighted rows
+// (HotWeight > 1) every availability column is in weight units against
+// the TotalWeight baseline.
 type DomainCell struct {
 	DomainScenario
-	NodeAvail       int // oblivious Combo vs k-node adversary
-	ObliviousAvail  int // oblivious Combo vs d-rack adversary
-	AwareAvail      int // spread Combo vs d-rack adversary
-	ZoneOblivAvail  int // oblivious Combo vs d-zone adversary
-	ZoneAwareAvail  int // spread Combo vs d-zone adversary
-	RegionObliv     int // oblivious Combo vs d-region adversary
-	RegionAware     int // spread Combo vs d-region adversary
-	MinSpreadBefore int // min distinct racks per object, oblivious
-	MinSpreadAfter  int // min distinct racks per object, aware
+	TotalWeight     int64 // W0 baseline of a weighted row (0: unweighted)
+	NodeAvail       int   // oblivious Combo vs k-node adversary
+	ObliviousAvail  int   // oblivious Combo vs d-rack adversary
+	AwareAvail      int   // spread Combo vs d-rack adversary
+	ZoneOblivAvail  int   // oblivious Combo vs d-zone adversary
+	ZoneAwareAvail  int   // spread Combo vs d-zone adversary
+	RegionObliv     int   // oblivious Combo vs d-region adversary
+	RegionAware     int   // spread Combo vs d-region adversary
+	MinSpreadBefore int   // min distinct racks per object, oblivious
+	MinSpreadAfter  int   // min distinct racks per object, aware
 }
 
 // DomainOpts scales the experiment. Zero values select the default
@@ -92,6 +103,11 @@ func defaultDomainScenarios() []DomainScenario {
 		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 4, Zones: 2, D: 1},
 		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 8, Zones: 4, Regions: 2, D: 1},
 		{N: 13, R: 3, S: 2, K: 7, B: 26, Racks: 8, Zones: 4, Regions: 2, D: 2},
+		// Weighted rows: node 0 is hot, the adversaries maximize lost
+		// weight, and the spread runs weighted-aware — the heterogeneous
+		// row of the table (flat and hierarchical).
+		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 4, D: 1, HotWeight: 5},
+		{N: 12, R: 3, S: 2, K: 6, B: 16, Racks: 8, Zones: 4, Regions: 2, D: 1, HotWeight: 3},
 	}
 }
 
@@ -139,16 +155,51 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodeRes, err := adversary.WorstCaseWith(combo, sc.S, sc.K, searchOpts)
+		weighted := sc.HotWeight > 1
+		var w0 int64
+		if weighted {
+			weights := make([]int, sc.N)
+			for i := range weights {
+				weights[i] = 1
+			}
+			weights[0] = sc.HotWeight
+			topo.Weights = weights
+			oblivW, werr := placement.ObjectWeights(combo, topo)
+			if werr != nil {
+				return nil, werr
+			}
+			w0 = placement.SumWeights(oblivW, sc.B)
+		}
+		// weightedOpts returns the search options carrying pl's own
+		// object weights (relabeling moves objects on and off the hot
+		// node, so each layout is scored with its own vector).
+		weightedOpts := func(pl *placement.Placement) (adversary.SearchOpts, error) {
+			opts := searchOpts
+			if weighted {
+				objW, err := placement.ObjectWeights(pl, topo)
+				if err != nil {
+					return opts, err
+				}
+				opts.ObjWeights = objW
+			}
+			return opts, nil
+		}
+		nodeOpts, err := weightedOpts(combo)
 		if err != nil {
 			return nil, err
 		}
-		aware, _, err := placement.SpreadAcrossDomains(combo, topo, sc.S, sc.D)
+		nodeRes, err := adversary.WorstCaseWith(combo, sc.S, sc.K, nodeOpts)
+		if err != nil {
+			return nil, err
+		}
+		aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, sc.S, sc.D,
+			placement.SpreadOpts{Weighted: weighted})
 		if err != nil {
 			return nil, err
 		}
 		// Avail for both layouts under the whole-domain adversary at
-		// the given level, with d clamped to the level's domain count.
+		// the given level, with d clamped to the level's domain count;
+		// weighted rows report W0 − lost weight.
 		levelAvail := func(pl *placement.Placement, level int) (int, error) {
 			nd, err := topo.NumDomainsAt(level)
 			if err != nil {
@@ -158,16 +209,27 @@ func DomainTable(opts DomainOpts) ([]DomainCell, error) {
 			if dl > nd {
 				dl = nd
 			}
-			res, err := adversary.DomainWorstCaseAtWith(pl, topo, level, sc.S, dl, searchOpts)
+			opts, err := weightedOpts(pl)
 			if err != nil {
 				return 0, err
+			}
+			res, err := adversary.DomainWorstCaseAtWith(pl, topo, level, sc.S, dl, opts)
+			if err != nil {
+				return 0, err
+			}
+			if weighted {
+				return int(w0) - res.Failed, nil
 			}
 			return res.Avail(sc.B), nil
 		}
 		cell := DomainCell{
 			DomainScenario: sc,
+			TotalWeight:    w0,
 			NodeAvail:      nodeRes.Avail(sc.B),
 			ZoneOblivAvail: -1, ZoneAwareAvail: -1, RegionObliv: -1, RegionAware: -1,
+		}
+		if weighted {
+			cell.NodeAvail = int(w0) - nodeRes.Failed
 		}
 		if cell.ObliviousAvail, err = levelAvail(combo, topology.Leaf); err != nil {
 			return nil, err
@@ -222,14 +284,20 @@ func RenderDomainTable(w io.Writer, cells []DomainCell) error {
 		return fmt.Sprintf("%d/%d", obliv, aware)
 	}
 	topoCol := func(c DomainCell) string {
+		var col string
 		switch {
 		case c.Regions > 0:
-			return fmt.Sprintf("%dx%dx%d", c.Regions, c.Zones/c.Regions, c.Racks/c.Zones)
+			col = fmt.Sprintf("%dx%dx%d", c.Regions, c.Zones/c.Regions, c.Racks/c.Zones)
 		case c.Zones > 0:
-			return fmt.Sprintf("%dx%d", c.Zones, c.Racks/c.Zones)
+			col = fmt.Sprintf("%dx%d", c.Zones, c.Racks/c.Zones)
 		default:
-			return fmt.Sprintf("%d", c.Racks)
+			col = fmt.Sprintf("%d", c.Racks)
 		}
+		if c.HotWeight > 1 {
+			// Weighted row: availability columns are W0 − lost weight.
+			col += fmt.Sprintf(" w%d", c.HotWeight)
+		}
+		return col
 	}
 	headers := []string{"n", "r", "s", "k", "b", "topo", "d",
 		"Avail(node,k)", "Avail(rack,d) obliv", "Avail(rack,d) aware",

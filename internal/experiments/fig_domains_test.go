@@ -19,8 +19,19 @@ func TestDomainTableAwareNeverWorse(t *testing.T) {
 	if len(cells) == 0 {
 		t.Fatal("empty table")
 	}
-	sawZone, sawRegion := false, false
+	sawZone, sawRegion, sawWeighted := false, false, false
 	for _, c := range cells {
+		// Weighted rows report W0 − lost weight against the shared
+		// TotalWeight baseline; the never-worse and monotonicity
+		// relations below hold verbatim in weight units.
+		base := c.B
+		if c.HotWeight > 1 {
+			sawWeighted = true
+			if c.TotalWeight < int64(c.B) {
+				t.Errorf("%+v: total weight %d below the object count %d", c.DomainScenario, c.TotalWeight, c.B)
+			}
+			base = int(c.TotalWeight)
+		}
 		if c.AwareAvail < c.ObliviousAvail {
 			t.Errorf("%+v: aware Avail %d < oblivious %d", c.DomainScenario, c.AwareAvail, c.ObliviousAvail)
 		}
@@ -47,12 +58,15 @@ func TestDomainTableAwareNeverWorse(t *testing.T) {
 		if c.MinSpreadAfter < c.MinSpreadBefore {
 			t.Errorf("%+v: min spread regressed %d -> %d", c.DomainScenario, c.MinSpreadBefore, c.MinSpreadAfter)
 		}
-		if c.ObliviousAvail < 0 || c.ObliviousAvail > c.B || c.AwareAvail > c.B || c.NodeAvail > c.B {
+		if c.ObliviousAvail < 0 || c.ObliviousAvail > base || c.AwareAvail > base || c.NodeAvail > base {
 			t.Errorf("%+v: availability out of range: %+v", c.DomainScenario, c)
 		}
 	}
 	if !sawZone || !sawRegion {
 		t.Errorf("default table must include hierarchical rows (zone %v, region %v)", sawZone, sawRegion)
+	}
+	if !sawWeighted {
+		t.Error("default table must include a weighted (hot-node) row")
 	}
 }
 

@@ -1,0 +1,363 @@
+package placement_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// capFixturePlacement is the regression instance for the capped-spread
+// bugfix: 4 abstract nodes with replica loads (5, 4, 4, 1) on 2 racks
+// of 2 slots with caps (8, 6). The ONLY feasible split puts the two
+// load-4 nodes together ({4,4}/{5,1}), which the identity, the striped
+// and conflict-greedy heuristics, and BOTH hierMapping variants miss —
+// only CheckCaps's witness assignment finds it.
+func capFixturePlacement(t *testing.T) *placement.Placement {
+	t.Helper()
+	pl := placement.NewPlacement(4, 2)
+	for _, obj := range [][]int{{0, 1}, {0, 1}, {0, 2}, {0, 2}, {0, 3}, {1, 2}, {1, 2}} {
+		if err := pl.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pl
+}
+
+// TestSpreadCapsCheckerFallback is the bugfix regression: the capped
+// spread must accept this provably satisfiable cap set instead of
+// erroring, because the checker's witness competes as a candidate.
+func TestSpreadCapsCheckerFallback(t *testing.T) {
+	pl := capFixturePlacement(t)
+	topo, err := topology.Uniform(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{8, 6}
+	aware, mapping, err := placement.SpreadAcrossDomainsWith(pl, topo, 1, 1, placement.SpreadOpts{Caps: caps})
+	if err != nil {
+		t.Fatalf("feasible cap set rejected: %v", err)
+	}
+	if len(mapping) != 4 {
+		t.Fatalf("mapping has %d entries, want 4", len(mapping))
+	}
+	_, loads := placement.DomainHits(aware, topo)
+	for di, load := range loads {
+		if load > int64(caps[di]) {
+			t.Errorf("domain %d holds %d replicas, cap %d", di, load, caps[di])
+		}
+	}
+	// CheckCaps itself must certify feasibility with a valid witness.
+	assign, cert, err := placement.CheckCaps(topo, pl.NodeLoads(), [][]int{{8, 6}})
+	if err != nil || cert != nil {
+		t.Fatalf("CheckCaps = (%v, %v, %v), want witness", assign, cert, err)
+	}
+	perDomain := make([]int64, 2)
+	slots := make([]int, 2)
+	nodeLoads := pl.NodeLoads()
+	for abstract, di := range assign {
+		perDomain[di] += int64(nodeLoads[abstract])
+		slots[di]++
+	}
+	for di := range perDomain {
+		if slots[di] != 2 {
+			t.Errorf("witness assigns %d nodes to domain %d, want 2", slots[di], di)
+		}
+		if perDomain[di] > int64(caps[di]) {
+			t.Errorf("witness puts %d replicas in domain %d, cap %d", perDomain[di], di, caps[di])
+		}
+	}
+}
+
+// TestCheckCapsCertificates pins the certificate side: infeasible cap
+// sets yield a named-subtree pigeonhole explanation, at leaf and
+// interior levels.
+func TestCheckCapsCertificates(t *testing.T) {
+	pl := capFixturePlacement(t)
+	topo, err := topology.Uniform(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := pl.NodeLoads() // (5, 4, 4, 1), total 14
+
+	// rack0 can hold at best the two lightest nodes (4 + 1 = 5): cap 4
+	// is a pigeonhole violation.
+	_, cert, err := placement.CheckCaps(topo, loads, [][]int{{4, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert == nil {
+		t.Fatal("infeasible caps produced no certificate")
+	}
+	if cert.Name != "rack0" || cert.Cap != 4 || cert.Need != 5 {
+		t.Errorf("certificate = %+v, want rack0 cap 4 need 5", cert)
+	}
+	if !strings.Contains(cert.Reason, "rack0") || !strings.Contains(cert.Reason, "allows 4") {
+		t.Errorf("certificate reason %q does not name the subtree", cert.Reason)
+	}
+
+	// Sibling-forced violation: rack1 absorbs at most 6, so at least
+	// 14 - 6 = 8 replicas must land in rack0, which allows 7.
+	_, cert, err = placement.CheckCaps(topo, loads, [][]int{{7, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert == nil {
+		t.Fatal("sibling-forced infeasible caps produced no certificate")
+	}
+	if cert.Name != "rack0" || cert.Need < 8 {
+		t.Errorf("certificate = %+v, want rack0 forced to >= 8", cert)
+	}
+
+	// Interior-level certificate: a zone capped below what its racks
+	// must absorb, named with the zone vocabulary.
+	deep, err := topology.ParseSpec(8, "r0@za:0,1;r1@za:2,3;r2@zb:4,5;r3@zb:6,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := make([]int, 8)
+	for i := range unit {
+		unit[i] = 2
+	}
+	deep.Tree[0][0].Cap = 7 // zone za: 4 slots x load 2 = 8 needed
+	_, cert, err = placement.CheckCaps(deep, unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert == nil {
+		t.Fatal("capped zone produced no certificate")
+	}
+	if cert.Name != "za" || cert.Level != 0 || cert.Need != 8 || cert.Cap != 7 {
+		t.Errorf("certificate = %+v, want zone za cap 7 need 8", cert)
+	}
+	if !strings.Contains(cert.Reason, "zone za allows 7 replicas but its racks need 8") {
+		t.Errorf("certificate reason %q lacks the zone/racks pigeonhole wording", cert.Reason)
+	}
+}
+
+// bruteFeasible decides cap feasibility by exhaustive assignment of
+// abstract nodes (in id order — deliberately different from CheckCaps's
+// load order) to leaf domains with exact slot occupancy.
+func bruteFeasible(topo *topology.Topology, loads []int, caps [][]int) bool {
+	leaves := topo.Leaves()
+	levels := topo.Levels()
+	capRem := make([][]int64, levels)
+	for l := 0; l < levels; l++ {
+		capRem[l] = make([]int64, len(topo.Tree[l]))
+		for di := range capRem[l] {
+			capRem[l][di] = int64(1) << 40
+			if caps != nil && caps[l] != nil && caps[l][di] >= 0 {
+				capRem[l][di] = int64(caps[l][di])
+			}
+		}
+	}
+	anc := make([][]int, levels)
+	for l := range anc {
+		anc[l] = make([]int, len(leaves))
+	}
+	for di := range leaves {
+		cur := di
+		for l := levels - 1; l >= 0; l-- {
+			anc[l][di] = cur
+			if l > 0 {
+				cur = topo.Tree[l][cur].Parent
+			}
+		}
+	}
+	slotRem := make([]int, len(leaves))
+	for di, d := range leaves {
+		slotRem[di] = len(d.Nodes)
+	}
+	var rec func(nd int) bool
+	rec = func(nd int) bool {
+		if nd == topo.N {
+			return true
+		}
+		load := int64(loads[nd])
+		for di := range leaves {
+			if slotRem[di] == 0 {
+				continue
+			}
+			ok := true
+			for l := levels - 1; l >= 0; l-- {
+				if capRem[l][anc[l][di]] < load {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			slotRem[di]--
+			for l := levels - 1; l >= 0; l-- {
+				capRem[l][anc[l][di]] -= load
+			}
+			if rec(nd + 1) {
+				return true
+			}
+			slotRem[di]++
+			for l := levels - 1; l >= 0; l-- {
+				capRem[l][anc[l][di]] += load
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestSpreadCapsDifferential is the satellite property test: whenever
+// brute-force enumeration finds ANY caps-respecting relabeling,
+// SpreadAcrossDomainsWith must succeed (never the infeasibility error),
+// and CheckCaps must agree in both directions — witness on feasible
+// instances, certificate on infeasible ones.
+func TestSpreadCapsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	feasibleSeen, infeasibleSeen := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(5)
+		r := 2
+		b := 4 + rng.Intn(8)
+		pl := placement.NewPlacement(n, r)
+		nodes := make([]int, r)
+		for i := 0; i < b; i++ {
+			perm := rng.Perm(n)
+			copy(nodes, perm[:r])
+			if err := pl.Add(nodes); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var topo *topology.Topology
+		var err error
+		racks := 2 + rng.Intn(2)
+		if racks > n {
+			racks = n
+		}
+		if rng.Intn(2) == 0 && n >= 4 {
+			topo, err = topology.UniformTree(n, 2, 2)
+		} else {
+			topo, err = topology.Uniform(n, racks)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random caps: leaf caps around the balanced share (sometimes
+		// binding, sometimes not), occasionally an interior cap.
+		total := r * b
+		nd := topo.NumDomains()
+		leafCaps := make([]int, nd)
+		for di := range leafCaps {
+			leafCaps[di] = total/nd + rng.Intn(5) - 1
+			if leafCaps[di] < 0 {
+				leafCaps[di] = 0
+			}
+			if rng.Intn(4) == 0 {
+				leafCaps[di] = -1
+			}
+		}
+		if topo.Levels() > 1 && rng.Intn(2) == 0 {
+			topo.Tree[0][rng.Intn(len(topo.Tree[0]))].Cap = total/2 + rng.Intn(4)
+		}
+
+		caps := make([][]int, topo.Levels())
+		for l := range caps {
+			caps[l] = make([]int, len(topo.Tree[l]))
+			for di := range caps[l] {
+				caps[l][di] = -1
+				if c := topo.Tree[l][di].Cap; c > 0 {
+					caps[l][di] = c
+				}
+			}
+		}
+		leaf := topo.Levels() - 1
+		for di, c := range leafCaps {
+			if c >= 0 && (caps[leaf][di] < 0 || c < caps[leaf][di]) {
+				caps[leaf][di] = c
+			}
+		}
+		loads := pl.NodeLoads()
+		feasible := bruteFeasible(topo, loads, caps)
+
+		assign, cert, err := placement.CheckCaps(topo, loads, caps)
+		if err != nil {
+			t.Fatalf("trial %d: CheckCaps error: %v", trial, err)
+		}
+		if feasible && assign == nil {
+			t.Fatalf("trial %d: brute force feasible, CheckCaps returned certificate %v", trial, cert)
+		}
+		if !feasible && cert == nil {
+			t.Fatalf("trial %d: brute force infeasible, CheckCaps returned witness %v", trial, assign)
+		}
+
+		s := 1 + rng.Intn(r)
+		d := 1 + rng.Intn(nd)
+		aware, mapping, serr := placement.SpreadAcrossDomainsWith(pl, topo, s, d, placement.SpreadOpts{Caps: leafCaps})
+		if feasible {
+			feasibleSeen++
+			if serr != nil {
+				t.Fatalf("trial %d: feasible caps rejected: %v", trial, serr)
+			}
+			if len(mapping) != n {
+				t.Fatalf("trial %d: mapping has %d entries, want %d", trial, len(mapping), n)
+			}
+			// The chosen candidate must respect every cap at every level.
+			_, leafLoads := placement.DomainHits(aware, topo)
+			sums := append([]int64(nil), leafLoads...)
+			for l := leaf; l >= 0; l-- {
+				for di, load := range sums {
+					if caps[l] != nil && caps[l][di] >= 0 && load > int64(caps[l][di]) {
+						t.Errorf("trial %d: level %d domain %d holds %d replicas, cap %d",
+							trial, l, di, load, caps[l][di])
+					}
+				}
+				if l > 0 {
+					up := make([]int64, len(topo.Tree[l-1]))
+					for di, dom := range topo.Tree[l] {
+						up[dom.Parent] += sums[di]
+					}
+					sums = up
+				}
+			}
+		} else {
+			infeasibleSeen++
+			if serr == nil {
+				t.Fatalf("trial %d: infeasible caps accepted", trial)
+			}
+			if !strings.Contains(serr.Error(), "no relabeling satisfies the domain caps") {
+				t.Errorf("trial %d: infeasibility error %q lacks the certificate wording", trial, serr)
+			}
+		}
+	}
+	if feasibleSeen == 0 || infeasibleSeen == 0 {
+		t.Errorf("differential test did not exercise both directions: %d feasible, %d infeasible",
+			feasibleSeen, infeasibleSeen)
+	}
+}
+
+// TestCheckCapsValidation pins the argument checks and the trivial
+// uncapped path.
+func TestCheckCapsValidation(t *testing.T) {
+	topo, err := topology.Uniform(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := placement.CheckCaps(topo, []int{1, 2}, nil); err == nil {
+		t.Error("short loads accepted")
+	}
+	if _, _, err := placement.CheckCaps(topo, []int{1, 2, 3, -1}, nil); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, _, err := placement.CheckCaps(topo, []int{1, 1, 1, 1}, [][]int{{1}}); err == nil {
+		t.Error("wrong caps shape accepted")
+	}
+	assign, cert, err := placement.CheckCaps(topo, []int{3, 1, 4, 1}, nil)
+	if err != nil || cert != nil {
+		t.Fatalf("uncapped CheckCaps = (%v, %v, %v)", assign, cert, err)
+	}
+	for nd, di := range assign {
+		if di != topo.DomainOf(nd) {
+			t.Errorf("uncapped witness moves node %d to domain %d", nd, di)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/combin"
 	"repro/internal/design"
@@ -69,12 +70,43 @@ func LBAvailCombo(b int64, k, s int, lambdas []int) int64 {
 		if den == 0 {
 			continue
 		}
-		failed += combin.FloorDiv(int64(lambda)*combin.Choose(k, t), den)
+		// An overflowed λ_x·C(k, t) means this term alone fails
+		// everything — saturate at b, never at 0.
+		term := failedFloor(int64(lambda), failNumOf(1, k, t), den, b)
+		if term >= b-failed {
+			failed = b
+			break
+		}
+		failed += term
 	}
 	if failed > b {
 		failed = b
 	}
 	return b - failed
+}
+
+// failNumOf returns μ·C(k, t), or -1 when the product overflows int64 —
+// the "this unit\'s failure term is astronomical" sentinel consumed by
+// failedFloor. (Audit note: Choose returns 0 on overflow, which the DP
+// below would read as "this unit never fails an object", the exact
+// opposite of the truth.)
+func failNumOf(mu, k, t int) int64 {
+	c, err := combin.Binomial(k, t)
+	if err != nil || (mu > 0 && c > math.MaxInt64/int64(mu)) {
+		return -1
+	}
+	return int64(mu) * c
+}
+
+// failedFloor returns ⌊mult·failNum/failDen⌋, reading any overflow (the
+// failNum sentinel -1, or the product) as overflowValue — an overflowed
+// failure count must never shrink to 0. Non-overflow arithmetic is
+// exactly the old FloorDiv expression.
+func failedFloor(mult, failNum, failDen, overflowValue int64) int64 {
+	if failNum < 0 || (mult > 0 && failNum > math.MaxInt64/mult) {
+		return overflowValue
+	}
+	return combin.FloorDiv(mult*failNum, failDen)
 }
 
 // OptimizeCombo computes the ⟨λx⟩ maximizing the Lemma 3 lower bound for
@@ -117,7 +149,7 @@ func OptimizeCombo(b, k, s int, units []Unit) (ComboSpec, int64, error) {
 		t := x + 1
 		consts[x] = xconst{
 			capPerMu: u.CapPerMu,
-			failNum:  int64(u.Mu) * combin.Choose(k, t),
+			failNum:  failNumOf(u.Mu, k, t),
 			failDen:  combin.Choose(s, t),
 		}
 	}
@@ -128,7 +160,7 @@ func OptimizeCombo(b, k, s int, units []Unit) (ComboSpec, int64, error) {
 			return 0
 		}
 		copies := combin.CeilDiv(bPrime, consts[0].capPerMu) // λ_0/μ_0
-		failed := combin.FloorDiv(copies*consts[0].failNum, consts[0].failDen)
+		failed := failedFloor(copies, consts[0].failNum, consts[0].failDen, bPrime)
 		v := bPrime - failed
 		if v < 0 {
 			return 0
@@ -170,7 +202,7 @@ func OptimizeCombo(b, k, s int, units []Unit) (ComboSpec, int64, error) {
 				if int64(bPrime) < placed {
 					contribution = int64(bPrime)
 				}
-				contribution -= combin.FloorDiv(d*cc.failNum, cc.failDen)
+				contribution -= failedFloor(d, cc.failNum, cc.failDen, int64(bPrime)+placed)
 				rest := int64(bPrime) - placed
 				var below int64
 				if rest > 0 {
@@ -230,11 +262,11 @@ func ComboBoundSweep(bMax, k, s int, units []Unit) ([]int64, error) {
 	}
 	prev := make([]int64, bMax+1)
 	cap0 := units[0].CapPerMu
-	failNum0 := int64(units[0].Mu) * combin.Choose(k, 1)
+	failNum0 := failNumOf(units[0].Mu, k, 1)
 	failDen0 := combin.Choose(s, 1)
 	for bPrime := int64(1); bPrime <= int64(bMax); bPrime++ {
 		copies := combin.CeilDiv(bPrime, cap0)
-		v := bPrime - combin.FloorDiv(copies*failNum0, failDen0)
+		v := bPrime - failedFloor(copies, failNum0, failDen0, bPrime)
 		if v < 0 {
 			v = 0
 		}
@@ -245,7 +277,7 @@ func ComboBoundSweep(bMax, k, s int, units []Unit) ([]int64, error) {
 		u := units[x]
 		t := x + 1
 		capX := u.CapPerMu
-		failNum := int64(u.Mu) * combin.Choose(k, t)
+		failNum := failNumOf(u.Mu, k, t)
 		failDen := combin.Choose(s, t)
 		for bPrime := 0; bPrime <= bMax; bPrime++ {
 			best := prev[bPrime] // d = 0
@@ -256,7 +288,7 @@ func ComboBoundSweep(bMax, k, s int, units []Unit) ([]int64, error) {
 				if int64(bPrime) < placed {
 					contribution = int64(bPrime)
 				}
-				contribution -= combin.FloorDiv(d*failNum, failDen)
+				contribution -= failedFloor(d, failNum, failDen, int64(bPrime)+placed)
 				rest := int64(bPrime) - placed
 				var below int64
 				if rest > 0 {

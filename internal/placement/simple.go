@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/combin"
 	"repro/internal/design"
@@ -44,7 +45,13 @@ func SimpleCapacity(orders []int, r, x, lambda, mu int) (int64, bool) {
 	}
 	var perMu int64
 	for _, nx := range orders {
-		num := int64(mu) * combin.Choose(nx, t)
+		c, err := combin.Binomial(nx, t)
+		if err != nil || (mu > 0 && c > math.MaxInt64/int64(mu)) {
+			// Overflow: integrality cannot be verified — report "not
+			// integral" rather than a fake exact zero capacity.
+			return 0, false
+		}
+		num := int64(mu) * c
 		if num%den != 0 {
 			return 0, false
 		}
@@ -83,7 +90,16 @@ func LBAvailSimple(b int64, k, s, x, lambda int) int64 {
 		// s nodes, so nothing is guaranteed.
 		return 0
 	}
-	failed := combin.FloorDiv(int64(lambda)*combin.Choose(k, t), den)
+	// An int64 overflow in λ·C(k, t) means the failure term is
+	// astronomical: the bound degrades to 0, never to b (Choose's 0
+	// convention would silently claim every object survives).
+	num := combin.ChooseOrHuge(k, t)
+	var failed int64
+	if lambda > 0 && num > math.MaxInt64/int64(lambda) {
+		failed = b
+	} else {
+		failed = combin.FloorDiv(int64(lambda)*num, den)
+	}
 	if failed > b {
 		failed = b // at most b objects can fail
 	}

@@ -133,12 +133,22 @@ func DomainHits(pl *Placement, topo *topology.Topology) ([][]search.Hit, []int64
 // core so the never-worse check runs on the very code the adversary
 // engines run (package adversary cannot be imported here — it depends on
 // placement). Candidates are all D domains in descending replica-load
-// order; object j fails once s of its replicas lie in the chosen
-// domains. The exhaustive driver never consults the index→domain
-// mapping, so none is kept.
-func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int) *search.HitInstance {
+// order (weighted load under a non-nil per-object weight vector w);
+// object j fails once s of its replicas lie in the chosen domains. The
+// exhaustive driver never consults the index→domain mapping, so none is
+// kept.
+func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int, w []int64) *search.HitInstance {
 	byDomain, loads := DomainHits(pl, topo)
 	nd := topo.NumDomains()
+	if w != nil {
+		for di, hl := range byDomain {
+			var sum int64
+			for _, h := range hl {
+				sum += int64(h.C) * w[h.Obj]
+			}
+			loads[di] = sum
+		}
+	}
 	order := make([]int, nd)
 	for i := range order {
 		order[i] = i
@@ -157,6 +167,7 @@ func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int) *search.H
 	}
 	in := search.NewHitInstance(s, pl.B())
 	in.Reinit(d, hitLists, ordered)
+	in.SetWeights(w)
 	return in
 }
 
@@ -169,6 +180,25 @@ func newDomainDamage(pl *Placement, topo *topology.Topology, s, d int) *search.H
 // unloaded domains, the adversary prunes them — so only the result,
 // not the visited-state count, is comparable).
 func WorstDomainDamage(pl *Placement, topo *topology.Topology, s, d int) (int, error) {
+	return WorstDomainDamageWeighted(pl, topo, s, d, nil)
+}
+
+// WorstDomainDamageWeighted is WorstDomainDamage scoring lost weight:
+// the exact maximum Σ w[obj] over the objects failed by any d-domain
+// failure. w is a per-object weight vector (len b, entries >= 0); nil
+// reduces to WorstDomainDamage. Derive w from a topology's node weights
+// with ObjectWeights.
+func WorstDomainDamageWeighted(pl *Placement, topo *topology.Topology, s, d int, w []int64) (int, error) {
+	if w != nil {
+		if len(w) != pl.B() {
+			return 0, fmt.Errorf("placement: %d object weights for %d objects", len(w), pl.B())
+		}
+		for obj, v := range w {
+			if v < 0 {
+				return 0, fmt.Errorf("placement: object %d weight %d negative", obj, v)
+			}
+		}
+	}
 	if err := pl.Validate(); err != nil {
 		return 0, err
 	}
@@ -181,7 +211,7 @@ func WorstDomainDamage(pl *Placement, topo *topology.Topology, s, d int) (int, e
 	if d < 1 || d > topo.NumDomains() {
 		return 0, fmt.Errorf("placement: d = %d must satisfy 1 <= d <= domains = %d", d, topo.NumDomains())
 	}
-	return search.Exhaustive(newDomainDamage(pl, topo, s, d)).Failed, nil
+	return search.Exhaustive(newDomainDamage(pl, topo, s, d, w)).Failed, nil
 }
 
 // maxExactSpreadSubsets caps the C(D, d) enumeration inside
@@ -211,11 +241,23 @@ type SpreadOpts struct {
 	// Caps[di] bounds the total replicas the relabeled placement may put
 	// in leaf domain di (a rack has nodes, but also disks and uplinks);
 	// a negative entry means unlimited. Non-nil Caps must cover every
-	// leaf domain. Candidate mappings that would exceed a cap are
-	// discarded — including the identity, so the never-worse guarantee
-	// then holds relative to the best cap-feasible candidate instead of
-	// the oblivious layout; if no candidate fits, an error is returned.
+	// leaf domain. Caps combine (by min) with the topology's own
+	// Domain.Cap annotations, which may sit at any level — zone and
+	// region caps are enforced too. Candidate mappings that would exceed
+	// a cap are discarded — including the identity, so the never-worse
+	// guarantee then holds relative to the best cap-feasible candidate
+	// instead of the oblivious layout. CheckCaps decides feasibility: its
+	// witness assignment always competes as a repair fallback, so the
+	// infeasibility error fires exactly when CheckCaps proves a
+	// certificate (no relabeling at all can satisfy the caps).
 	Caps []int
+	// Weighted scores every candidate by its weighted worst-case damage
+	// (lost weight, with per-object weights derived from the topology's
+	// node weights via ObjectWeights on each candidate's own labeling)
+	// instead of the failed-object count. On unweighted topologies it is
+	// a no-op. The never-worse guarantee then holds in weight units:
+	// the result never loses more weight than the identity at any level.
+	Weighted bool
 }
 
 // SpreadAcrossDomains relabels pl's abstract node ids onto physical
@@ -272,7 +314,8 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 			candidates = append(candidates, mapping)
 		}
 	}
-	if opts.Caps == nil {
+	levelCaps := mergedLevelCaps(topo, opts.Caps)
+	if levelCaps == nil {
 		identityIdx = 0
 		add(identity, true)
 		add(stripedMapping(pl, topo), true)
@@ -282,18 +325,49 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 			add(hierMapping(pl, topo, true, nil))
 		}
 	} else {
-		// The identity competes only when it fits the caps; the
-		// recursive constructors respect them by construction.
-		if capsRespected(pl, topo, opts.Caps) {
+		// CheckCaps decides feasibility up front: a certificate means NO
+		// relabeling can fit, so the error names it; otherwise its
+		// witness assignment always competes, and every heuristic
+		// candidate that happens to fit the caps competes too (the
+		// identity among them, preserving never-worse when it fits).
+		capTree := capTreeInt64(topo, levelCaps)
+		nodeLoads := pl.NodeLoads()
+		assign, cert, capErr := CheckCaps(topo, nodeLoads, levelCaps)
+		if cert != nil {
+			return nil, nil, fmt.Errorf("placement: no relabeling satisfies the domain caps: %s", cert)
+		}
+		fits := func(mapping []int) bool {
+			return mapping != nil && mappingRespectsCaps(mapping, nodeLoads, topo, capTree)
+		}
+		if fits(identity) {
 			identityIdx = 0
 			add(identity, true)
 		}
-		add(hierMapping(pl, topo, false, opts.Caps))
-		add(hierMapping(pl, topo, true, opts.Caps))
+		if m := stripedMapping(pl, topo); fits(m) {
+			add(m, true)
+		}
+		if m := conflictGreedyMapping(pl, topo); fits(m) {
+			add(m, true)
+		}
+		add(hierMapping(pl, topo, false, capTree))
+		add(hierMapping(pl, topo, true, capTree))
+		if assign != nil {
+			add(assignMapping(topo, assign), true)
+		}
 		if len(candidates) == 0 {
+			// Only reachable when CheckCaps exhausted its search budget
+			// (capErr != nil) and no heuristic candidate fits either.
+			if capErr != nil {
+				return nil, nil, capErr
+			}
 			return nil, nil, fmt.Errorf("placement: no relabeling satisfies the domain caps")
 		}
 	}
+
+	// Candidates are scored by weighted damage when asked (per-object
+	// weights derived from each candidate's own labeling — relabeling
+	// moves objects on and off the hot nodes).
+	useWeights := opts.Weighted && topo.Weighted()
 
 	// Score every candidate at every level, finest first. Choose
 	// returns 0 on int64 overflow — treat that as "too many subsets",
@@ -327,14 +401,20 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 			return nil, nil, err
 		}
 		mapped[i] = m
+		var objW []int64
+		if useWeights {
+			if objW, err = ObjectWeights(m, topo); err != nil {
+				return nil, nil, err
+			}
+		}
 		vec := make([]int, len(levels))
 		for li, le := range levels {
 			if le.exact {
-				if vec[li], err = WorstDomainDamage(m, le.flat, s, le.d); err != nil {
+				if vec[li], err = WorstDomainDamageWeighted(m, le.flat, s, le.d, objW); err != nil {
 					return nil, nil, err
 				}
 			} else {
-				vec[li] = topLoadedDamage(m, le.flat, s, le.d)
+				vec[li] = topLoadedDamage(m, le.flat, s, le.d, objW)
 			}
 		}
 		damages[i] = vec
@@ -373,27 +453,17 @@ func lessVec(a, b []int) bool {
 	return false
 }
 
-// capsRespected reports whether pl's per-leaf-domain replica loads stay
-// within caps (negative entries are unlimited).
-func capsRespected(pl *Placement, topo *topology.Topology, caps []int) bool {
-	_, loads := DomainHits(pl, topo)
-	for di, load := range loads {
-		if caps[di] >= 0 && load > int64(caps[di]) {
-			return false
-		}
-	}
-	return true
-}
-
 // hierMapping assigns abstract node ids to physical nodes one level at
 // a time: ids are distributed over the top-level domains first (striped
 // round-robin, or conflict-minimizing greedy when greedy is set), then
 // recursively within each subtree, so each object's replicas separate
-// at the coarsest level before the finer ones. caps, when non-nil,
-// bounds the replica load each leaf domain may receive (its subtree
-// budget is the sum of its leaves'); an infeasible distribution reports
-// ok = false and the candidate is dropped.
-func hierMapping(pl *Placement, topo *topology.Topology, greedy bool, caps []int) ([]int, bool) {
+// at the coarsest level before the finer ones. capTree, when non-nil,
+// bounds the replica load each domain's subtree may receive at EVERY
+// level (unlimitedCap = no cap; a subtree's effective budget is the
+// minimum of its own cap and its children's summed budgets); an
+// infeasible distribution reports ok = false and the candidate is
+// dropped.
+func hierMapping(pl *Placement, topo *topology.Topology, greedy bool, capTree [][]int64) ([]int, bool) {
 	loads := pl.NodeLoads()
 	numLevels := topo.Levels()
 	// children[level][di] lists the level+1 domains nested in di.
@@ -404,32 +474,23 @@ func hierMapping(pl *Placement, topo *topology.Topology, greedy bool, caps []int
 			children[level][child.Parent] = append(children[level][child.Parent], ci)
 		}
 	}
-	// capOf[level][di]: the subtree's replica budget (leaf caps summed
-	// bottom-up, saturating at the unlimited sentinel so several
-	// unlimited leaves cannot overflow into a negative budget); nil when
-	// caps are unlimited.
-	const unlimited = int64(1) << 62
-	satAdd := func(a, b int64) int64 {
-		if s := a + b; s >= 0 && s < unlimited {
-			return s
-		}
-		return unlimited
-	}
+	// capOf[level][di]: the subtree's effective replica budget — its own
+	// cap tightened by the children's summed budgets (saturating at the
+	// unlimited sentinel so several unlimited children cannot overflow
+	// into a negative budget); nil when caps are unlimited.
 	var capOf [][]int64
-	if caps != nil {
+	if capTree != nil {
 		capOf = make([][]int64, numLevels)
-		capOf[numLevels-1] = make([]int64, topo.NumDomains())
-		for di, c := range caps {
-			if c < 0 {
-				capOf[numLevels-1][di] = unlimited
-			} else {
-				capOf[numLevels-1][di] = int64(c)
-			}
-		}
+		capOf[numLevels-1] = append([]int64(nil), capTree[numLevels-1]...)
 		for level := numLevels - 2; level >= 0; level-- {
 			capOf[level] = make([]int64, len(topo.Tree[level]))
 			for ci, child := range topo.Tree[level+1] {
-				capOf[level][child.Parent] = satAdd(capOf[level][child.Parent], capOf[level+1][ci])
+				capOf[level][child.Parent] = satCapAdd(capOf[level][child.Parent], capOf[level+1][ci])
+			}
+			for di, own := range capTree[level] {
+				if own < capOf[level][di] {
+					capOf[level][di] = own
+				}
 			}
 		}
 	}
@@ -627,14 +688,19 @@ func nodesByLoad(pl *Placement) []int {
 // topLoadedDamage is the cheap candidate-ranking proxy used when C(D, d)
 // is too large to enumerate: the damage of failing the d domains
 // carrying the most replicas (a valid attack, hence a lower bound on the
-// true worst case).
-func topLoadedDamage(pl *Placement, topo *topology.Topology, s, d int) int {
+// true worst case). A non-nil w scores in weight units: domains rank by
+// weighted load, damage is the failed objects' total weight.
+func topLoadedDamage(pl *Placement, topo *topology.Topology, s, d int, w []int64) int {
 	loads := make([]int64, topo.NumDomains())
 	var buf []int
-	for _, o := range pl.Objects {
+	for obj, o := range pl.Objects {
 		buf = o.Members(buf[:0])
+		hit := int64(1)
+		if w != nil {
+			hit = w[obj]
+		}
 		for _, nd := range buf {
-			loads[topo.DomainOf(nd)]++
+			loads[topo.DomainOf(nd)] += hit
 		}
 	}
 	order := make([]int, len(loads))
@@ -647,5 +713,15 @@ func topLoadedDamage(pl *Placement, topo *topology.Topology, s, d int) int {
 		}
 		return order[a] < order[b]
 	})
-	return pl.FailedObjects(topo.FailedSet(order[:d]), s)
+	failed := topo.FailedSet(order[:d])
+	if w == nil {
+		return pl.FailedObjects(failed, s)
+	}
+	damage := 0
+	for obj, o := range pl.Objects {
+		if o.IntersectCount(failed) >= s {
+			damage += int(w[obj])
+		}
+	}
+	return damage
 }

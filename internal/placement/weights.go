@@ -1,0 +1,62 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// This file derives per-object weights from a topology's per-node
+// weights, the bridge between heterogeneous clusters (hot nodes serving
+// more traffic than cold ones) and the weighted adversary engines
+// (adversary.SearchOpts.ObjWeights), which maximize lost WEIGHT instead
+// of lost object count.
+
+// ObjectWeights derives a per-object weight vector from topo's node
+// weights: an object's weight is the MAXIMUM weight among the nodes
+// hosting its replicas — the traffic an object serves is dominated by
+// its hottest host, so losing it costs that host's weight. With unit
+// node weights every object weighs 1 and weighted damage degenerates to
+// the plain object count; ObjectWeights then returns nil (the engines'
+// unit-weight convention), so unweighted topologies take the exact
+// unweighted code paths.
+//
+// The weights depend on the placement's labeling: relabeling moves
+// objects on and off the hot nodes, which is exactly what a
+// weighted-aware spreading pass (SpreadOpts.Weighted) exploits.
+func ObjectWeights(pl *Placement, topo *topology.Topology) ([]int64, error) {
+	if topo.N != pl.N {
+		return nil, fmt.Errorf("placement: topology covers %d nodes, placement has %d", topo.N, pl.N)
+	}
+	if !topo.Weighted() {
+		return nil, nil
+	}
+	w := make([]int64, pl.B())
+	var buf []int
+	for obj, o := range pl.Objects {
+		buf = o.Members(buf[:0])
+		maxW := 1
+		for _, nd := range buf {
+			if nw := topo.Weight(nd); nw > maxW {
+				maxW = nw
+			}
+		}
+		w[obj] = int64(maxW)
+	}
+	return w, nil
+}
+
+// SumWeights returns the total weight of b objects under w — the
+// weighted analogue of the object count b, and the "b" of weighted
+// availability (total weight − lost weight). A nil w means unit
+// weights, so the sum is b itself.
+func SumWeights(w []int64, b int) int64 {
+	if w == nil {
+		return int64(b)
+	}
+	var sum int64
+	for _, v := range w {
+		sum += v
+	}
+	return sum
+}

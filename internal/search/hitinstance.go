@@ -1,10 +1,24 @@
 package search
 
+import "fmt"
+
 // This file is the one concrete Instance every engine in the repository
 // searches on: aggregated (object, replica-count) hits in a flat CSR
 // layout, with incremental residual-load accounting for the
 // BoundResidual prune and duplicate-candidate detection for branch
 // collapse.
+//
+// Weighted damage: SetWeights(w) switches the instance from counting
+// failed objects to summing their weights — Add/Remove/Marginal report
+// weight gained, and every quantity of the residual ledger (loads,
+// resid, deadSpent) is kept in weight units (each hit contributes C·w
+// instead of C). The bound algebra is unchanged: a completion that
+// newly fails objects of total weight W spends at least s·W weighted
+// replicas on them, so failed(K) <= ⌊(Σ weighted loads)/s⌋ holds
+// verbatim with "failed" read as lost weight. With w ≡ 1 every number
+// — damage, witness, visited states — is identical to the unweighted
+// instance; the weighted code paths are separate methods so unweighted
+// searches keep their exact pre-weights hot loops.
 //
 // CSR layout contract: candidate i's hits occupy the contiguous run
 // hits[offs[i]:offs[i+1]] of one flat backing array, sorted by ascending
@@ -56,6 +70,10 @@ type HitInstance struct {
 	objHits  []candHit // flat inverted CSR: object j owns objHits[objOffs[j]:objOffs[j+1]]
 	objCands []int32   // C = 1 fast strip of objHits (candidate ids only)
 	objOffs  []int32   // len = numObjects+1
+
+	// Weighted damage (nil = unit weights). Immutable between
+	// SetWeights calls, shared by Clone.
+	w []int64 // per-object weight; Add/Marginal return Σ w over crossings
 
 	// Mutable search state (fresh per Clone).
 	cnt       []int32 // failed replicas per object
@@ -126,6 +144,26 @@ func (in *HitInstance) Reinit(k int, hitLists [][]Hit, loads []int64) {
 	in.deadSpent = 0
 	in.track = false
 	in.prepared = false
+	in.w = nil
+}
+
+// SetWeights switches the instance to weighted damage accounting:
+// object obj is worth w[obj] (>= 0), Add/Remove/Marginal report the
+// weight of the objects crossing the S threshold instead of their
+// count, and the residual ledger runs in weight units. Call it after
+// Reinit (which reverts to unit weights) and before the first search on
+// the new candidate set; the loads passed to Reinit must then be the
+// WEIGHTED candidate loads Σ C·w[obj] over each hit list — the
+// replica-counting bound divides that weighted spend by S, so plain
+// loads would prune unsoundly. A nil w reverts to unit weights.
+func (in *HitInstance) SetWeights(w []int64) {
+	if w != nil && len(w) != len(in.cnt) {
+		panic(fmt.Sprintf("search: %d object weights for %d objects", len(w), len(in.cnt)))
+	}
+	if in.prepared {
+		panic("search: SetWeights after the residual baselines were built; call it right after Reinit")
+	}
+	in.w = w
 }
 
 // prepare builds the residual machinery: per-candidate full loads (the
@@ -138,7 +176,11 @@ func (in *HitInstance) prepare() {
 	for i := 0; i < m; i++ {
 		var sum int64
 		for _, h := range in.run(i) {
-			sum += int64(h.C)
+			c := int64(h.C)
+			if in.w != nil {
+				c *= in.w[h.Obj]
+			}
+			sum += c
 		}
 		in.full = append(in.full, sum)
 		in.fullSum += sum
@@ -212,6 +254,9 @@ func (in *HitInstance) Load(i int) int64 { return in.loads[i] }
 // residual upkeep touches only hits on dead objects and threshold
 // crossings, so the common live-hit path costs one predictable branch.
 func (in *HitInstance) Add(i int) int {
+	if in.w != nil {
+		return in.addW(i)
+	}
 	newly := 0
 	s := in.s
 	if !in.track {
@@ -272,8 +317,49 @@ func (in *HitInstance) Add(i int) int {
 	return newly
 }
 
+// addW is Add under SetWeights: the return value is the total weight of
+// the newly dead objects, and the dead-spent ledger counts each failed
+// replica of a dead object as C·w.
+func (in *HitInstance) addW(i int) int {
+	s := in.s
+	newly := 0
+	if !in.track {
+		for _, h := range in.run(i) {
+			old := in.cnt[h.Obj]
+			nw := old + h.C
+			in.cnt[h.Obj] = nw
+			if old < s && nw >= s {
+				newly += int(in.w[h.Obj])
+			}
+		}
+		return newly
+	}
+	var dDead int64
+	for _, h := range in.run(i) {
+		old := in.cnt[h.Obj]
+		nw := old + h.C
+		in.cnt[h.Obj] = nw
+		if nw >= s {
+			w := in.w[h.Obj]
+			if old < s {
+				newly += int(w)
+				dDead += int64(nw) * w
+				in.objectDiedW(h.Obj)
+			} else {
+				dDead += int64(h.C) * w
+			}
+		}
+	}
+	in.deadSpent += dDead
+	return newly
+}
+
 // Remove reverts Add(i).
 func (in *HitInstance) Remove(i int) {
+	if in.w != nil {
+		in.removeW(i)
+		return
+	}
 	s := in.s
 	if !in.track {
 		if in.objs != nil {
@@ -319,6 +405,33 @@ func (in *HitInstance) Remove(i int) {
 	in.deadSpent += dDead
 }
 
+// removeW reverts addW(i).
+func (in *HitInstance) removeW(i int) {
+	s := in.s
+	if !in.track {
+		for _, h := range in.run(i) {
+			in.cnt[h.Obj] -= h.C
+		}
+		return
+	}
+	var dDead int64
+	for _, h := range in.run(i) {
+		old := in.cnt[h.Obj]
+		nw := old - h.C
+		in.cnt[h.Obj] = nw
+		if old >= s {
+			w := in.w[h.Obj]
+			if nw < s {
+				in.objectRevivedW(h.Obj)
+				dDead -= int64(old) * w
+			} else {
+				dDead -= int64(h.C) * w
+			}
+		}
+	}
+	in.deadSpent += dDead
+}
+
 // objectDied discounts every candidate's replicas of the newly dead
 // object: future hits on it are wasted, so they leave the residuals.
 func (in *HitInstance) objectDied(obj int32) {
@@ -354,9 +467,51 @@ func (in *HitInstance) objectRevived(obj int32) {
 	in.residAll += c
 }
 
+// objectDiedW is objectDied in weight units: every hit on the dead
+// object leaves the residuals at its weighted size C·w.
+func (in *HitInstance) objectDiedW(obj int32) {
+	w := in.w[obj]
+	if in.objCands != nil {
+		for _, cand := range in.objCands[in.objOffs[obj]:in.objOffs[obj+1]] {
+			in.resid[cand] -= w
+		}
+		in.residAll -= w * int64(in.objOffs[obj+1]-in.objOffs[obj])
+		return
+	}
+	var c int64
+	for _, ch := range in.objHits[in.objOffs[obj]:in.objOffs[obj+1]] {
+		d := int64(ch.C) * w
+		in.resid[ch.Cand] -= d
+		c += d
+	}
+	in.residAll -= c
+}
+
+// objectRevivedW reverts objectDiedW.
+func (in *HitInstance) objectRevivedW(obj int32) {
+	w := in.w[obj]
+	if in.objCands != nil {
+		for _, cand := range in.objCands[in.objOffs[obj]:in.objOffs[obj+1]] {
+			in.resid[cand] += w
+		}
+		in.residAll += w * int64(in.objOffs[obj+1]-in.objOffs[obj])
+		return
+	}
+	var c int64
+	for _, ch := range in.objHits[in.objOffs[obj]:in.objOffs[obj+1]] {
+		d := int64(ch.C) * w
+		in.resid[ch.Cand] += d
+		c += d
+	}
+	in.residAll += c
+}
+
 // Marginal returns how many objects Add(i) would newly fail, without
-// mutating state.
+// mutating state (the objects' total weight under SetWeights).
 func (in *HitInstance) Marginal(i int) int {
+	if in.w != nil {
+		return in.marginalW(i)
+	}
 	gain := 0
 	if in.objs != nil {
 		cross := in.s - 1
@@ -371,6 +526,18 @@ func (in *HitInstance) Marginal(i int) int {
 	for _, h := range in.run(i) {
 		if c := in.cnt[h.Obj]; c < s && c+h.C >= s {
 			gain++
+		}
+	}
+	return gain
+}
+
+// marginalW is Marginal under SetWeights.
+func (in *HitInstance) marginalW(i int) int {
+	gain := 0
+	s := in.s
+	for _, h := range in.run(i) {
+		if c := in.cnt[h.Obj]; c < s && c+h.C >= s {
+			gain += int(in.w[h.Obj])
 		}
 	}
 	return gain

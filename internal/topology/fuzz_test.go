@@ -20,6 +20,12 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add(12, "g0z0r0@g0z0@region0:0-2;g0z0r1@g0z0@region0:3-5;g1z0r0@g1z0@region1:6-8;g1z0r1@g1z0@region1:9-11")
 	f.Add(8, "r0@za@east:0,2;r1@za@east:1,3;r2@zb@west:4-6;r3@zc@west:7")
 	f.Add(4, "a@b@c@d:0-3")
+	// Weighted / capped seeds: *w node weights, cap=N on leaf and
+	// interior domains, weight-broken ranges, and a depth-3 mix.
+	f.Add(10, "r0 cap=3@za cap=5:0*2,1-3;r1@za cap=5:4-6;r2@zb:7*4,8-9")
+	f.Add(6, "hot:0*7,1;cold:2-5")
+	f.Add(8, "a cap=4:0-3*2;b:4-7")
+	f.Add(12, "r0 cap=2@z0 cap=5@east cap=9:0-2;r1@z0 cap=5@east cap=9:3-5;r2@z1@west:6-8*3;r3@z1@west:9-11")
 	f.Fuzz(func(t *testing.T, n int, spec string) {
 		if n < 1 || n > 256 || len(spec) > 4096 {
 			return
@@ -42,7 +48,17 @@ func FuzzParseSpec(f *testing.F) {
 		if back.Levels() != topo.Levels() {
 			t.Fatalf("spec %q: depth changed %d -> %d across the round trip", spec, topo.Levels(), back.Levels())
 		}
+		for level := range topo.Tree {
+			for di := range topo.Tree[level] {
+				if a, b := topo.Tree[level][di].Cap, back.Tree[level][di].Cap; a != b {
+					t.Fatalf("spec %q: level %d domain %d cap %d -> %d across the round trip", spec, level, di, a, b)
+				}
+			}
+		}
 		for nd := 0; nd < n; nd++ {
+			if a, b := topo.Weight(nd), back.Weight(nd); a != b {
+				t.Fatalf("spec %q: node %d weight %d -> %d across the round trip", spec, nd, a, b)
+			}
 			for level := 0; level < topo.Levels(); level++ {
 				ai, err := topo.DomainOfAt(nd, level)
 				if err != nil {

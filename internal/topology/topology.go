@@ -33,6 +33,39 @@
 // ("rack@zone@region:nodes"). Spec renders the canonical form of that
 // spec, and ParseSpec∘Spec is the identity on valid topologies
 // (fuzz-tested at every depth).
+//
+// # Heterogeneity: node weights and domain capacity caps
+//
+// Real clusters are not uniform: nodes differ in the traffic they
+// serve, and racks, zones and regions are capacity-bounded (disks,
+// uplinks, power). Two optional annotations model this — the
+// tree-network capacity setting of Rehn-Sonigo (QoS and bandwidth
+// constraints in tree networks) on the level-indexed tree:
+//
+//   - Weights assigns every node an integer weight >= 1 (nil = all 1).
+//     Weighted adversaries (package adversary, SearchOpts.ObjWeights)
+//     score lost weight instead of lost object count; package
+//     placement's ObjectWeights derives per-object weights from them.
+//   - Domain.Cap bounds the total replicas a domain's subtree may hold
+//     (0 = unlimited, the zero value). Caps may sit at ANY level: a
+//     leaf rack, a zone, a region. Package placement's CheckCaps
+//     decides whether a placement's node loads can be assigned under
+//     every cap, and SpreadAcrossDomainsWith enforces them.
+//
+// # Spec grammar
+//
+// The full grammar, each leaf domain one ';'-separated entry:
+//
+//	entry    = domain { "@" domain } ":" nodes
+//	domain   = name [ " cap=" N ]          (N >= 1 replicas, any level)
+//	nodes    = token { "," token }
+//	token    = id [ "-" id ] [ "*" w ]     (w >= 1, node weight)
+//
+// Example: "r0 cap=3@za cap=5:0*2,1-3;r1@za cap=5:4-6;r2@zb:7*4,8-9".
+// A cap annotation may be repeated at later mentions of the same
+// domain, but must then agree; the canonical Spec renders it at every
+// mention. Unit weights and zero caps render as nothing — a topology
+// without annotations round-trips through the PR-4 grammar unchanged.
 package topology
 
 import (
@@ -54,19 +87,27 @@ const Leaf = -1
 // of nodes that fail together. Parent indexes the level above (-1 at
 // the top level). Leaf domains list their nodes; an interior domain's
 // Nodes is the derived union of its children's, (re)computed by
-// validation.
+// validation. Cap, when positive, bounds the total replicas the
+// domain's whole subtree may hold (0, the zero value, means unlimited)
+// — the per-domain capacity constraint enforced by package placement's
+// CheckCaps and SpreadAcrossDomainsWith.
 type Domain struct {
 	Name   string
 	Parent int
 	Nodes  []int
+	Cap    int
 }
 
 // Topology maps n nodes into a level-indexed tree of named failure
 // domains. Tree[0] is the coarsest level, Tree[len(Tree)-1] the leaf
-// level whose domains partition the nodes.
+// level whose domains partition the nodes. Weights, when non-nil,
+// assigns each node an integer weight >= 1 (heterogeneous clusters: a
+// hot node serves more traffic than a cold one); nil means every node
+// weighs 1.
 type Topology struct {
-	N    int
-	Tree [][]Domain
+	N       int
+	Tree    [][]Domain
+	Weights []int
 
 	domainOf []int // node -> leaf domain index
 }
@@ -117,8 +158,11 @@ func (t *Topology) index() error {
 			if d.Name == "" {
 				return fmt.Errorf("topology: level %d domain %d has no name", level, di)
 			}
-			if strings.ContainsAny(d.Name, ":;,@- \t\n") {
+			if strings.ContainsAny(d.Name, ":;,@-*= \t\n") {
 				return fmt.Errorf("topology: domain name %q contains reserved characters", d.Name)
+			}
+			if d.Cap < 0 {
+				return fmt.Errorf("topology: domain %q cap %d must be >= 0 (0 = unlimited)", d.Name, d.Cap)
 			}
 			if names[d.Name] {
 				return fmt.Errorf("topology: duplicate domain name %q at level %d", d.Name, level)
@@ -157,6 +201,16 @@ func (t *Topology) index() error {
 	for nd, di := range t.domainOf {
 		if di == -1 {
 			return fmt.Errorf("topology: node %d not in any domain", nd)
+		}
+	}
+	if t.Weights != nil {
+		if len(t.Weights) != t.N {
+			return fmt.Errorf("topology: %d node weights for %d nodes", len(t.Weights), t.N)
+		}
+		for nd, w := range t.Weights {
+			if w < 1 {
+				return fmt.Errorf("topology: node %d weight %d must be >= 1", nd, w)
+			}
 		}
 	}
 	// Derive interior node sets bottom-up and insist every interior
@@ -362,6 +416,50 @@ func (t *Topology) NumDomainsAt(level int) (int, error) {
 // DomainOf returns the index of the leaf domain holding node nd.
 func (t *Topology) DomainOf(nd int) int { return t.domainOf[nd] }
 
+// Weight returns node nd's weight: Weights[nd], or 1 when no weights
+// are set (the homogeneous default).
+func (t *Topology) Weight(nd int) int {
+	if t.Weights == nil {
+		return 1
+	}
+	return t.Weights[nd]
+}
+
+// Weighted reports whether any node carries a non-unit weight; false
+// means weighted damage degenerates to the plain object count.
+func (t *Topology) Weighted() bool {
+	for _, w := range t.Weights {
+		if w != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// LevelCaps returns the per-level capacity caps in the convention
+// placement.CheckCaps consumes: caps[level][di] is the replica cap of
+// domain di at that level, -1 where unlimited. It returns nil when no
+// domain of the tree carries a cap.
+func (t *Topology) LevelCaps() [][]int {
+	any := false
+	caps := make([][]int, len(t.Tree))
+	for level, doms := range t.Tree {
+		caps[level] = make([]int, len(doms))
+		for di, d := range doms {
+			if d.Cap > 0 {
+				caps[level][di] = d.Cap
+				any = true
+			} else {
+				caps[level][di] = -1
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return caps
+}
+
 // DomainOfAt returns the index of the domain holding node nd at the
 // given level, chasing parent pointers up from the leaf.
 func (t *Topology) DomainOfAt(nd, level int) (int, error) {
@@ -422,9 +520,19 @@ func (t *Topology) Collapse(level int) (*Topology, error) {
 	}
 	domains := make([]Domain, len(t.Tree[l]))
 	for i, d := range t.Tree[l] {
-		domains[i] = Domain{Name: d.Name, Parent: -1, Nodes: append([]int(nil), d.Nodes...)}
+		domains[i] = Domain{Name: d.Name, Parent: -1, Nodes: append([]int(nil), d.Nodes...), Cap: d.Cap}
 	}
-	return NewTree(t.N, [][]Domain{domains})
+	flat, err := NewTree(t.N, [][]Domain{domains})
+	if err != nil {
+		return nil, err
+	}
+	// Node weights survive the projection (weighted adversaries run on
+	// collapsed views); caps above or below level l do not — a flat view
+	// can only carry its own level's constraint.
+	if t.Weights != nil {
+		flat.Weights = append([]int(nil), t.Weights...)
+	}
+	return flat, nil
 }
 
 // ZoneLevel collapses a hierarchical topology to the level above the
@@ -453,17 +561,27 @@ func (t *Topology) MaxDomainSize() int {
 // its '@'-separated ancestor chain ("rack@zone@region") below depth 1,
 // and nodes as comma-separated values with a-b ranges over sorted node
 // ids. Example: "z0r0@zone0:0-3;z0r1@zone0:4-6;z1r0@zone1:7-9".
+// Capped domains render " cap=N" after their name at every mention;
+// nodes with non-unit weight render a "*w" suffix, with ranges breaking
+// wherever the weight changes.
 func (t *Topology) Spec() string {
 	var sb strings.Builder
 	leafLevel := t.Levels() - 1
+	writeName := func(d Domain) {
+		sb.WriteString(d.Name)
+		if d.Cap > 0 {
+			sb.WriteString(" cap=")
+			sb.WriteString(strconv.Itoa(d.Cap))
+		}
+	}
 	for i, d := range t.Leaves() {
 		if i > 0 {
 			sb.WriteByte(';')
 		}
-		sb.WriteString(d.Name)
+		writeName(d)
 		for level, p := leafLevel-1, d.Parent; level >= 0; level-- {
 			sb.WriteByte('@')
-			sb.WriteString(t.Tree[level][p].Name)
+			writeName(t.Tree[level][p])
 			p = t.Tree[level][p].Parent
 		}
 		sb.WriteByte(':')
@@ -473,8 +591,11 @@ func (t *Topology) Spec() string {
 			if j > 0 {
 				sb.WriteByte(',')
 			}
+			// A range extends while ids stay consecutive AND weights equal:
+			// the weight suffix annotates the whole token.
+			w := t.Weight(nodes[j])
 			k := j
-			for k+1 < len(nodes) && nodes[k+1] == nodes[k]+1 {
+			for k+1 < len(nodes) && nodes[k+1] == nodes[k]+1 && t.Weight(nodes[k+1]) == w {
 				k++
 			}
 			sb.WriteString(strconv.Itoa(nodes[j]))
@@ -482,17 +603,50 @@ func (t *Topology) Spec() string {
 				sb.WriteByte('-')
 				sb.WriteString(strconv.Itoa(nodes[k]))
 			}
+			if w != 1 {
+				sb.WriteByte('*')
+				sb.WriteString(strconv.Itoa(w))
+			}
 			j = k + 1
 		}
 	}
 	return sb.String()
 }
 
+// parseDomainSeg splits one '@'-chain segment into its domain name and
+// optional annotations: space-separated "cap=N" tokens after the name
+// (N >= 1; the only annotation currently defined).
+func parseDomainSeg(seg string) (name string, cap int, err error) {
+	fields := strings.Fields(seg)
+	if len(fields) == 0 {
+		return "", 0, fmt.Errorf("topology: empty domain name in %q", seg)
+	}
+	name = fields[0]
+	for _, f := range fields[1:] {
+		val, ok := strings.CutPrefix(f, "cap=")
+		if !ok {
+			return "", 0, fmt.Errorf("topology: unknown annotation %q on domain %q", f, name)
+		}
+		c, cerr := strconv.Atoi(val)
+		if cerr != nil || c < 1 {
+			return "", 0, fmt.Errorf("topology: bad cap %q on domain %q (want a positive integer)", val, name)
+		}
+		if cap > 0 && cap != c {
+			return "", 0, fmt.Errorf("topology: domain %q annotated with two caps", name)
+		}
+		cap = c
+	}
+	return name, cap, nil
+}
+
 // ParseSpec parses the Spec format for n nodes. Every leaf domain
 // carries the same-length ancestor chain (deepest first), fixing the
 // tree depth; ancestor domains are declared implicitly by first use and
 // ordered by first appearance within their level, and naming an
-// ancestor under two different parents is an error.
+// ancestor under two different parents is an error. Domains may carry
+// "cap=N" annotations (any level; repeated mentions must agree) and
+// node tokens a "*w" weight suffix — see the package doc for the full
+// grammar.
 func ParseSpec(n int, spec string) (*Topology, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("topology: empty spec")
@@ -501,6 +655,7 @@ func ParseSpec(n int, spec string) (*Topology, error) {
 		tree     [][]Domain
 		levelIdx []map[string]int
 		depth    = -1
+		weights  []int
 	)
 	for _, part := range strings.Split(spec, ";") {
 		head, nodesPart, ok := strings.Cut(part, ":")
@@ -508,7 +663,10 @@ func ParseSpec(n int, spec string) (*Topology, error) {
 			return nil, fmt.Errorf("topology: domain %q missing ':'", part)
 		}
 		chain := strings.Split(head, "@")
-		name := chain[0]
+		name, leafCap, err := parseDomainSeg(chain[0])
+		if err != nil {
+			return nil, err
+		}
 		if depth == -1 {
 			depth = len(chain)
 			tree = make([][]Domain, depth)
@@ -524,20 +682,38 @@ func ParseSpec(n int, spec string) (*Topology, error) {
 		// top-level name, chain[1] the leaf's parent.
 		parent := -1
 		for level := 0; level < depth-1; level++ {
-			anc := chain[depth-1-level]
+			anc, ancCap, err := parseDomainSeg(chain[depth-1-level])
+			if err != nil {
+				return nil, err
+			}
 			idx, seen := levelIdx[level][anc]
 			if !seen {
 				idx = len(tree[level])
-				tree[level] = append(tree[level], Domain{Name: anc, Parent: parent})
+				tree[level] = append(tree[level], Domain{Name: anc, Parent: parent, Cap: ancCap})
 				levelIdx[level][anc] = idx
-			} else if tree[level][idx].Parent != parent {
-				return nil, fmt.Errorf("topology: domain %q appears under two parents at level %d", anc, level)
+			} else {
+				if tree[level][idx].Parent != parent {
+					return nil, fmt.Errorf("topology: domain %q appears under two parents at level %d", anc, level)
+				}
+				if ancCap > 0 {
+					if c := tree[level][idx].Cap; c > 0 && c != ancCap {
+						return nil, fmt.Errorf("topology: domain %q annotated with caps %d and %d", anc, c, ancCap)
+					}
+					tree[level][idx].Cap = ancCap
+				}
 			}
 			parent = idx
 		}
 		var nodes []int
 		for _, tok := range strings.Split(nodesPart, ",") {
-			lo, hi, isRange := strings.Cut(tok, "-")
+			body, wstr, hasW := strings.Cut(tok, "*")
+			w := 1
+			if hasW {
+				if w, err = strconv.Atoi(wstr); err != nil || w < 1 {
+					return nil, fmt.Errorf("topology: bad weight %q in domain %q", tok, name)
+				}
+			}
+			lo, hi, isRange := strings.Cut(body, "-")
 			a, err := strconv.Atoi(lo)
 			if err != nil {
 				return nil, fmt.Errorf("topology: bad node %q in domain %q", tok, name)
@@ -556,9 +732,29 @@ func ParseSpec(n int, spec string) (*Topology, error) {
 			}
 			for v := a; v <= b; v++ {
 				nodes = append(nodes, v)
+				if w != 1 && v >= 0 && v < n {
+					// Out-of-range ids fall through to NewTree's validation.
+					if weights == nil {
+						weights = make([]int, n)
+						for i := range weights {
+							weights[i] = 1
+						}
+					}
+					weights[v] = w
+				}
 			}
 		}
-		tree[depth-1] = append(tree[depth-1], Domain{Name: name, Parent: parent, Nodes: nodes})
+		tree[depth-1] = append(tree[depth-1], Domain{Name: name, Parent: parent, Nodes: nodes, Cap: leafCap})
 	}
-	return NewTree(n, tree)
+	topo, err := NewTree(n, tree)
+	if err != nil {
+		return nil, err
+	}
+	if weights != nil {
+		topo.Weights = weights
+		if err := topo.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return topo, nil
 }

@@ -72,8 +72,12 @@ type (
 	Topology = topology.Topology
 	// FailureDomain is one named domain of a Topology.
 	FailureDomain = topology.Domain
-	// SpreadOptions tunes SpreadAcrossDomainsWith (per-rack replica caps).
+	// SpreadOptions tunes SpreadAcrossDomainsWith (per-domain replica
+	// caps at any level, weighted-damage scoring).
 	SpreadOptions = placement.SpreadOpts
+	// CapCertificate explains why a cap set is unsatisfiable: the named
+	// subtree must absorb more replicas than it allows.
+	CapCertificate = placement.CapCert
 	// DomainAttackResult reports a worst-case correlated (whole-domain)
 	// failure search outcome.
 	DomainAttackResult = adversary.DomainResult
@@ -228,6 +232,46 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *Topology, s, d int, opts Sprea
 // DomainSpread reports per-object domain-spread statistics.
 func DomainSpread(pl *Placement, topo *Topology) (SpreadStats, error) {
 	return placement.DomainSpread(pl, topo)
+}
+
+// CheckCaps decides whether the per-node replica loads can be relabeled
+// onto topo's physical slots without any domain's subtree exceeding its
+// replica cap, at any level. caps[level][di] caps domain di of that
+// level (negative = unlimited; nil caps uses the topology's own cap=
+// annotations). It returns either a witness assignment (node → leaf
+// domain) proving feasibility, or a human-readable pigeonhole
+// certificate naming the violated subtree — never both.
+func CheckCaps(topo *Topology, loads []int, caps [][]int) ([]int, *CapCertificate, error) {
+	return placement.CheckCaps(topo, loads, caps)
+}
+
+// ObjectWeights derives per-object weights from the topology's node
+// weights (an object inherits its hottest replica host's weight), the
+// vector weighted adversaries consume; nil on unweighted topologies.
+func ObjectWeights(pl *Placement, topo *Topology) ([]int64, error) {
+	return placement.ObjectWeights(pl, topo)
+}
+
+// SumWeights is the weighted analogue of the object count: Σ w (or b
+// itself when w is nil), the baseline weighted availability is measured
+// against.
+func SumWeights(w []int64, b int) int64 {
+	return placement.SumWeights(w, b)
+}
+
+// WorstDomainAttackWeighted is WorstDomainAttack scoring lost WEIGHT:
+// the adversary fails the d whole domains maximizing the failed
+// objects' total weight under w (nil = unit weights, reducing to
+// WorstDomainAttack). The result's Failed field is lost weight; pair it
+// with SumWeights for weighted availability.
+func WorstDomainAttackWeighted(pl *Placement, topo *Topology, s, d int, budget int64, w []int64) (DomainAttackResult, error) {
+	return adversary.DomainWorstCaseWith(pl, topo, s, d, adversary.SearchOpts{Budget: budget, ObjWeights: w})
+}
+
+// WorstAttackWeighted is WorstAttack scoring lost weight (see
+// WorstDomainAttackWeighted).
+func WorstAttackWeighted(pl *Placement, s, k int, budget int64, w []int64) (AttackResult, error) {
+	return adversary.WorstCaseWith(pl, s, k, adversary.SearchOpts{Budget: budget, ObjWeights: w})
 }
 
 // DomainAvail computes availability under the worst d whole-domain
