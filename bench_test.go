@@ -918,3 +918,147 @@ func BenchmarkWorstCaseBnB(b *testing.B) {
 		}
 	}
 }
+
+// incrementalProbe is one step of the re-plan chain BenchmarkIncrementalMove
+// replays: a single-replica move, probed and then reverted.
+type incrementalProbe struct {
+	obj, from, to int
+}
+
+// buildIncrementalProbes derives a deterministic probe chain from the
+// partition placement: count moves, every fifth crossing racks, the
+// rest intra-rack rebalancing (the common reconciler case — the move
+// changes node loads but no failure domain). All moves stay inside the
+// object's zone, preserving the zone-confined shape.
+func buildIncrementalProbes(b *testing.B, pl *placement.Placement, topo *topology.Topology, zones, count int) []incrementalProbe {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	perZone := pl.N / zones
+	probes := make([]incrementalProbe, 0, count)
+	for len(probes) < count {
+		cross := len(probes)%5 == 4
+		obj := rng.Intn(pl.B())
+		members := pl.ReplicaNodes(obj)
+		from := members[rng.Intn(len(members))]
+		zone := from / perZone
+		to := zone*perZone + rng.Intn(perZone)
+		if to == from || pl.Objects[obj].Get(to) {
+			continue
+		}
+		if cross == (topo.DomainOf(to) == topo.DomainOf(from)) {
+			continue
+		}
+		probes = append(probes, incrementalProbe{obj: obj, from: from, to: to})
+	}
+	return probes
+}
+
+// BenchmarkIncrementalMove contrasts cold and warm evaluation of a
+// chain of one-replica re-plans on the partition scenario (the
+// zone-confined placement of the Large benchmark): each probe applies
+// one move, evaluates the rack-level worst case, then reverts and
+// evaluates again — the probe-and-revert loop a placement reconciler
+// runs. Cold rebuilds the instance and searches from scratch for every
+// evaluation; warm drives one adversary.Session whose CSR move deltas,
+// damage memo, and same-domain fast path answer reverts and intra-rack
+// probes without searching. The tracked visited-states metric is the
+// average per evaluation over the whole chain; the warm chain must
+// come in at least 5x under the cold one (asserted when both
+// sub-benchmarks run).
+func BenchmarkIncrementalMove(b *testing.B) {
+	const zones, s, d = 25, 2, 3
+	topo, err := topology.UniformHierarchy(1000, zones, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := zoneConfinedPlacement(b, 1000, 2000, 3, zones, 11)
+	probes := buildIncrementalProbes(b, pl, topo, zones, 20)
+	// want[i] is the exact damage after probe i's move, recorded by the
+	// cold run and pinned against the warm one.
+	var want []int
+	var coldAvg float64
+	b.Run("cold", func(b *testing.B) {
+		var total int64
+		evals := 0
+		for i := 0; i < b.N; i++ {
+			total, evals = 0, 0
+			want = want[:0]
+			cur := pl.Clone()
+			base, err := adversary.DomainWorstCase(cur, topo, s, d, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += base.Visited
+			evals++
+			for _, pr := range probes {
+				if err := cur.MoveReplica(pr.obj, pr.from, pr.to); err != nil {
+					b.Fatal(err)
+				}
+				res, err := adversary.DomainWorstCase(cur, topo, s, d, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Visited
+				evals++
+				want = append(want, res.Failed)
+				if err := cur.MoveReplica(pr.obj, pr.to, pr.from); err != nil {
+					b.Fatal(err)
+				}
+				back, err := adversary.DomainWorstCase(cur, topo, s, d, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += back.Visited
+				evals++
+				if back.Failed != base.Failed {
+					b.Fatalf("revert damage %d != base %d", back.Failed, base.Failed)
+				}
+			}
+		}
+		coldAvg = float64(total) / float64(evals)
+		b.ReportMetric(coldAvg, "visited-states")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var total int64
+		evals := 0
+		for i := 0; i < b.N; i++ {
+			total, evals = 0, 0
+			se, err := adversary.NewDomainSession(pl, topo, topology.Leaf, s, d, adversary.SearchOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := se.Evaluate(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += base.Visited
+			evals++
+			for pi, pr := range probes {
+				res, err := se.Move(pr.obj, pr.from, pr.to)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Visited
+				evals++
+				if len(want) > pi && res.Failed != want[pi] {
+					b.Fatalf("probe %d: warm damage %d != cold %d", pi, res.Failed, want[pi])
+				}
+				back, err := se.Move(pr.obj, pr.to, pr.from)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += back.Visited
+				evals++
+				if back.Failed != base.Failed {
+					b.Fatalf("revert damage %d != base %d", back.Failed, base.Failed)
+				}
+			}
+		}
+		warmAvg := float64(total) / float64(evals)
+		b.ReportMetric(warmAvg, "visited-states")
+		if coldAvg > 0 && warmAvg*5 > coldAvg {
+			b.Fatalf("warm chain averaged %.0f visited states per evaluation, cold %.0f — less than the required 5x drop",
+				warmAvg, coldAvg)
+		}
+	})
+}

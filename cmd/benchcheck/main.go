@@ -5,15 +5,23 @@
 // numbers (ns/op) vary with hardware and are deliberately not checked.
 //
 // A benchmark regresses when its fresh metric exceeds the baseline by
-// more than the tolerance (default 10%), and when a baseline benchmark
-// disappears entirely (coverage loss is a regression too; intentional
-// removals update the committed BENCH.json in the same change). New
-// benchmarks absent from the baseline pass — they become tracked once
-// the regenerated BENCH.json is committed.
+// more than the allowed slack — max(relative tolerance, absolute
+// floor) — and when a baseline benchmark disappears entirely (coverage
+// loss is a regression too; intentional removals update the committed
+// BENCH.json in the same change). New benchmarks absent from the
+// baseline pass — they become tracked once the regenerated BENCH.json
+// is committed.
+//
+// The absolute floor (-min-delta, default 50 states) exists for small
+// deterministic counters: a purely relative tolerance turns a ±31-state
+// wobble on a 300-state benchmark into a failure even though the same
+// wobble is noise on every larger one. Tiny counters get a fixed grace
+// of min-delta states; large counters are still held to the relative
+// tolerance, which dominates once base*tolerance > min-delta.
 //
 // Usage:
 //
-//	go run ./cmd/benchcheck -baseline BENCH.json -new BENCH.new.json [-tolerance 0.10]
+//	go run ./cmd/benchcheck -baseline BENCH.json -new BENCH.new.json [-tolerance 0.10] [-min-delta 50]
 //
 // `make bench-check` wires this against the committed baseline; CI runs
 // it on every push.
@@ -43,6 +51,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH.json", "committed baseline BENCH.json")
 	newPath := flag.String("new", "BENCH.new.json", "freshly generated BENCH.json")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative increase before a metric counts as regressed")
+	minDelta := flag.Float64("min-delta", 50, "absolute increase always allowed, so small counters aren't failed on jitter the relative tolerance forgives everywhere else")
 	metric := flag.String("metric", "visited-states", "deterministic metric to compare")
 	flag.Parse()
 
@@ -56,9 +65,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
-	failures, checked := compare(baseline, fresh, *metric, *tolerance)
-	fmt.Printf("benchcheck: %d %s metrics compared against %s (tolerance %.0f%%)\n",
-		checked, *metric, *baselinePath, *tolerance*100)
+	failures, checked := compare(baseline, fresh, *metric, *tolerance, *minDelta)
+	fmt.Printf("benchcheck: %d %s metrics compared against %s (tolerance %.0f%%, floor %.0f)\n",
+		checked, *metric, *baselinePath, *tolerance*100, *minDelta)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", f)
@@ -88,8 +97,12 @@ func load(path string) (report, error) {
 func key(b benchmark) string { return b.Package + " " + b.Name }
 
 // compare returns the regression messages (stable order) and the number
-// of baseline metrics that were compared.
-func compare(baseline, fresh report, metric string, tolerance float64) ([]string, int) {
+// of baseline metrics that were compared. A metric regresses when it
+// exceeds the baseline by more than max(base*tolerance, minDelta): the
+// relative tolerance governs large counters, the absolute floor keeps
+// small deterministic counters from failing on jitter that would be
+// invisible at scale.
+func compare(baseline, fresh report, metric string, tolerance, minDelta float64) ([]string, int) {
 	freshVals := make(map[string]float64)
 	for _, b := range fresh.Benchmarks {
 		if v, ok := b.Metrics[metric]; ok {
@@ -111,10 +124,14 @@ func compare(baseline, fresh report, metric string, tolerance float64) ([]string
 					key(b), metric, base))
 			continue
 		}
-		if now > base*(1+tolerance)+0.5 {
+		slack := base * tolerance
+		if minDelta > slack {
+			slack = minDelta
+		}
+		if now > base+slack+0.5 {
 			failures = append(failures,
-				fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
-					key(b), metric, base, now, 100*(now-base)/base, tolerance*100))
+				fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, allowed +%.0f)",
+					key(b), metric, base, now, 100*(now-base)/base, slack))
 		}
 	}
 	sort.Strings(failures)

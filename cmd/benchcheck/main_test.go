@@ -21,7 +21,7 @@ func TestCompare(t *testing.T) {
 		bench("repro", "BenchmarkB-8", 260),  // +30%: regression
 		bench("repro", "BenchmarkNew-8", 999999),
 	}}
-	failures, checked := compare(baseline, fresh, "visited-states", 0.10)
+	failures, checked := compare(baseline, fresh, "visited-states", 0.10, 50)
 	if checked != 3 {
 		t.Errorf("checked %d baseline metrics, want 3", checked)
 	}
@@ -41,13 +41,69 @@ func TestCompare(t *testing.T) {
 
 	// Identical reports pass; small absolute wiggle on tiny counts
 	// stays within the +0.5 guard.
-	failures, _ = compare(baseline, baseline, "visited-states", 0.10)
+	failures, _ = compare(baseline, baseline, "visited-states", 0.10, 50)
 	if len(failures) != 0 {
 		t.Errorf("self-comparison failed: %v", failures)
 	}
 	small := report{Benchmarks: []benchmark{bench("repro", "BenchmarkTiny-8", 4)}}
 	smallNow := report{Benchmarks: []benchmark{bench("repro", "BenchmarkTiny-8", 4.4)}}
-	if failures, _ = compare(small, smallNow, "visited-states", 0.10); len(failures) != 0 {
+	if failures, _ = compare(small, smallNow, "visited-states", 0.10, 0); len(failures) != 0 {
 		t.Errorf("sub-unit wiggle flagged: %v", failures)
+	}
+}
+
+// TestCompareAbsoluteFloor pins the two tolerance regimes. Small
+// deterministic counters jitter by a few dozen states (e.g. a budgeted
+// parallel race landing ±31 states apart), which a purely relative
+// tolerance fails: 250 -> 281 is +12.4%. The absolute floor forgives
+// exactly that — and nothing more — while large counters stay governed
+// by the relative tolerance alone.
+func TestCompareAbsoluteFloor(t *testing.T) {
+	baseline := report{Benchmarks: []benchmark{
+		bench("repro", "BenchmarkSmall-8", 250),
+		bench("repro", "BenchmarkBig-8", 100000),
+	}}
+
+	// Floor regime: +31 states on a 250-state counter passes with the
+	// default floor, fails without it.
+	jitter := report{Benchmarks: []benchmark{
+		bench("repro", "BenchmarkSmall-8", 281),
+		bench("repro", "BenchmarkBig-8", 100000),
+	}}
+	if failures, _ := compare(baseline, jitter, "visited-states", 0.10, 50); len(failures) != 0 {
+		t.Errorf("±31-state jitter on a small counter flagged despite the floor: %v", failures)
+	}
+	if failures, _ := compare(baseline, jitter, "visited-states", 0.10, 0); len(failures) != 1 {
+		t.Errorf("without the floor the relative tolerance should flag 250 -> 281: %v", failures)
+	}
+
+	// The floor is a floor, not a blank check: exceeding it still fails.
+	real := report{Benchmarks: []benchmark{
+		bench("repro", "BenchmarkSmall-8", 305),
+		bench("repro", "BenchmarkBig-8", 100000),
+	}}
+	failures, _ := compare(baseline, real, "visited-states", 0.10, 50)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkSmall-8") {
+		t.Errorf("a +55-state regression must beat the 50-state floor: %v", failures)
+	}
+
+	// Relative regime: on large counters the floor is irrelevant —
+	// base*tolerance dominates, so +9% passes and +11% fails with or
+	// without it.
+	for _, floor := range []float64{0, 50} {
+		ok := report{Benchmarks: []benchmark{
+			bench("repro", "BenchmarkSmall-8", 250),
+			bench("repro", "BenchmarkBig-8", 109000),
+		}}
+		if failures, _ := compare(baseline, ok, "visited-states", 0.10, floor); len(failures) != 0 {
+			t.Errorf("floor %.0f: +9%% on a large counter flagged: %v", floor, failures)
+		}
+		bad := report{Benchmarks: []benchmark{
+			bench("repro", "BenchmarkSmall-8", 250),
+			bench("repro", "BenchmarkBig-8", 111000),
+		}}
+		if failures, _ := compare(baseline, bad, "visited-states", 0.10, floor); len(failures) != 1 {
+			t.Errorf("floor %.0f: +11%% on a large counter not flagged: %v", floor, failures)
+		}
 	}
 }

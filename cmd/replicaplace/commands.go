@@ -85,8 +85,9 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 	// Weighted topologies are spread weighted-aware; capped ones (cap=
 	// annotations or -caps) are spread under their caps — an infeasible
 	// cap set surfaces the checker's certificate as this error.
+	var spreadTel placement.SpreadTelemetry
 	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
-		placement.SpreadOpts{Weighted: topo.Weighted()})
+		placement.SpreadOpts{Weighted: topo.Weighted(), Telemetry: &spreadTel})
 	if err != nil {
 		return err
 	}
@@ -122,6 +123,7 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 		spread.Avail(mf.b), mf.b, 100*float64(spread.Avail(mf.b))/float64(mf.b))
 	if stats {
 		fmt.Fprint(w, statsLine("domain-aware", opts.Bound, spread.Visited, opts.Budget, spread.Exact))
+		fmt.Fprint(w, spreadStatsLine(spreadTel))
 	}
 	if topo.Weighted() {
 		if err := weightedDomainSection(w, topo, tf.level, mf.s, dl, opts,

@@ -114,8 +114,9 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 	if err != nil {
 		return err
 	}
+	var spreadTel placement.SpreadTelemetry
 	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
-		placement.SpreadOpts{Weighted: topo.Weighted()})
+		placement.SpreadOpts{Weighted: topo.Weighted(), Telemetry: &spreadTel})
 	if err != nil {
 		return err
 	}
@@ -140,6 +141,9 @@ func compareTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags,
 		if stats {
 			fmt.Fprint(w, statsLine(strings.TrimSpace(layout.name), opts.Bound, res.Visited, opts.Budget, res.Exact))
 		}
+	}
+	if stats {
+		fmt.Fprint(w, spreadStatsLine(spreadTel))
 	}
 	if topo.Weighted() {
 		if err := weightedDomainSection(w, topo, tf.level, mf.s, dl, opts,

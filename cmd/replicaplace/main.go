@@ -52,6 +52,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/placement"
 	"repro/internal/search"
 )
 
@@ -145,4 +146,13 @@ func statsLine(label string, bound search.Bound, visited, budget int64, exact bo
 	}
 	return fmt.Sprintf("  search stats [%s]: bound=%s visited=%d budget=%s exact=%v\n",
 		label, bound, visited, limit, exact)
+}
+
+// spreadStatsLine formats the spread pass's candidate-scoring
+// diagnostics: how many exact evaluations its incremental session
+// answered from the damage memo or warm-started from the previous
+// candidate's witness, versus full instance rebuilds.
+func spreadStatsLine(tel placement.SpreadTelemetry) string {
+	return fmt.Sprintf("  spread stats: evals=%d memo-hits=%d warm-seeds=%d rebuilds=%d\n",
+		tel.Evals, tel.MemoHits, tel.WarmSeeds, tel.Rebuilds)
 }

@@ -178,6 +178,67 @@ func TestConstrainedWorstCaseParBudget(t *testing.T) {
 	}
 }
 
+// TestBudgetedParallelAlwaysValidAttack pins the only run-invariant
+// contract the budgeted+parallel regime offers. Which incumbent wins a
+// budget race legitimately varies run to run (see the scheduling note
+// in internal/search/parallel.go), so nothing here compares Failed
+// across runs — every run must instead return a self-consistent valid
+// attack: the witness replays to the reported damage, the damage never
+// exceeds the true optimum, and a drained budget is reported inexact.
+func TestBudgetedParallelAlwaysValidAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	pl := randomPlacement(rng, 24, 3, 300)
+	const s, k = 2, 5
+	exact, err := WorstCase(pl, s, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Uniform(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactDom, err := DomainWorstCase(pl, topo, s, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		res, err := WorstCaseParallel(pl, s, k, 60, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Nodes) == 0 || len(res.Nodes) > k {
+			t.Fatalf("run %d: witness %v is not a ≤%d-node attack", run, res.Nodes, k)
+		}
+		failedSet := combin.NewBitsetFrom(pl.N, res.Nodes)
+		if got := pl.FailedObjects(failedSet, s); got != res.Failed {
+			t.Fatalf("run %d: witness %v replays to %d, reported %d", run, res.Nodes, got, res.Failed)
+		}
+		if res.Failed > exact.Failed {
+			t.Fatalf("run %d: budgeted damage %d exceeds exact optimum %d", run, res.Failed, exact.Failed)
+		}
+		if res.Exact && res.Failed != exact.Failed {
+			t.Fatalf("run %d: claims exact with damage %d, optimum is %d", run, res.Failed, exact.Failed)
+		}
+
+		dom, err := DomainWorstCasePar(pl, topo, s, 3, 60, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dom.Domains) == 0 || len(dom.Domains) > 3 {
+			t.Fatalf("run %d: domain witness %v is not a ≤3-domain attack", run, dom.Domains)
+		}
+		if got := pl.FailedObjects(topo.FailedSet(dom.Domains), s); got != dom.Failed {
+			t.Fatalf("run %d: domain witness %v replays to %d, reported %d", run, dom.Domains, got, dom.Failed)
+		}
+		if dom.Failed > exactDom.Failed {
+			t.Fatalf("run %d: budgeted domain damage %d exceeds exact optimum %d", run, dom.Failed, exactDom.Failed)
+		}
+		if dom.Exact && dom.Failed != exactDom.Failed {
+			t.Fatalf("run %d: claims exact with damage %d, domain optimum is %d", run, dom.Failed, exactDom.Failed)
+		}
+	}
+}
+
 func TestWorstCaseParallelOnStructuredPlacement(t *testing.T) {
 	pl, err := placement.BuildSimple(19, 3, 1, 2, 100, placement.SimpleOptions{})
 	if err != nil {

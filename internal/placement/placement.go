@@ -43,6 +43,38 @@ func (p *Placement) Add(nodes []int) error {
 // B returns the number of placed objects.
 func (p *Placement) B() int { return len(p.Objects) }
 
+// Clone returns an independent deep copy of the placement.
+func (p *Placement) Clone() *Placement {
+	cp := &Placement{N: p.N, R: p.R, Objects: make([]*combin.Bitset, len(p.Objects))}
+	for i, o := range p.Objects {
+		cp.Objects[i] = o.Clone()
+	}
+	return cp
+}
+
+// MoveReplica transfers one replica of obj from node from to node to —
+// the unit of change incremental re-plans are chains of. It fails if
+// from does not hold a replica or to already does (replica sets stay
+// distinct), leaving the placement untouched.
+func (p *Placement) MoveReplica(obj, from, to int) error {
+	if obj < 0 || obj >= len(p.Objects) {
+		return fmt.Errorf("placement: object %d out of range [0, %d)", obj, len(p.Objects))
+	}
+	if from < 0 || from >= p.N || to < 0 || to >= p.N {
+		return fmt.Errorf("placement: move nodes (%d, %d) out of range [0, %d)", from, to, p.N)
+	}
+	o := p.Objects[obj]
+	if !o.Get(from) {
+		return fmt.Errorf("placement: object %d has no replica on node %d", obj, from)
+	}
+	if o.Get(to) {
+		return fmt.Errorf("placement: object %d already has a replica on node %d", obj, to)
+	}
+	o.Clear(from)
+	o.Set(to)
+	return nil
+}
+
 // ReplicaNodes returns the sorted replica nodes of object obj.
 func (p *Placement) ReplicaNodes(obj int) []int {
 	return p.Objects[obj].Members(nil)

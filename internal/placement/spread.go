@@ -258,6 +258,10 @@ type SpreadOpts struct {
 	// a no-op. The never-worse guarantee then holds in weight units:
 	// the result never loses more weight than the identity at any level.
 	Weighted bool
+	// Telemetry, when non-nil, accumulates the candidate-scoring search
+	// counters (exact evaluations, memo hits, warm seeds, rebuilds)
+	// across every exact level. See SpreadTelemetry.
+	Telemetry *SpreadTelemetry
 }
 
 // SpreadAcrossDomains relabels pl's abstract node ids onto physical
@@ -394,30 +398,43 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 		levels = append(levels, levelEval{flat: flat, d: dl, exact: subsets > 0 && subsets <= maxExactSpreadSubsets})
 	}
 	mapped := make([]*Placement, len(candidates))
-	damages := make([][]int, len(candidates))
+	objWs := make([][]int64, len(candidates))
 	for i, mapping := range candidates {
 		m, err := Relabel(pl, mapping)
 		if err != nil {
 			return nil, nil, err
 		}
 		mapped[i] = m
-		var objW []int64
 		if useWeights {
-			if objW, err = ObjectWeights(m, topo); err != nil {
+			if objWs[i], err = ObjectWeights(m, topo); err != nil {
 				return nil, nil, err
 			}
 		}
-		vec := make([]int, len(levels))
-		for li, le := range levels {
-			if le.exact {
-				if vec[li], err = WorstDomainDamageWeighted(m, le.flat, s, le.d, objW); err != nil {
-					return nil, nil, err
-				}
-			} else {
-				vec[li] = topLoadedDamage(m, le.flat, s, le.d, objW)
+	}
+	// Score level by level so each exact level's spreadSession carries
+	// its memo and warm witness across every candidate: candidate
+	// mappings permute one placement, so consecutive candidates share
+	// worst attacks (warm seeds) and duplicates — the identity most
+	// often — share whole evaluations (memo hits).
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = &SpreadTelemetry{}
+	}
+	damages := make([][]int, len(candidates))
+	for i := range damages {
+		damages[i] = make([]int, len(levels))
+	}
+	for li, le := range levels {
+		if le.exact {
+			ss := newSpreadSession(s, le.d, pl.B(), le.flat.NumDomains(), tel)
+			for i := range candidates {
+				damages[i][li] = ss.damage(mapped[i], le.flat, objWs[i])
+			}
+		} else {
+			for i := range candidates {
+				damages[i][li] = topLoadedDamage(mapped[i], le.flat, s, le.d, objWs[i])
 			}
 		}
-		damages[i] = vec
 	}
 	bestIdx := -1
 	for i := range candidates {

@@ -511,3 +511,46 @@ func TestSpreadUnlimitedCapsStillSpread(t *testing.T) {
 		}
 	}
 }
+
+// TestSpreadSessionMatchesOneShotEvaluator pins the candidate-scoring
+// rewrite: scoring through the reused warm-started session must pick
+// the same mapping a per-candidate WorstDomainDamageWeighted rebuild
+// would (the session is exact, so the damage vectors are identical),
+// and the telemetry must account for every evaluation.
+func TestSpreadSessionMatchesOneShotEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		pl := randomSpreadPlacement(rng, 12, 3, 20+rng.Intn(20))
+		topo, err := topology.UniformHierarchy(12, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tel placement.SpreadTelemetry
+		spread, mapping, err := placement.SpreadAcrossDomainsWith(pl, topo, 2, 2, placement.SpreadOpts{Telemetry: &tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tel.Evals == 0 || tel.Rebuilds == 0 {
+			t.Fatalf("telemetry recorded no scoring work: %+v", tel)
+		}
+		if tel.MemoHits+tel.Rebuilds != tel.Evals {
+			t.Fatalf("telemetry does not balance: %+v", tel)
+		}
+		// The winner's damage at every level equals the one-shot
+		// evaluator on the same relabeled placement.
+		for _, lv := range []struct{ level, d int }{{topology.Leaf, 2}, {0, 2}} {
+			want, err := placement.WorstDomainDamageAt(spread, topo, lv.level, 2, lv.d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := adversary.DomainWorstCaseAt(spread, topo, lv.level, 2, lv.d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed != want {
+				t.Fatalf("level %d: engine %d != evaluator %d on spread result (mapping %v)",
+					lv.level, res.Failed, want, mapping)
+			}
+		}
+	}
+}

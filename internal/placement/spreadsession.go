@@ -1,0 +1,120 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/search"
+	"repro/internal/topology"
+)
+
+// SpreadTelemetry reports how much search work SpreadAcrossDomainsWith's
+// candidate scoring actually performed. Hand one in via
+// SpreadOpts.Telemetry to have the counters accumulated across every
+// exact level (an evaluation either hits the damage memo or costs a
+// rebuild; warm seeds count the searches that started from the previous
+// candidate's re-validated witness instead of greedy alone).
+type SpreadTelemetry struct {
+	Evals     int64 // exact candidate evaluations requested
+	MemoHits  int64 // answered from the damage memo, no search run
+	WarmSeeds int64 // searches seeded by the previous candidate's witness
+	Rebuilds  int64 // instance reinitializations (memo misses)
+}
+
+// spreadSession scores spread candidates at one (level, d) through a
+// single reused search instance: candidates Reinit the same backing
+// arrays instead of allocating fresh instances, the previous
+// candidate's witness re-validates into a warm branch-and-bound seed
+// (candidate mappings permute the same placement, so their worst
+// attacks tend to overlap heavily), and exact damages memoize by
+// canonical placement signature so duplicate candidates — the identity
+// relabeling chief among them — cost one search, not several.
+type spreadSession struct {
+	s, d int
+	in   *search.HitInstance
+	memo map[Sig]int
+	tel  *SpreadTelemetry
+
+	lastSel []int // previous witness, in domain-id space
+	pos     []int // pos[domain id] = candidate position after the last Reinit
+	ids     []int
+	lists   [][]search.Hit
+	loads   []int64
+}
+
+func newSpreadSession(s, d, b, numDomains int, tel *SpreadTelemetry) *spreadSession {
+	return &spreadSession{
+		s: s, d: d,
+		in:    search.NewHitInstance(s, b),
+		memo:  make(map[Sig]int),
+		tel:   tel,
+		pos:   make([]int, numDomains),
+		ids:   make([]int, numDomains),
+		lists: make([][]search.Hit, numDomains),
+		loads: make([]int64, numDomains),
+	}
+}
+
+// damage returns the exact worst d-domain damage of pl under flat —
+// the same number WorstDomainDamageWeighted computes — via memo or
+// warm-seeded exact branch-and-bound on the reused instance.
+func (ss *spreadSession) damage(pl *Placement, flat *topology.Topology, w []int64) int {
+	ss.tel.Evals++
+	sig := WeightSignature(Signature(pl), w)
+	if v, ok := ss.memo[sig]; ok {
+		ss.tel.MemoHits++
+		return v
+	}
+	ss.tel.Rebuilds++
+
+	byDomain, loads := DomainHits(pl, flat)
+	if w != nil {
+		for di, hl := range byDomain {
+			var sum int64
+			for _, h := range hl {
+				sum += int64(h.C) * w[h.Obj]
+			}
+			loads[di] = sum
+		}
+	}
+	nd := len(byDomain)
+	order := ss.ids[:nd]
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if loads[order[a]] != loads[order[b]] {
+			return loads[order[a]] > loads[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for p, di := range order {
+		ss.pos[di] = p
+		ss.lists[p] = byDomain[di]
+		ss.loads[p] = loads[di]
+	}
+	ss.in.Reinit(ss.d, ss.lists[:nd], ss.loads[:nd])
+	ss.in.SetWeights(w)
+
+	seed := search.Greedy(ss.in)
+	ss.in.Reset()
+	if ss.lastSel != nil {
+		sel := make([]int, len(ss.lastSel))
+		for i, di := range ss.lastSel {
+			sel[i] = ss.pos[di]
+		}
+		sort.Ints(sel)
+		if rv := search.Revalidate(ss.in, sel); rv > seed.Failed {
+			seed = search.Result{Failed: rv, Sel: sel}
+			ss.tel.WarmSeeds++
+		}
+	}
+	res := search.BranchAndBoundWith(ss.in, seed, search.NewBudget(0), search.BoundResidual)
+
+	sel := make([]int, len(res.Sel))
+	for i, p := range res.Sel {
+		sel[i] = order[p]
+	}
+	ss.lastSel = sel
+	ss.memo[sig] = res.Failed
+	return res.Failed
+}

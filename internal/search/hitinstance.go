@@ -75,6 +75,15 @@ type HitInstance struct {
 	// SetWeights calls, shared by Clone.
 	w []int64 // per-object weight; Add/Marginal return Σ w over crossings
 
+	// Move-delta state (see ApplyMove). moveKeys are the caller's
+	// tie-break identities restoring the canonical candidate order after
+	// a load change; invStale records that the inverted index no longer
+	// matches the patched CSR runs and must be rebuilt before the next
+	// residual-tracked search.
+	moveKeys []int32
+	onSwap   func(i, j int)
+	invStale bool
+
 	// Mutable search state (fresh per Clone).
 	cnt       []int32 // failed replicas per object
 	track     bool    // residual upkeep enabled (see EnableResidual)
@@ -83,8 +92,10 @@ type HitInstance struct {
 	residAll  int64   // Σ resid over all candidates
 	deadSpent int64   // Σ cnt over dead objects (liveSpent = chosen load − deadSpent)
 
-	cursor []int32 // Reinit scratch for the inverted-index fill
-	top    []int64 // TopResidual scratch (rem largest residuals)
+	cursor     []int32 // Reinit scratch for the inverted-index fill
+	top        []int64 // TopResidual scratch (rem largest residuals)
+	hitScratch []Hit   // ApplyMove scratch for run rotation
+	objScratch []int32 // ApplyMove scratch for the C = 1 strip rotation
 }
 
 var (
@@ -144,7 +155,12 @@ func (in *HitInstance) Reinit(k int, hitLists [][]Hit, loads []int64) {
 	in.deadSpent = 0
 	in.track = false
 	in.prepared = false
+	in.invStale = false
 	in.w = nil
+	// A new candidate set invalidates the caller's position identities;
+	// re-enable moves (EnableMoves) after every Reinit.
+	in.moveKeys = nil
+	in.onSwap = nil
 }
 
 // SetWeights switches the instance to weighted damage accounting:
@@ -188,8 +204,16 @@ func (in *HitInstance) prepare() {
 	in.resid = append(in.resid[:0], in.full...)
 	in.residAll = in.fullSum
 	in.deadSpent = 0
+	in.buildInverted()
+	in.prepared = true
+	in.invStale = false
+}
 
-	// Inverted index: count, prefix-sum, fill.
+// buildInverted (re)derives the object → candidate index from the
+// current CSR runs: count, prefix-sum, fill. Called by prepare and by
+// EnableResidual when ApplyMove left the index stale.
+func (in *HitInstance) buildInverted() {
+	m := in.Len()
 	for i := range in.objOffs {
 		in.objOffs[i] = 0
 	}
@@ -221,7 +245,6 @@ func (in *HitInstance) prepare() {
 	} else {
 		in.objCands = nil
 	}
-	in.prepared = true
 }
 
 // run returns candidate i's contiguous hit run.
@@ -558,10 +581,19 @@ func (in *HitInstance) Reset() {
 // EnableResidual switches the incremental residual upkeep on. The
 // instance must be clean (Reset): the baselines Reinit/Reset install
 // are exactly the clean-state invariants, so no recomputation is
-// needed. Reinit switches it back off.
+// needed. Reinit switches it back off, and ApplyMove suspends it —
+// the per-candidate full loads are patched in place by the move, but
+// the inverted index is only re-derived here, once, when the next
+// residual-pruned search actually starts.
 func (in *HitInstance) EnableResidual() {
 	if !in.prepared {
 		in.prepare()
+	} else if in.invStale {
+		in.buildInverted()
+		copy(in.resid, in.full)
+		in.residAll = in.fullSum
+		in.deadSpent = 0
+		in.invStale = false
 	}
 	in.track = true
 }
@@ -621,19 +653,30 @@ func (in *HitInstance) DupOfPrev(i int) bool { return runsEqual(in.run(i), in.ru
 func (in *HitInstance) Clone() *HitInstance {
 	cp := *in
 	cp.cnt = make([]int32, len(in.cnt))
-	if in.prepared {
+	if in.prepared && !in.invStale {
 		// Share the immutable residual preprocessing; fresh state only.
 		cp.resid = append([]int64(nil), in.full...)
 		cp.residAll = in.fullSum
 		cp.deadSpent = 0
 	} else {
 		// Unshare the lazily-built arrays: concurrent clones must not
-		// race on the receiver's backing capacity when they prepare.
+		// race on the receiver's backing capacity when they prepare. A
+		// stale inverted index (ApplyMove since the last residual run)
+		// is treated the same way — the clone re-prepares from the
+		// patched CSR runs on its own backing.
 		cp.full, cp.resid, cp.objHits, cp.objCands = nil, nil, nil, nil
 		cp.objOffs = make([]int32, len(in.objOffs))
+		cp.prepared = false
+		cp.invStale = false
 	}
 	cp.track = false // each driver re-enables on its own copy
 	cp.cursor = nil  // prepare-only scratch, grown lazily
 	cp.top = nil     // TopResidual scratch, grown lazily per instance
+	// Clones are searchers, not editors: move identities and scratch
+	// stay with the receiver (see the ApplyMove contract).
+	cp.moveKeys = nil
+	cp.onSwap = nil
+	cp.hitScratch = nil
+	cp.objScratch = nil
 	return &cp
 }

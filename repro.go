@@ -83,6 +83,24 @@ type (
 	DomainAttackResult = adversary.DomainResult
 	// SpreadStats summarizes replica spreading over failure domains.
 	SpreadStats = placement.SpreadStats
+	// SpreadTelemetry reports the spread pass's candidate-scoring work
+	// (exact evaluations, memo hits, warm seeds, instance rebuilds);
+	// hand one in via SpreadOptions.Telemetry.
+	SpreadTelemetry = placement.SpreadTelemetry
+	// AttackSession incrementally re-evaluates the worst case across
+	// one-replica re-plans: CSR move deltas instead of instance
+	// rebuilds, warm-started search, and exact-damage memoization by
+	// canonical placement signature.
+	AttackSession = adversary.Session
+	// AttackSessionResult is one AttackSession evaluation: the damage,
+	// witness, exactness, and which acceleration answered it.
+	AttackSessionResult = adversary.SessionResult
+	// AttackSessionStats are an AttackSession's lifetime counters.
+	AttackSessionStats = adversary.SessionStats
+	// AttackOptions are the explicit search options (budget, worker
+	// fan-out, pruning bound, object weights) sessions and the With
+	// engine variants take.
+	AttackOptions = adversary.SearchOpts
 	// Cluster is a simulated storage cluster using these placements.
 	Cluster = cluster.Cluster
 	// ClusterConfig configures NewCluster.
@@ -334,6 +352,23 @@ func WorstConstrainedAttackAt(pl *Placement, topo *Topology, level, s, k, d int,
 // and budget.
 func WorstConstrainedAttackParallel(pl *Placement, topo *Topology, s, k, d int, budget int64, workers int) (DomainAttackResult, error) {
 	return adversary.ConstrainedWorstCasePar(pl, topo, s, k, d, budget, workers)
+}
+
+// NewAttackSession opens an incremental node-level adversary session on
+// the placement: Move applies one replica move and returns the updated
+// worst k-node attack, Evaluate answers arbitrary placements (same →
+// memo, one move apart → CSR delta, otherwise one rebuild). Damage,
+// witness, and exactness always equal a cold WorstAttack on the same
+// placement; a chain of re-plans just gets them far cheaper.
+func NewAttackSession(pl *Placement, s, k int, opts AttackOptions) (*AttackSession, error) {
+	return adversary.NewNodeSession(pl, s, k, opts)
+}
+
+// NewDomainAttackSession is NewAttackSession against whole domains of
+// the given topology level (moves within one attack-level domain are
+// answered without searching — they cannot change the answer).
+func NewDomainAttackSession(pl *Placement, topo *Topology, level, s, d int, opts AttackOptions) (*AttackSession, error) {
+	return adversary.NewDomainSession(pl, topo, level, s, d, opts)
 }
 
 // NewCluster builds a simulated storage cluster (see ClusterConfig).
