@@ -57,7 +57,12 @@ func main() {
 
 	baseline, err := load(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchcheck: baseline %s does not exist — nothing to diff against, failing rather than passing vacuously (run `make bench` and commit %s to establish one)\n",
+				*baselinePath, *baselinePath)
+		} else {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		}
 		os.Exit(1)
 	}
 	fresh, err := load(*newPath)

@@ -1,9 +1,24 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestLoadMissingBaseline pins the loud-failure contract: an absent
+// baseline is an error (main exits non-zero on it), never a vacuous
+// pass.
+func TestLoadMissingBaseline(t *testing.T) {
+	_, err := load(filepath.Join(t.TempDir(), "BENCH.json"))
+	if err == nil {
+		t.Fatal("load of a missing baseline returned no error")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing baseline error not recognizable as not-exist: %v", err)
+	}
+}
 
 func bench(pkg, name string, visited float64) benchmark {
 	return benchmark{Name: name, Package: pkg, Metrics: map[string]float64{"visited-states": visited}}

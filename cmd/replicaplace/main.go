@@ -137,14 +137,15 @@ func addStatsFlag(fs *flag.FlagSet) *bool {
 }
 
 // statsLine formats the diagnostics -stats prints after a search: the
-// pruning bound, states visited (== budget units consumed), the budget
-// limit, and whether the search proved its result exact.
+// pruning bound, the budget as used/limit (used == states visited; the
+// work-stealing driver settles its leases, so the count is exact), and
+// whether the search proved its result exact.
 func statsLine(label string, bound search.Bound, visited, budget int64, exact bool) string {
 	limit := "unlimited"
 	if budget > 0 {
 		limit = fmt.Sprintf("%d", budget)
 	}
-	return fmt.Sprintf("  search stats [%s]: bound=%s visited=%d budget=%s exact=%v\n",
+	return fmt.Sprintf("  search stats [%s]: bound=%s budget=%d/%s exact=%v\n",
 		label, bound, visited, limit, exact)
 }
 

@@ -12,22 +12,25 @@ import (
 
 // This file fans the branch-and-bound engines out over worker
 // goroutines. The node- and domain-level parallel engines ride the same
-// core driver (search.BranchAndBoundParallelWith) through the With
-// variants in adversary.go and domain.go; the constrained pair shards
-// the domain-subset enumeration here. In every case workers share the
-// incumbent bound, so a strong attack found by one worker prunes the
-// others, and they share the state budget, so budgeted results keep the
-// package-wide one-state-per-partial-attack semantics.
+// core driver (search.BranchAndBoundParallelWith — a work-stealing
+// scheduler over explicit {prefix, sibling-range} frontier tasks, so
+// skewed trees rebalance instead of starving workers) through the With
+// variants in adversary.go and domain.go; the constrained pair is
+// already task-parallel by construction and shards the domain-subset
+// enumeration here. In every case workers share the incumbent bound, so
+// a strong attack found by one worker prunes the others, and they share
+// the state budget — consumed in leased chunks that are settled at
+// exit, keeping the package-wide one-state-per-partial-attack
+// accounting exact.
 
-// WorstCaseParallel is WorstCase fanned out over worker goroutines: the
-// top-level branches of the search tree (the choice of the first failed
-// candidate) are distributed across workers. workers <= 0 selects
-// GOMAXPROCS; workers == 1 is exactly the serial engine. The budget,
-// when positive, is shared across the whole search.
+// WorstCaseParallel is WorstCase fanned out over work-stealing worker
+// goroutines. workers <= 0 selects GOMAXPROCS; workers == 1 is exactly
+// the serial engine. The budget, when positive, is shared across the
+// whole search.
 //
-// The result equals WorstCase's on exact runs; with a budget, the set of
-// states visited differs between runs, so budgeted results may vary
-// (each is still a valid attack and lower bound on the damage).
+// Exact runs return byte-identical results to WorstCase; with a budget,
+// the set of states visited differs between runs, so budgeted results
+// may vary (each is still a valid attack and lower bound on the damage).
 func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers int) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

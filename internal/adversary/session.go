@@ -340,6 +340,8 @@ func (se *Session) eval(bracketed bool, ceiling int) SessionResult {
 	} else {
 		bud := search.NewBudget(se.opts.Budget)
 		if workers := se.opts.resolveWorkers(); workers > 1 {
+			// The work-stealing driver unwinds the probe before its
+			// workers exit, so se.inst stays clean for the next eval.
 			res, _ = search.BranchAndBoundParallelWith(se.inst, func() (search.Instance, error) {
 				return se.inst.Clone(), nil
 			}, seed, bud, workers, se.opts.Bound)

@@ -14,25 +14,56 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 	return BranchAndBoundParallelWith(probe, newInst, seed, bud, workers, BoundResidual)
 }
 
-// BranchAndBoundParallelWith is BranchAndBoundWith fanned out over
-// worker goroutines: the top-level branches of the search tree (the
-// choice of the first failed candidate) are consumed from a shared
-// counter so fast workers steal work, and workers share the incumbent
-// bound through an atomic so that a strong attack found by one worker
-// prunes the others. workers <= 0 selects GOMAXPROCS; workers == 1
-// degrades to the serial driver on a single instance from the factory.
+// BranchAndBoundParallelWith is BranchAndBoundWith fanned out over a
+// work-stealing scheduler (see steal.go): pending work is an explicit
+// frontier of {prefix, sibling-range} tasks, each worker explores
+// depth-first on its own instance and publishes its shallowest untried
+// ranges for idle workers to steal, budget states are consumed from
+// leased chunks, and incumbent reads are a local snapshot refreshed on
+// lease boundaries. workers <= 0 selects GOMAXPROCS; workers == 1
+// degrades to the serial driver on the probe.
 //
 // probe is a ready (Reset) instance the caller already built — worker 0
-// reuses it, so seeding greedy on it first costs no extra construction.
-// newInst must return independent instances of the same search (same
-// candidate order, loads and damage accounting) for the remaining
-// workers; each owns one. bud is shared across all workers — the same
-// semantics as the serial driver, consumed collectively.
+// reuses it, so seeding greedy on it first costs no extra construction;
+// it is returned clean (the applied prefix fully unwound), so callers
+// may reuse it across searches. newInst must return independent
+// instances of the same search (same candidate order, loads and damage
+// accounting) for the remaining workers; each owns one. bud is shared
+// across all workers — the same semantics as the serial driver,
+// consumed collectively and accounted exactly.
 //
-// The result equals BranchAndBoundWith's on exact runs; with a budget,
-// the set of states visited differs between runs, so budgeted results
-// may vary (each is still a valid attack and lower bound on the damage).
+// Exact runs return byte-identical (Failed, Sel) to BranchAndBoundWith.
+// With a budget, the set of states visited differs between runs, so
+// budgeted results may vary (each is still a valid attack and lower
+// bound on the damage). Callers that need to checkpoint or resume the
+// search use ParallelSearch directly.
 func BranchAndBoundParallelWith(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return BranchAndBoundWith(probe, seed, bud, bound), nil
+	}
+	ps, err := NewParallelSearch(probe, newInst, seed, bud, workers, bound)
+	if err != nil {
+		return Result{}, err
+	}
+	ps.Start()
+	return ps.Wait(), nil
+}
+
+// BranchAndBoundShardedWith is the previous parallel driver, kept one
+// release as the opt-out of the work-stealing scheduler and as the
+// baseline that BenchmarkStealSkew quantifies against: workers drain a
+// shared counter of top-level branches (the first failed candidate) and
+// then grind each subtree alone, sharing the budget and incumbent
+// through per-state atomics. With strong pruning most top-level
+// branches die instantly and the survivors are grossly unequal, so
+// workers starve on skewed instances — the starvation the work-stealing
+// driver removes.
+//
+// Deprecated: use BranchAndBoundParallelWith.
+func BranchAndBoundShardedWith(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -108,6 +139,9 @@ func BranchAndBoundParallelWith(probe Instance, newInst func() (Instance, error)
 				if rem == 1 {
 					bestI, bestGain := -1, -1
 					for i := start; i < m; i++ {
+						if dup != nil && i > start && dup[i] {
+							continue
+						}
 						if g := in.Marginal(i); g > bestGain {
 							bestGain = g
 							bestI = i

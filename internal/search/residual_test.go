@@ -250,11 +250,29 @@ func contains(xs []int, x int) bool {
 	return false
 }
 
+// marginalCounter counts final-level scan work. Embedding promotes
+// DupOfPrev, so the wrapped instance still dedups; the cover variant
+// below never does.
+type marginalCounter struct {
+	*HitInstance
+	calls int
+}
+
+func (c *marginalCounter) Marginal(i int) int { c.calls++; return c.HitInstance.Marginal(i) }
+
+type coverMarginalCounter struct {
+	*coverInstance
+	calls int
+}
+
+func (c *coverMarginalCounter) Marginal(i int) int { c.calls++; return c.coverInstance.Marginal(i) }
+
 // TestDuplicateCollapse pins the dedup contract on a partition-style
 // instance: pairs of candidates with identical hit lists (plus zero-load
 // padding) are explored once, so the deduping HitInstance visits no more
 // states than a dedup-blind instance of the same search — at identical
-// damage.
+// damage — and, because the final-level Marginal scan skips duplicates
+// too, does strictly less scan work per rem == 1 node.
 func TestDuplicateCollapse(t *testing.T) {
 	// 4 groups of 2 identical candidates; group g hosts objects
 	// 3g..3g+2 (with C = 1), s = 2, k = 3.
@@ -287,16 +305,24 @@ func TestDuplicateCollapse(t *testing.T) {
 
 	seedC := Greedy(cover)
 	cover.Reset()
-	blind := BranchAndBoundWith(cover, seedC, NewBudget(0), BoundStatic)
+	blindIn := &coverMarginalCounter{coverInstance: cover}
+	blind := BranchAndBoundWith(blindIn, seedC, NewBudget(0), BoundStatic)
 	seedH := Greedy(hit)
 	hit.Reset()
-	dedup := BranchAndBoundWith(hit, seedH, NewBudget(0), BoundStatic)
+	dedupIn := &marginalCounter{HitInstance: hit}
+	dedup := BranchAndBoundWith(dedupIn, seedH, NewBudget(0), BoundStatic)
 
 	if blind.Failed != want || dedup.Failed != want {
 		t.Fatalf("damage: blind %d, dedup %d, exhaustive %d", blind.Failed, dedup.Failed, want)
 	}
 	if dedup.Visited >= blind.Visited {
 		t.Errorf("dedup visited %d >= blind %d — duplicate branches not collapsed", dedup.Visited, blind.Visited)
+	}
+	// The final-level scan is uncounted by the budget, so the skip shows
+	// up in Marginal calls, not Visited: every dedup scan drops the
+	// second member of each pair past its start.
+	if dedupIn.calls >= blindIn.calls {
+		t.Errorf("dedup made %d Marginal calls >= blind %d — final-level scan not skipping duplicates", dedupIn.calls, blindIn.calls)
 	}
 }
 

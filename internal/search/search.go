@@ -51,6 +51,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 )
@@ -215,12 +216,67 @@ func (b *Budget) Visit() bool {
 	return true
 }
 
-// Used returns the number of states consumed so far.
+// Used returns the number of states consumed so far. While a parallel
+// search is in flight the count includes leased-but-unentered states
+// (see Lease); once every worker has exited, leases are settled and
+// Used is exactly the number of states entered.
 func (b *Budget) Used() int64 { return b.used.Load() }
+
+// Limit returns the configured state limit (<= 0: unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Remaining returns how many states the budget still allows. Unlimited
+// budgets report math.MaxInt64.
+func (b *Budget) Remaining() int64 {
+	if b.limit <= 0 {
+		return math.MaxInt64
+	}
+	if rem := b.limit - b.used.Load(); rem > 0 {
+		return rem
+	}
+	return 0
+}
 
 // Exhausted reports whether the limit has been reached.
 func (b *Budget) Exhausted() bool {
 	return b.limit > 0 && b.used.Load() >= b.limit
+}
+
+// Lease atomically claims up to n states for a worker to consume
+// without further synchronization, returning the number granted (0 once
+// the limit is reached — never a partial zero while states remain). The
+// worker must give back whatever it did not enter via Return before it
+// exits, so that Used settles to exactly the states entered and a
+// leased-but-unused remainder is never leaked. Unlimited budgets grant
+// every request in full.
+func (b *Budget) Lease(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if b.limit <= 0 {
+		b.used.Add(n)
+		return n
+	}
+	for {
+		u := b.used.Load()
+		if u >= b.limit {
+			return 0
+		}
+		g := b.limit - u
+		if g > n {
+			g = n
+		}
+		if b.used.CompareAndSwap(u, u+g) {
+			return g
+		}
+	}
+}
+
+// Return gives back the unused remainder of a Lease.
+func (b *Budget) Return(n int64) {
+	if n > 0 {
+		b.used.Add(-n)
+	}
 }
 
 // Exhaustive enumerates every K-subset of candidates. Cost is C(m, K)
@@ -379,8 +435,16 @@ func BranchAndBoundWith(in Instance, seed Result, bud *Budget, bound Bound) Resu
 		}
 		if rem == 1 {
 			// Final level: scan candidates for the best single extension.
+			// Duplicates collapse here too: candidate i's marginal equals
+			// its identical predecessor's, and the strict argmax keeps the
+			// first of any equal pair, so skipping dup[i] (whose
+			// representative i-1 >= start is scanned) changes nothing but
+			// the scan work.
 			bestI, bestGain := -1, -1
 			for i := start; i < m; i++ {
+				if dup != nil && i > start && dup[i] {
+					continue
+				}
 				if g := in.Marginal(i); g > bestGain {
 					bestGain = g
 					bestI = i

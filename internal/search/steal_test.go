@@ -1,0 +1,299 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStealMatchesSerial is the work-stealing parity property: on
+// randomized instances — cover, hit-count, and weighted — and across
+// worker counts, exact runs return byte-identical (Failed, Sel, Exact)
+// to the serial driver, whatever order the workers raced through the
+// tree in.
+func TestStealMatchesSerial(t *testing.T) {
+	workerCounts := []int{2, 3, 8}
+
+	t.Run("cover", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(131))
+		for trial := 0; trial < 30; trial++ {
+			m := 6 + rng.Intn(6)
+			r := 2 + rng.Intn(2)
+			b := 5 + rng.Intn(25)
+			s := 1 + rng.Intn(r)
+			k := 1 + rng.Intn(m-1)
+			members := randomMembers(rng, m, r, b)
+			mk := func() (Instance, error) { return newCoverInstance(m, k, s, members), nil }
+
+			in := newCoverInstance(m, k, s, members)
+			seed := Greedy(in)
+			in.Reset()
+			want := BranchAndBoundWith(in, seed, NewBudget(0), BoundStatic)
+
+			for _, workers := range workerCounts {
+				got, err := BranchAndBoundParallelWith(newCoverInstance(m, k, s, members), func() (Instance, error) {
+					return mk()
+				}, seed, NewBudget(0), workers, BoundStatic)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Failed != want.Failed || got.Exact != want.Exact || !reflect.DeepEqual(got.Sel, want.Sel) {
+					t.Errorf("trial %d workers=%d: got (%d, %v, %v), serial (%d, %v, %v)",
+						trial, workers, got.Failed, got.Sel, got.Exact, want.Failed, want.Sel, want.Exact)
+				}
+			}
+		}
+	})
+
+	t.Run("hit", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(137))
+		for trial := 0; trial < 30; trial++ {
+			m := 6 + rng.Intn(6)
+			r := 2 + rng.Intn(2)
+			b := 5 + rng.Intn(25)
+			maxC := 1 + rng.Intn(3)
+			s := 1 + rng.Intn(r*maxC)
+			k := 1 + rng.Intn(m-1)
+			in, _ := randomHitInstance(rng, m, r, b, s, k, maxC)
+			seed := Greedy(in)
+			in.Reset()
+			want := BranchAndBoundWith(in, seed, NewBudget(0), BoundResidual)
+			in.Reset()
+
+			for _, workers := range workerCounts {
+				got, err := BranchAndBoundParallelWith(in, func() (Instance, error) {
+					return in.Clone(), nil
+				}, seed, NewBudget(0), workers, BoundResidual)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Failed != want.Failed || got.Exact != want.Exact || !reflect.DeepEqual(got.Sel, want.Sel) {
+					t.Errorf("trial %d workers=%d: got (%d, %v, %v), serial (%d, %v, %v)",
+						trial, workers, got.Failed, got.Sel, got.Exact, want.Failed, want.Sel, want.Exact)
+				}
+			}
+		}
+	})
+
+	t.Run("weighted", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(139))
+		for trial := 0; trial < 20; trial++ {
+			m := 6 + rng.Intn(5)
+			b := 5 + rng.Intn(20)
+			s := 1 + rng.Intn(3)
+			k := 1 + rng.Intn(m-1)
+			w := make([]int64, b)
+			for i := range w {
+				w[i] = int64(1 + rng.Intn(9))
+			}
+			in, _ := randWeightedInstance(rng, m, b, k, s, w)
+			seed := Greedy(in)
+			in.Reset()
+			want := BranchAndBoundWith(in, seed, NewBudget(0), BoundResidual)
+			in.Reset()
+
+			for _, workers := range workerCounts {
+				got, err := BranchAndBoundParallelWith(in, func() (Instance, error) {
+					return in.Clone(), nil
+				}, seed, NewBudget(0), workers, BoundResidual)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Failed != want.Failed || got.Exact != want.Exact || !reflect.DeepEqual(got.Sel, want.Sel) {
+					t.Errorf("trial %d workers=%d: got (%d, %v, %v), serial (%d, %v, %v)",
+						trial, workers, got.Failed, got.Sel, got.Exact, want.Failed, want.Sel, want.Exact)
+				}
+			}
+		}
+	})
+}
+
+// TestStealLeaseAccounting pins the leased-budget contract: leases are
+// settled at worker exit, so Used() is exactly the states entered, not
+// the states claimed.
+func TestStealLeaseAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	members := randomMembers(rng, 16, 3, 100)
+	const m, k, s = 16, 5, 2
+	mk := func() (Instance, error) { return newCoverInstance(m, k, s, members), nil }
+
+	// Seed with the exact optimum so the incumbent never moves: prune
+	// decisions match the serial run state for state and the visited set
+	// — hence the count — is identical at any worker count.
+	in := newCoverInstance(m, k, s, members)
+	seed := Greedy(in)
+	in.Reset()
+	exact := BranchAndBoundWith(in, seed, NewBudget(0), BoundStatic)
+
+	for _, workers := range []int{2, 3, 8} {
+		// Unlimited: every lease chunk's unused remainder comes back.
+		bud := NewBudget(0)
+		probe, _ := mk()
+		res, err := BranchAndBoundParallelWith(probe, mk, exact, bud, workers, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bud.Used() != exact.Visited || res.Visited != exact.Visited {
+			t.Errorf("workers=%d unlimited: used %d visited %d, serial visited %d — leases leaked",
+				workers, bud.Used(), res.Visited, exact.Visited)
+		}
+
+		// Ample limit: the search finishes without exhausting, and the
+		// limit's unclaimed tail must not be counted as used.
+		bud = NewBudget(exact.Visited * 10)
+		probe, _ = mk()
+		res, err = BranchAndBoundParallelWith(probe, mk, exact, bud, workers, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Errorf("workers=%d: ample budget run not exact", workers)
+		}
+		if bud.Used() != exact.Visited {
+			t.Errorf("workers=%d ample: used %d, want %d", workers, bud.Used(), exact.Visited)
+		}
+
+		// Tiny limit: never overshoot, never report more visited than
+		// allowed, remaining consistent.
+		for _, limit := range []int64{1, 5, 37} {
+			bud = NewBudget(limit)
+			probe, _ = mk()
+			res, err = BranchAndBoundParallelWith(probe, mk, seed, bud, workers, BoundStatic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bud.Used() > limit || res.Visited > limit {
+				t.Errorf("workers=%d limit=%d: used %d visited %d — overshoot", workers, limit, bud.Used(), res.Visited)
+			}
+			if res.Exact {
+				t.Errorf("workers=%d limit=%d: exhausted run claims exactness", workers, limit)
+			}
+			if got, want := bud.Remaining(), limit-bud.Used(); got != want {
+				t.Errorf("workers=%d limit=%d: Remaining %d, want %d", workers, limit, got, want)
+			}
+			if res.Failed < seed.Failed || res.Failed > exact.Failed {
+				t.Errorf("workers=%d limit=%d: result %d outside [seed %d, exact %d]",
+					workers, limit, res.Failed, seed.Failed, exact.Failed)
+			}
+		}
+	}
+}
+
+// TestStealStress hammers the scheduler with oversubscribed workers and
+// a tiny shared budget — the -race configuration: many goroutines
+// racing over few states, leases shrunk to per-worker shares, repeated
+// across searches draining one budget.
+func TestStealStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	members := randomMembers(rng, 14, 3, 80)
+	const m, k, s = 14, 4, 2
+	mk := func() (Instance, error) { return newCoverInstance(m, k, s, members), nil }
+
+	in := newCoverInstance(m, k, s, members)
+	seed := Greedy(in)
+	in.Reset()
+	exact := BranchAndBoundWith(in, seed, NewBudget(0), BoundStatic)
+
+	const workers = 32 // far more than cores: steal scans and idle spins collide constantly
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			bud := NewBudget(int64(3 + round*17))
+			for bud.Remaining() > 0 {
+				probe, _ := mk()
+				res, err := BranchAndBoundParallelWith(probe, mk, seed, bud, workers, BoundStatic)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Failed < seed.Failed || res.Failed > exact.Failed {
+					t.Errorf("round %d: result %d outside [seed %d, exact %d]", round, res.Failed, seed.Failed, exact.Failed)
+					return
+				}
+			}
+			if bud.Used() > bud.Limit() {
+				t.Errorf("round %d: used %d > limit %d", round, bud.Used(), bud.Limit())
+			}
+		}(round)
+	}
+	wg.Wait()
+}
+
+// TestStealSuspendResume pins the checkpoint seam: a suspended search
+// hands back a frontier that, resumed with the suspended incumbent as
+// seed, completes to the same damage as the straight-through run; and a
+// budget-exhausted run parks its frontier the same way, so a fresh
+// budget finishes the job.
+func TestStealSuspendResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	members := randomMembers(rng, 18, 3, 140)
+	const m, k, s = 18, 6, 2
+	mk := func() (Instance, error) { return newCoverInstance(m, k, s, members), nil }
+
+	in := newCoverInstance(m, k, s, members)
+	seed := Greedy(in)
+	in.Reset()
+	want := BranchAndBoundWith(in, seed, NewBudget(0), BoundStatic)
+
+	resume := func(t *testing.T, frontier []Task, incumbent Result, bud *Budget) Result {
+		t.Helper()
+		probe, _ := mk()
+		ps, err := NewParallelSearch(probe, mk, incumbent, bud, 4, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.StartFrom(frontier)
+		return ps.Wait()
+	}
+
+	t.Run("suspend", func(t *testing.T) {
+		probe, _ := mk()
+		ps, err := NewParallelSearch(probe, mk, seed, NewBudget(0), 4, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.Start()
+		frontier := ps.Suspend()
+		mid := ps.Wait()
+		if len(frontier) == 0 {
+			// The race finished before the suspension landed; the result
+			// must already be the exact one.
+			if !mid.Exact || mid.Failed != want.Failed {
+				t.Fatalf("empty frontier but result (%d, exact=%v), want (%d, exact)", mid.Failed, mid.Exact, want.Failed)
+			}
+			return
+		}
+		if mid.Exact {
+			t.Error("suspended run with parked work claims exactness")
+		}
+		final := resume(t, frontier, mid, NewBudget(0))
+		if final.Failed != want.Failed {
+			t.Errorf("resumed search found %d, straight-through %d", final.Failed, want.Failed)
+		}
+	})
+
+	t.Run("exhausted", func(t *testing.T) {
+		bud := NewBudget(25)
+		probe, _ := mk()
+		ps, err := NewParallelSearch(probe, mk, seed, bud, 4, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.Start()
+		mid := ps.Wait()
+		frontier := ps.Frontier()
+		if mid.Exact {
+			t.Error("exhausted run claims exactness")
+		}
+		if len(frontier) == 0 {
+			t.Fatal("exhausted run parked no frontier")
+		}
+		final := resume(t, frontier, mid, NewBudget(0))
+		if final.Failed != want.Failed {
+			t.Errorf("resumed search found %d, straight-through %d", final.Failed, want.Failed)
+		}
+	})
+}
