@@ -78,6 +78,19 @@ var goldenCases = []struct {
 		"-trials", "1", "-budget", "0", "-racks", "4", "-dfail", "1", "-weights", "0*5"}},
 	{"topology_caps_n12", []string{"topology", "-n", "12", "-r", "3", "-s", "2", "-k", "6", "-b", "8",
 		"-racks", "3", "-dfail", "1", "-budget", "0", "-caps", "rack0=8"}},
+	// reconcile drives the continuous-operation loop from a mutation
+	// script. Serial exact sessions keep the transcripts deterministic.
+	// The three cases pin the loop's contract surface: a full
+	// drain/fail/restore cycle ending clean; a budget of one move per
+	// step surfacing the degraded-budget outcome; and -seed 7's fault
+	// schedule, which exercises rollback at prepare, rollback at add,
+	// and the pending -> roll-forward path when the final drop sticks.
+	{"reconcile_drain_n24", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
+		"-k", "2", "-script", "testdata/reconcile_drain.script"}},
+	{"reconcile_budget_n24", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
+		"-k", "1", "-settle", "0", "-script", "testdata/reconcile_budget.script"}},
+	{"reconcile_fault_n24", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
+		"-k", "2", "-seed", "7", "-fail-rate", "0.6", "-script", "testdata/reconcile_fault.script"}},
 }
 
 // deepSpec is the depth-3 topology the -topo golden cases share:

@@ -20,6 +20,16 @@
 //	replicaplace topology -n 13 -r 3 -s 2 -k 3 -b 26 -racks 4 [-zones 2] [-topo spec] [-level 1] [-dfail 1] [-weights 0*4] [-caps rack0=8]
 //	replicaplace experiment -fig 9a [-full] [-workers 8]
 //	replicaplace experiment -fig domains [-bound static]
+//	replicaplace reconcile -n 24 -r 3 -s 2 -b 40 -racks 6 -dfail 1 -k 2 -script muts.txt [-checkpoint ck.json [-resume]] [-seed 7 -fail-rate 0.3]
+//
+// reconcile is the continuous-operation loop: it consumes a mutation
+// script (drain/fail/restore node, weight node w, cap domain n) and
+// re-plans incrementally, moving at most -k replicas per step through
+// a two-phase migration machine while never letting worst-case damage
+// exceed the step's pre-migration guarantee. -checkpoint journals
+// every phase transition (fsync'd write-ahead); -resume restarts from
+// the journal, rolling the interrupted move forward or back. -seed
+// turns on deterministic fault injection in the simulated data plane.
 //
 // Heterogeneity: -weights marks hot nodes ("0*4,6-8*2": node 0 weighs
 // 4, nodes 6-8 weigh 2, the rest 1) — the topology sections then also
@@ -84,8 +94,10 @@ func run(args []string, w io.Writer) error {
 		return cmdTopology(args[1:], w)
 	case "experiment":
 		return cmdExperiment(args[1:], w)
+	case "reconcile":
+		return cmdReconcile(args[1:], w)
 	case "-h", "--help", "help":
-		fmt.Fprintln(w, "subcommands: plan, place, attack, analyze, compare, verify, topology, experiment")
+		fmt.Fprintln(w, "subcommands: plan, place, attack, analyze, compare, verify, topology, experiment, reconcile")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/controller"
+	"repro/internal/placement"
+	"repro/internal/search"
+)
+
+// cmdReconcile runs the continuous-operation loop: plan (or resume) a
+// placement, then consume a mutation script step by step, moving at
+// most -k replicas per step under the never-degrade invariant and
+// printing the per-move actuation transcript. The data plane is
+// simulated in memory; -seed turns on deterministic fault injection so
+// rollback and degradation paths are reproducible from the command
+// line.
+func cmdReconcile(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("reconcile", flag.ContinueOnError)
+	n := fs.Int("n", 24, "number of nodes")
+	r := fs.Int("r", 3, "replicas per object")
+	s := fs.Int("s", 2, "replica failures that fail an object")
+	b := fs.Int("b", 40, "number of objects")
+	k := fs.Int("k", 2, "replica-move budget per reconcile step")
+	planK := fs.Int("plan-k", 4, "worst-case node failures the initial placement is planned for (see plan -k)")
+	tf := addTopologyFlags(fs, 0)
+	workers := addWorkersFlag(fs, 1)
+	boundFlag := addBoundFlag(fs)
+	script := fs.String("script", "", "mutation script (- = stdin): drain|fail|restore <node>, weight <node> <w>, cap <domain> <n>")
+	checkpoint := fs.String("checkpoint", "", "write-ahead journal path (fsync'd): every phase transition checkpoints here")
+	resume := fs.Bool("resume", false, "resume from -checkpoint (recovering any in-flight move) instead of planning fresh")
+	seed := fs.Int64("seed", 0, "fault-injection seed for the simulated data plane (0 = healthy)")
+	failRate := fs.Float64("fail-rate", 0.3, "injected per-call failure probability (only with -seed)")
+	retries := fs.Int("retries", 2, "actuation retries per call")
+	settle := fs.Int("settle", 20, "extra steps after the script to settle leftover work (0 = stop at the script's end)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.validate(fs); err != nil {
+		return err
+	}
+	if !tf.enabled() {
+		return fmt.Errorf("reconcile needs a failure topology: set -racks (optionally -zones) or -topo")
+	}
+	if *script == "" {
+		return fmt.Errorf("reconcile needs -script (a mutation file, or - for stdin)")
+	}
+	pruneBound, err := search.ParseBound(*boundFlag)
+	if err != nil {
+		return err
+	}
+	topo, err := tf.build(*n)
+	if err != nil {
+		return err
+	}
+	_, word, dl, err := levelDomains(topo, tf.level, tf.dfail)
+	if err != nil {
+		return err
+	}
+
+	var rd io.Reader = os.Stdin
+	if *script != "-" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	muts, err := controller.ParseScript(rd)
+	if err != nil {
+		return err
+	}
+
+	opts := controller.Options{
+		Retries: *retries,
+		Search: adversary.SearchOpts{
+			Workers: cliWorkers(*workers),
+			Bound:   pruneBound,
+		},
+	}
+
+	var ctrl *controller.Controller
+	if *resume {
+		if *checkpoint == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		// The simulated data plane is rebuilt from the journaled logical
+		// placement; Recover below resolves the in-flight move against it
+		// (Abort and DropOld are idempotent, so an already-converged data
+		// plane is fine too).
+		ck, err := controller.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			return err
+		}
+		pl := placement.NewPlacement(ck.N, ck.R)
+		for _, nodes := range ck.Objects {
+			if err := pl.Add(nodes); err != nil {
+				return err
+			}
+		}
+		ctrl, err = controller.Load(*checkpoint, wrapActuator(controller.NewMemActuator(pl), *seed, *failRate), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "reconcile: resumed from %s (%d mutations already applied)\n", *checkpoint, ctrl.Applied())
+		rep, err := ctrl.Recover()
+		if err != nil {
+			return err
+		}
+		if len(rep.Moves) > 0 {
+			printReconcileStep(w, "recovery:", rep)
+		}
+	} else {
+		combo, _, _, err := placement.BuildDefaultCombo(*n, *r, *s, *planK, *b)
+		if err != nil {
+			return err
+		}
+		pl, _, err := placement.SpreadAcrossDomainsWith(combo, topo, *s, tf.dfail,
+			placement.SpreadOpts{Weighted: topo.Weighted()})
+		if err != nil {
+			return err
+		}
+		ctrl, err = controller.New(pl, controller.Config{
+			Topo:     topo,
+			Level:    tf.level,
+			S:        *s,
+			DFail:    dl,
+			MaxMoves: *k,
+			Actuator: wrapActuator(controller.NewMemActuator(pl), *seed, *failRate),
+			Journal:  *checkpoint,
+			Opts:     opts,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "reconcile: n=%d r=%d s=%d b=%d | %d whole-%s failures | budget %d moves/step\n",
+		*n, *r, *s, *b, dl, word, *k)
+	fmt.Fprintf(w, "pre-migration guarantee: worst-case damage %d of %d objects\n",
+		ctrl.Checkpoint().Baseline, *b)
+
+	var last *controller.StepReport
+	for i, mut := range muts {
+		rep, err := ctrl.Apply(mut)
+		if err != nil {
+			return fmt.Errorf("step %d (%s): %w", i+1, mut, err)
+		}
+		printReconcileStep(w, fmt.Sprintf("step %d: %s", i+1, mut), rep)
+		last = rep
+	}
+	if *settle > 0 && last != nil && last.Outcome != controller.OutcomeClean {
+		for i := 1; i <= *settle; i++ {
+			rep, err := ctrl.Step()
+			if err != nil {
+				return fmt.Errorf("settle %d: %w", i, err)
+			}
+			printReconcileStep(w, fmt.Sprintf("settle %d:", i), rep)
+			last = rep
+			if rep.Outcome == controller.OutcomeClean || rep.Outcome == controller.OutcomeDegradedUnsafe {
+				break
+			}
+		}
+	}
+	if last != nil {
+		fmt.Fprintf(w, "final: %s — damage %d (guarantee was %d), at-risk %d, cap-excess %d\n",
+			last.Outcome, last.Damage, ctrl.Checkpoint().Baseline, last.AtRisk, last.CapExcess)
+	}
+	st := ctrl.SessionStats()
+	fmt.Fprintf(w, "session stats: evals=%d memo-hits=%d warm-seeds=%d rebuilds=%d\n",
+		st.Evals, st.MemoHits, st.WarmSeeds, st.Rebuilds)
+	return nil
+}
+
+// wrapActuator optionally wraps the in-memory data plane in seeded
+// fault injection (clean pre-operation failures only — the CLI
+// simulates a flaky network, not a crashing controller).
+func wrapActuator(mem *controller.MemActuator, seed int64, failRate float64) controller.Actuator {
+	if seed == 0 {
+		return mem
+	}
+	return controller.NewFaultActuator(mem, seed, controller.FaultProfile{FailRate: failRate})
+}
+
+// printReconcileStep prints one step's actuation transcript and typed
+// outcome.
+func printReconcileStep(w io.Writer, label string, rep *controller.StepReport) {
+	fmt.Fprintln(w, label)
+	for _, mv := range rep.Moves {
+		detail := string(mv.Result)
+		if mv.Retries > 0 {
+			detail += fmt.Sprintf(", retries=%d", mv.Retries)
+		}
+		if mv.Err != "" {
+			detail += ": " + mv.Err
+		}
+		fmt.Fprintf(w, "  move %s [%s]\n", mv.Move, detail)
+	}
+	line := fmt.Sprintf("  damage %d <= baseline %d | %s", rep.Damage, rep.Baseline, rep.Outcome)
+	if rep.Reason != "" {
+		line += " (" + rep.Reason + ")"
+	}
+	fmt.Fprintln(w, line)
+}

@@ -164,6 +164,11 @@ func (se *Session) Stats() SessionStats {
 // path: the live instance is patched in place, the previous witness
 // warms the search, and the ±w bracket or the memo may answer without
 // searching at all.
+//
+// An out-of-range object or node index returns a
+// *placement.RangeError (match with errors.As) and leaves the session
+// untouched: the range check runs before any CSR patch, so a bad index
+// can never reach search.HitInstance.ApplyMove, which panics on one.
 func (se *Session) Move(obj, from, to int) (SessionResult, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -388,5 +389,83 @@ func TestConstrainedPairAfterMoves(t *testing.T) {
 			t.Fatalf("constrained pair diverged after moves: b&b %d (exact=%v), exhaustive %d",
 				bb.Failed, bb.Exact, exh.Failed)
 		}
+	}
+}
+
+// TestSessionMoveRangeError pins the typed-error contract of
+// Session.Move: an out-of-range object or node index returns a
+// *placement.RangeError — never a panic from the CSR patch layer — and
+// leaves the session fully usable: the next evaluation still matches a
+// cold engine.
+func TestSessionMoveRangeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n, r, b, s := 12, 3, 24, 2
+	pl := randomPlacement(rng, n, r, b)
+	topo, err := topology.Uniform(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := map[string]*Session{}
+	if se, err := NewNodeSession(pl, s, 3, SearchOpts{}); err != nil {
+		t.Fatal(err)
+	} else {
+		sessions["node"] = se
+	}
+	if se, err := NewDomainSession(pl, topo, topology.Leaf, s, 1, SearchOpts{}); err != nil {
+		t.Fatal(err)
+	} else {
+		sessions["domain"] = se
+	}
+	obj0 := pl.ReplicaNodes(0)
+	for name, se := range sessions {
+		t.Run(name, func(t *testing.T) {
+			bad := []struct {
+				label         string
+				obj, from, to int
+				kind          string
+				index         int
+			}{
+				{"object-negative", -1, obj0[0], n - 1, "object", -1},
+				{"object-high", b, obj0[0], n - 1, "object", b},
+				{"from-negative", 0, -1, n - 1, "node", -1},
+				{"to-high", 0, obj0[0], n, "node", n},
+			}
+			for _, tc := range bad {
+				_, err := se.Move(tc.obj, tc.from, tc.to)
+				var re *placement.RangeError
+				if !errors.As(err, &re) {
+					t.Fatalf("%s: Move(%d, %d, %d) = %v, want *placement.RangeError",
+						tc.label, tc.obj, tc.from, tc.to, err)
+				}
+				if re.Kind != tc.kind || re.Index != tc.index {
+					t.Errorf("%s: RangeError{%s, %d}, want {%s, %d}",
+						tc.label, re.Kind, re.Index, tc.kind, tc.index)
+				}
+			}
+			// The failed moves left the session consistent: its answer
+			// still matches a cold engine on the unchanged placement.
+			res, err := se.Evaluate(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int
+			if name == "node" {
+				cold, err := ExhaustiveWith(pl, s, 3, SearchOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = cold.Failed
+			} else {
+				cold, err := DomainExhaustiveAtWith(pl, topo, topology.Leaf, s, 1, SearchOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = cold.Failed
+			}
+			if !res.Exact || res.Failed != want {
+				t.Errorf("after range errors: session says %d (exact=%v), cold engine %d",
+					res.Failed, res.Exact, want)
+			}
+		})
 	}
 }

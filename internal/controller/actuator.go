@@ -1,0 +1,183 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/placement"
+)
+
+// Move is one replica transfer the controller actuates: object obj's
+// replica leaves node From for node To.
+type Move struct {
+	Obj  int `json:"obj"`
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("obj %d: %d -> %d", m.Obj, m.From, m.To)
+}
+
+// Phase is the journaled progress of one two-phase move, in the
+// ranger place/move shape (PrepareAdd -> CommitAdd -> DropOld):
+//
+//	phase journaled | meaning                      | on crash / permanent failure
+//	----------------+------------------------------+------------------------------
+//	intent          | nothing actuated yet         | roll back: Abort destination
+//	prepared        | PrepareAdd succeeded         | roll back: Abort destination
+//	added           | CommitAdd succeeded (point   | roll forward: DropOld, then
+//	                | of no return: dest serves)   | apply the move
+//
+// Each transition is journaled write-ahead: the phase on disk is always
+// at or one actuation call behind the physical cluster, which is why
+// Abort and DropOld must be idempotent — recovery may replay the call
+// that completed just before the crash.
+type Phase string
+
+const (
+	PhaseIntent   Phase = "intent"
+	PhasePrepared Phase = "prepared"
+	PhaseAdded    Phase = "added"
+)
+
+// ErrCrashed is the sentinel fault-injecting actuators return to
+// simulate the controller process dying at that exact point. The
+// executor propagates it immediately — no rollback, no journal write —
+// exactly as a real crash would leave things; the caller restarts from
+// the checkpoint via Load + Recover.
+var ErrCrashed = errors.New("controller: crashed (injected)")
+
+// Actuator is the pluggable data plane the controller drives moves
+// through. Calls are serialized (one in flight at a time) and bounded
+// by the per-call context deadline; any call may be retried after a
+// failure, and recovery may replay the last call after a crash, so:
+//
+//   - DropOld must be idempotent: dropping an already-absent source
+//     replica succeeds.
+//   - Abort must be idempotent and must remove the destination replica
+//     whether it is merely prepared or already added — it is only
+//     called before the journal reaches PhaseAdded, so the logical
+//     placement still reads from the source.
+type Actuator interface {
+	// PrepareAdd provisions the destination replica (allocate, begin
+	// copying). The destination is not serving yet.
+	PrepareAdd(ctx context.Context, m Move) error
+	// CommitAdd makes the prepared destination replica live.
+	CommitAdd(ctx context.Context, m Move) error
+	// DropOld removes the source replica.
+	DropOld(ctx context.Context, m Move) error
+	// Abort removes any trace of the destination replica.
+	Abort(ctx context.Context, m Move) error
+}
+
+// MemActuator is the in-memory reference data plane: it tracks live
+// replicas and outstanding prepared copies the way a real cluster
+// would, and enforces the two-phase protocol strictly (committing an
+// unprepared destination is an error). The soak and golden tests use
+// it — wrapped in FaultActuator — to prove the no-leak property: after
+// any fault schedule, live replicas must equal the controller's
+// placement exactly and no prepared copy may linger.
+type MemActuator struct {
+	mu       sync.Mutex
+	replicas []map[int]bool // obj -> nodes holding a live replica
+	prepared map[Move]bool  // outstanding prepared (non-serving) copies
+}
+
+// NewMemActuator starts the data plane in sync with pl.
+func NewMemActuator(pl *placement.Placement) *MemActuator {
+	a := &MemActuator{
+		replicas: make([]map[int]bool, pl.B()),
+		prepared: make(map[Move]bool),
+	}
+	for obj := 0; obj < pl.B(); obj++ {
+		a.replicas[obj] = make(map[int]bool)
+		for _, nd := range pl.ReplicaNodes(obj) {
+			a.replicas[obj][nd] = true
+		}
+	}
+	return a
+}
+
+func (a *MemActuator) PrepareAdd(ctx context.Context, m Move) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.replicas[m.Obj][m.To] {
+		return fmt.Errorf("actuator: %v: destination already holds a live replica", m)
+	}
+	a.prepared[m] = true
+	return nil
+}
+
+func (a *MemActuator) CommitAdd(ctx context.Context, m Move) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.prepared[m] {
+		return fmt.Errorf("actuator: %v: commit without prepare", m)
+	}
+	delete(a.prepared, m)
+	a.replicas[m.Obj][m.To] = true
+	return nil
+}
+
+func (a *MemActuator) DropOld(ctx context.Context, m Move) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.replicas[m.Obj], m.From) // idempotent: absent is fine
+	return nil
+}
+
+func (a *MemActuator) Abort(ctx context.Context, m Move) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.prepared, m)
+	delete(a.replicas[m.Obj], m.To) // prepared or added: remove any trace
+	return nil
+}
+
+// PreparedCount returns the number of outstanding prepared copies —
+// zero on a quiesced cluster; anything else is a leak.
+func (a *MemActuator) PreparedCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.prepared)
+}
+
+// Diff compares the live physical replicas against pl — the
+// controller's logical placement, which only applies a move after the
+// whole two-phase machine completes — tolerating the one in-flight
+// move (if any): its destination may already be live (committed but
+// unapplied), and once journaled at PhaseAdded its source may already
+// be dropped. It returns a description of the first divergence, or ""
+// when consistent.
+func (a *MemActuator) Diff(pl *placement.Placement, inflight *InFlight) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for obj := 0; obj < pl.B(); obj++ {
+		want := make(map[int]bool)
+		for _, nd := range pl.ReplicaNodes(obj) {
+			want[nd] = true
+		}
+		got := a.replicas[obj]
+		for nd := range got {
+			if !want[nd] {
+				if inflight != nil && inflight.Move.Obj == obj && inflight.Move.To == nd {
+					continue // committed but unapplied: destination live early
+				}
+				return fmt.Sprintf("obj %d: stray live replica on node %d", obj, nd)
+			}
+		}
+		for nd := range want {
+			if !got[nd] {
+				if inflight != nil && inflight.Phase == PhaseAdded &&
+					inflight.Move.Obj == obj && inflight.Move.From == nd {
+					continue // roll-forward pending: source dropped early
+				}
+				return fmt.Sprintf("obj %d: missing live replica on node %d", obj, nd)
+			}
+		}
+	}
+	return ""
+}

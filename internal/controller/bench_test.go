@@ -1,0 +1,103 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// benchController builds the standard soak-shaped cluster: 40 objects,
+// 3 replicas on 24 nodes across 3 zones x 2 racks, rack-level
+// adversary with s = 2, d = 1, two moves of budget per step. Serial
+// exact session searches keep the visited-states metric deterministic
+// (see Makefile bench notes).
+func benchController(b *testing.B, maxMoves int) (*Controller, *MemActuator) {
+	b.Helper()
+	topo, err := topology.UniformTree(24, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := ringPlacement(b, 24, 3, 40)
+	mem := NewMemActuator(pl)
+	c, err := New(pl, Config{
+		Topo: topo, Level: topology.Leaf, S: 2, DFail: 1, MaxMoves: maxMoves,
+		Actuator: mem, Journal: "",
+		Opts: Options{
+			CallTimeout: time.Second,
+			Backoff:     time.Microsecond,
+			Sleep:       func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, mem
+}
+
+// BenchmarkReconcileStep measures the planning cost of reconcile
+// steps: each probe is a warm session Move + revert, so the
+// deterministic visited-states metric tracks how much branch-and-bound
+// effort one step of continuous operation costs — the number PR 6's
+// incremental machinery is supposed to keep small.
+func BenchmarkReconcileStep(b *testing.B) {
+	apply := func(b *testing.B, c *Controller, mut Mutation) *StepReport {
+		b.Helper()
+		rep, err := c.Apply(mut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	quiesce := func(b *testing.B, c *Controller) {
+		b.Helper()
+		for i := 0; i < 30; i++ {
+			rep, err := c.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Outcome == OutcomeClean {
+				return
+			}
+			if rep.Outcome == OutcomeDegradedUnsafe || rep.Outcome == OutcomeDegradedStuck {
+				b.Fatalf("stuck at %s: %s", rep.Outcome, rep.Reason)
+			}
+		}
+		b.Fatal("never quiesced")
+	}
+
+	b.Run("drain-evacuate", func(b *testing.B) {
+		var visited int64
+		for i := 0; i < b.N; i++ {
+			c, _ := benchController(b, 2)
+			before := c.SessionStats().Visited
+			apply(b, c, Mutation{Kind: MutDrain, Node: 0})
+			quiesce(b, c)
+			visited = c.SessionStats().Visited - before
+		}
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+
+	b.Run("churn-script", func(b *testing.B) {
+		script := []Mutation{
+			{Kind: MutFail, Node: 3},
+			{Kind: MutDrain, Node: 10},
+			{Kind: MutWeight, Node: 7, Weight: 3},
+			{Kind: MutCap, Domain: "z0r0", Cap: 18},
+			{Kind: MutRestore, Node: 3},
+			{Kind: MutCap, Domain: "z0r0", Cap: 0},
+			{Kind: MutRestore, Node: 10},
+		}
+		var visited int64
+		for i := 0; i < b.N; i++ {
+			c, _ := benchController(b, 2)
+			before := c.SessionStats().Visited
+			for _, mut := range script {
+				apply(b, c, mut)
+			}
+			quiesce(b, c)
+			visited = c.SessionStats().Visited - before
+		}
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+}

@@ -1,0 +1,122 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultProfile sets the per-call injection rates of a FaultActuator.
+// The three rates are checked in order (crash, hang, fail) against one
+// uniform draw each, so a schedule is fully determined by the seed and
+// the call sequence.
+type FaultProfile struct {
+	// CrashRate simulates the controller process dying at this call:
+	// the actuator returns ErrCrashed. Half the crashes land before the
+	// operation (nothing happened), half after (the operation completed
+	// but the controller never learned) — the two windows crash
+	// recovery must distinguish.
+	CrashRate float64
+	// HangRate blocks the call until its context deadline and returns
+	// the context error; the operation is not performed. The executor
+	// sees a timeout and retries.
+	HangRate float64
+	// FailRate fails the call cleanly before the operation.
+	FailRate float64
+}
+
+// FaultActuator wraps an inner Actuator with deterministic seeded
+// fault injection: probabilistic clean failures, hangs until the
+// per-call deadline, and simulated crashes before or after the inner
+// operation. The controller serializes actuation, so the same seed and
+// mutation schedule replays the same fault schedule — the property the
+// soak and the reconcile goldens rely on.
+type FaultActuator struct {
+	mu    sync.Mutex
+	inner Actuator
+	rng   *rand.Rand
+	prof  FaultProfile
+
+	// Counters (read with Counts after the run).
+	calls, failures, hangs, crashes int
+}
+
+// NewFaultActuator seeds a fault-injecting wrapper around inner.
+func NewFaultActuator(inner Actuator, seed int64, prof FaultProfile) *FaultActuator {
+	return &FaultActuator{inner: inner, rng: rand.New(rand.NewSource(seed)), prof: prof}
+}
+
+// Counts reports (calls, clean failures, hangs, crashes) injected so far.
+func (f *FaultActuator) Counts() (calls, failures, hangs, crashes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.failures, f.hangs, f.crashes
+}
+
+// verdict is one call's drawn fate.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vFail
+	vHang
+	vCrashBefore
+	vCrashAfter
+)
+
+func (f *FaultActuator) draw() verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if r := f.rng.Float64(); r < f.prof.CrashRate {
+		f.crashes++
+		if f.rng.Float64() < 0.5 {
+			return vCrashBefore
+		}
+		return vCrashAfter
+	}
+	if f.rng.Float64() < f.prof.HangRate {
+		f.hangs++
+		return vHang
+	}
+	if f.rng.Float64() < f.prof.FailRate {
+		f.failures++
+		return vFail
+	}
+	return vOK
+}
+
+func (f *FaultActuator) call(ctx context.Context, op string, inner func(context.Context) error) error {
+	switch f.draw() {
+	case vFail:
+		return fmt.Errorf("actuator: %s failed (injected)", op)
+	case vHang:
+		<-ctx.Done()
+		return fmt.Errorf("actuator: %s hung (injected): %w", op, ctx.Err())
+	case vCrashBefore:
+		return ErrCrashed
+	case vCrashAfter:
+		if err := inner(ctx); err != nil {
+			return err
+		}
+		return ErrCrashed
+	}
+	return inner(ctx)
+}
+
+func (f *FaultActuator) PrepareAdd(ctx context.Context, m Move) error {
+	return f.call(ctx, "prepare", func(ctx context.Context) error { return f.inner.PrepareAdd(ctx, m) })
+}
+
+func (f *FaultActuator) CommitAdd(ctx context.Context, m Move) error {
+	return f.call(ctx, "add", func(ctx context.Context) error { return f.inner.CommitAdd(ctx, m) })
+}
+
+func (f *FaultActuator) DropOld(ctx context.Context, m Move) error {
+	return f.call(ctx, "drop", func(ctx context.Context) error { return f.inner.DropOld(ctx, m) })
+}
+
+func (f *FaultActuator) Abort(ctx context.Context, m Move) error {
+	return f.call(ctx, "abort", func(ctx context.Context) error { return f.inner.Abort(ctx, m) })
+}

@@ -1,0 +1,163 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// checkpointVersion guards the journal format; Decode rejects files
+// written by an incompatible controller.
+const checkpointVersion = 1
+
+// InFlight is the journaled record of the one move currently inside
+// the two-phase machine. Its phase decides crash recovery: roll back
+// (Abort) below PhaseAdded, roll forward (DropOld + apply) at it.
+type InFlight struct {
+	Move  Move  `json:"move"`
+	Phase Phase `json:"phase"`
+}
+
+// Checkpoint is the controller's serialized state: everything a fresh
+// process needs to resume reconciling — the cluster (topology spec
+// carries weights and caps), the current logical placement, per-node
+// statuses, how many mutations of the input stream were consumed, and
+// the in-flight move with its journaled phase and the step's
+// pre-migration guarantee. Written write-ahead (before every actuation
+// phase transition) via an fsync'd atomic rename, so the file on disk
+// is always a consistent state at most one actuation call behind the
+// physical cluster.
+type Checkpoint struct {
+	Version  int          `json:"version"`
+	N        int          `json:"n"`
+	R        int          `json:"r"`
+	S        int          `json:"s"`
+	DFail    int          `json:"dfail"`
+	Level    int          `json:"level"`
+	MaxMoves int          `json:"maxMoves"`
+	Topo     string       `json:"topo"` // topology.Spec round-trip (weights, caps)
+	Status   []NodeStatus `json:"status"`
+	Objects  [][]int      `json:"objects"` // replica node lists per object
+	Applied  int          `json:"applied"` // mutations consumed from the stream
+	Baseline int          `json:"baseline"`
+	InFlight *InFlight    `json:"inFlight,omitempty"`
+}
+
+// Encode serializes the checkpoint.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("controller: encoding checkpoint: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeCheckpoint parses and validates a checkpoint: the topology
+// spec must parse, the placement must validate against it, statuses
+// must cover every node, and an in-flight record must name a known
+// phase and in-range move. Anything else is a corrupt or incompatible
+// journal, reported rather than half-loaded.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("controller: decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("controller: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if _, _, _, err := ck.restore(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// restore materializes the checkpoint's topology and placement and
+// validates the rest of the record against them.
+func (ck *Checkpoint) restore() (*topology.Topology, *placement.Placement, []NodeStatus, error) {
+	topo, err := topology.ParseSpec(ck.N, ck.Topo)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("controller: checkpoint topology: %w", err)
+	}
+	pl := placement.NewPlacement(ck.N, ck.R)
+	for obj, nodes := range ck.Objects {
+		if err := pl.Add(nodes); err != nil {
+			return nil, nil, nil, fmt.Errorf("controller: checkpoint object %d: %w", obj, err)
+		}
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("controller: checkpoint placement: %w", err)
+	}
+	if len(ck.Status) != ck.N {
+		return nil, nil, nil, fmt.Errorf("controller: checkpoint has %d statuses for %d nodes", len(ck.Status), ck.N)
+	}
+	status := make([]NodeStatus, ck.N)
+	for nd, st := range ck.Status {
+		if st != NodeActive && st != NodeDraining && st != NodeFailed {
+			return nil, nil, nil, fmt.Errorf("controller: checkpoint node %d has unknown status %d", nd, st)
+		}
+		status[nd] = st
+	}
+	if ck.Applied < 0 {
+		return nil, nil, nil, fmt.Errorf("controller: checkpoint applied %d < 0", ck.Applied)
+	}
+	if fl := ck.InFlight; fl != nil {
+		switch fl.Phase {
+		case PhaseIntent, PhasePrepared, PhaseAdded:
+		default:
+			return nil, nil, nil, fmt.Errorf("controller: checkpoint in-flight phase %q unknown", fl.Phase)
+		}
+		m := fl.Move
+		if m.Obj < 0 || m.Obj >= pl.B() || m.From < 0 || m.From >= ck.N || m.To < 0 || m.To >= ck.N {
+			return nil, nil, nil, fmt.Errorf("controller: checkpoint in-flight move %v out of range", m)
+		}
+	}
+	return topo, pl, status, nil
+}
+
+// writeFileSync writes data to path atomically and durably: temp file
+// in the same directory, fsync, rename over path, fsync the directory.
+// A crash at any point leaves either the old or the new checkpoint —
+// never a torn one.
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("controller: journal temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("controller: journal write: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("controller: journal fsync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("controller: journal close: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return cleanup(fmt.Errorf("controller: journal rename: %w", err))
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best effort: some filesystems reject directory fsync
+		d.Close()
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates the journal at path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("controller: reading journal: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}

@@ -1,0 +1,195 @@
+package controller
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// validCheckpointBytes builds a real controller and returns its
+// journal — the seed corpus for the fuzzer and the fixture for the
+// round-trip tests.
+func validCheckpointBytes(t testing.TB) []byte {
+	topo, err := topology.Uniform(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ringPlacement(t, 8, 3, 12)
+	journal := filepath.Join(t.TempDir(), "ck.json")
+	c, err := New(pl, Config{
+		Topo: topo, Level: topology.Leaf, S: 2, DFail: 1, MaxMoves: 2,
+		Actuator: NewMemActuator(pl), Journal: journal, Opts: testOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a move in flight so the fuzzer sees the full shape.
+	c.mu.Lock()
+	c.inflight = &InFlight{Move: Move{Obj: 1, From: 1, To: 5}, Phase: PhasePrepared}
+	err = c.saveJournal()
+	c.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	data := validCheckpointBytes(t)
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := DecodeCheckpoint(out)
+	if err != nil {
+		t.Fatalf("re-decoding our own encoding: %v", err)
+	}
+	if !reflect.DeepEqual(ck, ck2) {
+		t.Fatal("checkpoint changed across encode/decode round trip")
+	}
+	if ck.InFlight == nil || ck.InFlight.Phase != PhasePrepared {
+		t.Fatalf("in-flight lost in round trip: %+v", ck.InFlight)
+	}
+}
+
+// TestJournalAtomicWrite checks that saveJournal leaves exactly the
+// journal behind — no stray temp files — and that a decode-garbage
+// file is rejected loudly rather than half-loaded.
+func TestJournalAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := writeFileSync(path, validCheckpointBytes(t)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ck.json" {
+		t.Fatalf("journal dir polluted: %v", entries)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"version":1,"n":-3`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("torn journal decoded without error")
+	}
+}
+
+// FuzzJournalDecode hammers DecodeCheckpoint with mutated journals: it
+// must never panic, and anything it accepts must re-encode to a
+// byte-identical semantic state (decode-encode-decode fixpoint).
+func FuzzJournalDecode(f *testing.F) {
+	seed := validCheckpointBytes(f)
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add(bytes.Replace(seed, []byte(`"phase": "prepared"`), []byte(`"phase": "exploded"`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"n": 8`), []byte(`"n": 1000000`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"applied"`), []byte(`"APPLIED"`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return // rejected is fine; panicking or half-loading is not
+		}
+		out, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to encode: %v", err)
+		}
+		ck2, err := DecodeCheckpoint(out)
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatal("decode/encode/decode not a fixpoint")
+		}
+	})
+}
+
+// TestControllerResumeEquivalence pins that resuming from a checkpoint
+// is indistinguishable from never having stopped: the same mutation
+// schedule, run uninterrupted versus reloaded from the journal after
+// every single mutation, produces identical step reports and an
+// identical final placement.
+func TestControllerResumeEquivalence(t *testing.T) {
+	schedule := []Mutation{
+		{Kind: MutDrain, Node: 2},
+		{Kind: MutWeight, Node: 5, Weight: 3},
+		{Kind: MutFail, Node: 7},
+		{Kind: MutCap, Domain: "rack1", Cap: 5},
+		{Kind: MutRestore, Node: 2},
+		{Kind: MutDrain, Node: 4},
+		{Kind: MutRestore, Node: 7},
+		{Kind: MutCap, Domain: "rack1", Cap: 0},
+		{Kind: MutRestore, Node: 4},
+	}
+	type stepOut struct {
+		Baseline, Damage int
+		Moves            []MoveRecord
+		Outcome          Outcome
+	}
+	runSchedule := func(reload bool) ([]stepOut, [][]int) {
+		topo, err := topology.Uniform(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := ringPlacement(t, 8, 3, 12)
+		journal := filepath.Join(t.TempDir(), "ck.json")
+		mem := NewMemActuator(pl)
+		c, err := New(pl, Config{
+			Topo: topo, Level: topology.Leaf, S: 2, DFail: 1, MaxMoves: 2,
+			Actuator: mem, Journal: journal, Opts: testOpts(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outs []stepOut
+		for _, mut := range schedule {
+			if reload {
+				// Simulate a restart between every two mutations.
+				c, err = Load(journal, mem, testOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.Recover(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := c.Apply(mut)
+			if err != nil {
+				t.Fatalf("%s: %v", mut, err)
+			}
+			outs = append(outs, stepOut{rep.Baseline, rep.Damage, rep.Moves, rep.Outcome})
+		}
+		final := c.Placement()
+		objs := make([][]int, final.B())
+		for obj := range objs {
+			objs[obj] = final.ReplicaNodes(obj)
+		}
+		return outs, objs
+	}
+
+	straight, finalA := runSchedule(false)
+	resumed, finalB := runSchedule(true)
+	if !reflect.DeepEqual(straight, resumed) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\nstraight: %+v\nresumed:  %+v", straight, resumed)
+	}
+	if !reflect.DeepEqual(finalA, finalB) {
+		t.Fatal("final placements differ between uninterrupted and resumed runs")
+	}
+}

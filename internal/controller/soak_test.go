@@ -1,0 +1,247 @@
+package controller
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestControllerSoak runs the reconcile loop through hundreds of
+// randomized topology mutations against a crash-, hang- and
+// failure-injecting actuator, asserting after every step that
+//
+//   - the never-degrade invariant held: worst-case damage <= the
+//     step's pre-migration baseline,
+//   - the logical placement still validates,
+//   - the physical data plane matches the logical placement up to the
+//     one journaled in-flight move,
+//
+// and that every injected crash is followed by a successful
+// checkpoint reload plus recovery. At the end the flaky data plane is
+// swapped for a healthy one, caps are lifted and nodes restored, and
+// the cluster must quiesce clean with zero leaked prepared copies and
+// an exact physical/logical match.
+func TestControllerSoak(t *testing.T) {
+	for _, seed := range []int64{101, 202} {
+		seed := seed
+		t.Run(string(rune('A'+seed%2))+"-seed", func(t *testing.T) {
+			runSoak(t, seed)
+		})
+	}
+}
+
+func runSoak(t *testing.T, seed int64) {
+	const (
+		n, r, b = 24, 3, 40
+		steps   = 220
+		maxDown = 6 // never drain/fail more than this many nodes at once
+	)
+	rng := rand.New(rand.NewSource(seed))
+	topo, err := topology.UniformTree(n, 3, 2) // 3 zones x 2 racks of 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ringPlacement(t, n, r, b)
+	journal := filepath.Join(t.TempDir(), "soak.json")
+	mem := NewMemActuator(pl)
+	fa := NewFaultActuator(mem, seed*7+1, FaultProfile{
+		CrashRate: 0.02,
+		HangRate:  0.02,
+		FailRate:  0.05,
+	})
+	opts := Options{
+		CallTimeout: 20 * time.Millisecond,
+		Retries:     2,
+		Backoff:     time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}
+	c, err := New(pl, Config{
+		Topo: topo, Level: topology.Leaf, S: 2, DFail: 1, MaxMoves: 2,
+		Actuator: fa, Journal: journal, Opts: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashes := 0
+	// reloadAndRecover is the crash-restart path: rebuild the process
+	// from the journal and resolve the in-flight move. Recovery itself
+	// actuates (and so can crash again); it must converge regardless.
+	reloadAndRecover := func() *StepReport {
+		for attempt := 0; attempt < 500; attempt++ {
+			var err error
+			c, err = Load(journal, fa, opts)
+			if err != nil {
+				t.Fatalf("reload after crash: %v", err)
+			}
+			rep, err := c.Recover()
+			if err == nil {
+				return rep
+			}
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("recovery: %v", err)
+			}
+			crashes++
+		}
+		t.Fatal("recovery never converged")
+		return nil
+	}
+	check := func(step int, rep *StepReport) {
+		t.Helper()
+		if rep.Damage > rep.Baseline {
+			t.Fatalf("step %d: invariant violated: damage %d > baseline %d (outcome %s: %s)",
+				step, rep.Damage, rep.Baseline, rep.Outcome, rep.Reason)
+		}
+		cur := c.Placement()
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("step %d: placement invalid: %v", step, err)
+		}
+		if diff := mem.Diff(cur, c.InFlightMove()); diff != "" {
+			t.Fatalf("step %d: physical/logical divergence: %s", step, diff)
+		}
+	}
+	run := func(step int, do func() (*StepReport, error)) {
+		t.Helper()
+		rep, err := do()
+		if errors.Is(err, ErrCrashed) {
+			crashes++
+			rep = reloadAndRecover()
+		} else if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		check(step, rep)
+	}
+
+	statuses := make([]NodeStatus, n)
+	capped := map[string]bool{}
+	gen := newMutationGen(rng, topo, statuses, capped, maxDown)
+	for i := 0; i < steps; i++ {
+		mut := gen()
+		run(i, func() (*StepReport, error) { return c.Apply(mut) })
+		if i%5 == 4 { // drain leftover work between mutations
+			run(i, func() (*StepReport, error) { return c.Step() })
+		}
+	}
+
+	// The fault schedule must actually have exercised every injection
+	// mode, or the soak proved nothing.
+	calls, failures, hangs, faCrashes := fa.Counts()
+	if calls == 0 || failures == 0 || hangs == 0 || faCrashes == 0 {
+		t.Fatalf("fault injection too quiet: calls=%d failures=%d hangs=%d crashes=%d",
+			calls, failures, hangs, faCrashes)
+	}
+	if crashes == 0 {
+		t.Fatal("no crash ever reached the driver")
+	}
+
+	// Swap in a healthy data plane (the journal is the source of
+	// truth), lift every cap, restore every node, and quiesce.
+	c, err = Load(journal, mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(steps, rep)
+	for name := range capped {
+		run(steps, func() (*StepReport, error) {
+			return c.Apply(Mutation{Kind: MutCap, Domain: name, Cap: 0})
+		})
+	}
+	for nd := range statuses {
+		if statuses[nd] != NodeActive {
+			nd := nd
+			run(steps, func() (*StepReport, error) {
+				return c.Apply(Mutation{Kind: MutRestore, Node: nd})
+			})
+		}
+	}
+	var final *StepReport
+	for i := 0; i < 50; i++ {
+		final, err = c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(steps+i, final)
+		if final.Outcome == OutcomeClean {
+			break
+		}
+	}
+	if final.Outcome != OutcomeClean {
+		t.Fatalf("never quiesced clean: %s (%s)", final.Outcome, final.Reason)
+	}
+	if c.InFlightMove() != nil {
+		t.Fatal("quiesced with a move still in flight")
+	}
+	if leaked := mem.PreparedCount(); leaked != 0 {
+		t.Fatalf("leaked %d prepared copies", leaked)
+	}
+	if diff := mem.Diff(c.Placement(), nil); diff != "" {
+		t.Fatalf("final divergence: %s", diff)
+	}
+}
+
+// newMutationGen builds a seeded mutation stream over topo that keeps
+// the cluster plausible: at most maxDown nodes out at once, caps set a
+// few replicas under each domain's fair share, and everything
+// eventually restorable. It maintains statuses/capped as the mirror of
+// what the stream has done (every generated mutation is consumed).
+func newMutationGen(rng *rand.Rand, topo *topology.Topology, statuses []NodeStatus, capped map[string]bool, maxDown int) func() Mutation {
+	type dom struct {
+		name string
+		size int
+	}
+	var domains []dom
+	for l := range topo.Tree {
+		for _, d := range topo.Tree[l] {
+			domains = append(domains, dom{d.Name, len(d.Nodes)})
+		}
+	}
+	n := len(statuses)
+	downNodes := func() []int {
+		var ds []int
+		for nd, st := range statuses {
+			if st != NodeActive {
+				ds = append(ds, nd)
+			}
+		}
+		return ds
+	}
+	return func() Mutation {
+		down := downNodes()
+		roll := rng.Float64()
+		switch {
+		case len(down) >= maxDown || (roll < 0.25 && len(down) > 0):
+			nd := down[rng.Intn(len(down))]
+			statuses[nd] = NodeActive
+			return Mutation{Kind: MutRestore, Node: nd}
+		case roll < 0.50:
+			nd := rng.Intn(n)
+			statuses[nd] = NodeDraining
+			return Mutation{Kind: MutDrain, Node: nd}
+		case roll < 0.65:
+			nd := rng.Intn(n)
+			statuses[nd] = NodeFailed
+			return Mutation{Kind: MutFail, Node: nd}
+		case roll < 0.85:
+			return Mutation{Kind: MutWeight, Node: rng.Intn(n), Weight: 1 + rng.Intn(4)}
+		default:
+			if len(capped) > 0 && rng.Float64() < 0.4 {
+				for name := range capped { // map order is fine: any capped domain
+					delete(capped, name)
+					return Mutation{Kind: MutCap, Domain: name, Cap: 0}
+				}
+			}
+			d := domains[rng.Intn(len(domains))]
+			capValue := d.size*5 - rng.Intn(4) // fair share is 5 replicas/node
+			capped[d.name] = true
+			return Mutation{Kind: MutCap, Domain: d.name, Cap: capValue}
+		}
+	}
+}

@@ -52,16 +52,37 @@ func (p *Placement) Clone() *Placement {
 	return cp
 }
 
+// RangeError is the typed error MoveReplica returns when an index —
+// object or node — lies outside the placement's universe. The
+// incremental layers above MoveReplica (adversary.Session.Move, the
+// controller's re-plan probes) surface it unwrapped, so callers can
+// errors.As on it instead of pattern-matching a message — and no
+// out-of-range index ever reaches the CSR patch layer, whose ApplyMove
+// treats bad indices as programmer error and panics.
+type RangeError struct {
+	Kind  string // "object" or "node"
+	Index int    // the offending index
+	Limit int    // exclusive upper bound: B() for objects, N for nodes
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("placement: %s %d out of range [0, %d)", e.Kind, e.Index, e.Limit)
+}
+
 // MoveReplica transfers one replica of obj from node from to node to —
 // the unit of change incremental re-plans are chains of. It fails if
 // from does not hold a replica or to already does (replica sets stay
-// distinct), leaving the placement untouched.
+// distinct), leaving the placement untouched. Out-of-range indices
+// return a *RangeError.
 func (p *Placement) MoveReplica(obj, from, to int) error {
 	if obj < 0 || obj >= len(p.Objects) {
-		return fmt.Errorf("placement: object %d out of range [0, %d)", obj, len(p.Objects))
+		return &RangeError{Kind: "object", Index: obj, Limit: len(p.Objects)}
 	}
-	if from < 0 || from >= p.N || to < 0 || to >= p.N {
-		return fmt.Errorf("placement: move nodes (%d, %d) out of range [0, %d)", from, to, p.N)
+	if from < 0 || from >= p.N {
+		return &RangeError{Kind: "node", Index: from, Limit: p.N}
+	}
+	if to < 0 || to >= p.N {
+		return &RangeError{Kind: "node", Index: to, Limit: p.N}
 	}
 	o := p.Objects[obj]
 	if !o.Get(from) {

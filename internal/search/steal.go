@@ -146,6 +146,8 @@ type ParallelSearch struct {
 	exhausted atomic.Bool // budget drained: stop, result inexact
 	suspended atomic.Bool // caller asked for the frontier back
 	done      atomic.Bool // frontier drained: the first worker to prove it releases the rest
+	claimed   atomic.Bool // a Suspend already handed the frontier out
+	finalized atomic.Bool // Wait already sealed the run
 
 	mu         sync.Mutex
 	best       Result
@@ -275,9 +277,18 @@ func (ps *ParallelSearch) enterRoot() []Task {
 // workers exit and returns the frontier (empty when the search finished
 // first). Wait still returns the incumbent result, marked inexact when
 // work was parked.
+//
+// The frontier is handed out at most once: a second Suspend, or a
+// Suspend after Wait has sealed the run, is a safe no-op returning nil
+// — resuming the same checkpoint from two searches would explore the
+// parked subtrees twice. An exhausted run's remainder stays readable
+// through Frontier, which never claims it.
 func (ps *ParallelSearch) Suspend() []Task {
 	ps.suspended.Store(true)
 	ps.wg.Wait()
+	if ps.finalized.Load() || ps.claimed.Swap(true) {
+		return nil
+	}
 	return ps.Frontier()
 }
 
@@ -295,6 +306,7 @@ func (ps *ParallelSearch) Frontier() []Task {
 // true only when the frontier was fully explored within budget.
 func (ps *ParallelSearch) Wait() Result {
 	ps.wg.Wait()
+	ps.finalized.Store(true)
 	ps.finish.Do(func() {
 		ps.parkedMu.Lock()
 		pending := len(ps.parked)

@@ -297,3 +297,57 @@ func TestStealSuspendResume(t *testing.T) {
 		}
 	})
 }
+
+// TestStealSuspendIdempotent pins the hardened Suspend contract: the
+// frontier leaves through Suspend at most once. A second Suspend — or a
+// Suspend issued after Wait already sealed the run — is a safe no-op
+// returning nil, so no caller can resume the same parked subtrees from
+// two searches. Frontier stays the read-only accessor: it never claims
+// the checkpoint and keeps returning it.
+func TestStealSuspendIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	members := randomMembers(rng, 18, 3, 140)
+	const m, k, s = 18, 6, 2
+	mk := func() (Instance, error) { return newCoverInstance(m, k, s, members), nil }
+
+	t.Run("double-suspend", func(t *testing.T) {
+		probe, _ := mk()
+		seed := Greedy(probe)
+		probe.Reset()
+		ps, err := NewParallelSearch(probe, mk, seed, NewBudget(0), 4, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.Start()
+		first := ps.Suspend()
+		if again := ps.Suspend(); again != nil {
+			t.Errorf("second Suspend returned %d tasks, want nil", len(again))
+		}
+		// The read-only accessor still sees whatever was parked.
+		if got := ps.Frontier(); len(got) != len(first) {
+			t.Errorf("Frontier returned %d tasks after claimed Suspend, want %d", len(got), len(first))
+		}
+	})
+
+	t.Run("suspend-after-wait", func(t *testing.T) {
+		probe, _ := mk()
+		seed := Greedy(probe)
+		probe.Reset()
+		bud := NewBudget(25) // exhausts: a frontier IS parked
+		ps, err := NewParallelSearch(probe, mk, seed, bud, 4, BoundStatic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.Start()
+		res := ps.Wait()
+		if res.Exact {
+			t.Fatal("exhausted run claims exactness")
+		}
+		if got := ps.Suspend(); got != nil {
+			t.Errorf("Suspend after Wait returned %d tasks, want nil", len(got))
+		}
+		if got := ps.Frontier(); len(got) == 0 {
+			t.Error("Frontier lost the exhausted run's checkpoint")
+		}
+	})
+}

@@ -45,8 +45,11 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/adversary"
 	"repro/internal/cluster"
+	"repro/internal/controller"
 	"repro/internal/placement"
 	"repro/internal/randplace"
 	"repro/internal/topology"
@@ -101,6 +104,27 @@ type (
 	// fan-out, pruning bound, object weights) sessions and the With
 	// engine variants take.
 	AttackOptions = adversary.SearchOpts
+	// Controller is the continuous-operation reconcile loop: it owns a
+	// placement, consumes topology mutations, and re-plans under a
+	// bounded per-step move budget without ever letting worst-case
+	// damage exceed the step's pre-migration guarantee, actuating each
+	// move through a journaled two-phase machine with crash recovery.
+	Controller = controller.Controller
+	// ControllerConfig configures NewController (topology, adversary
+	// level, move budget, data plane, journal path).
+	ControllerConfig = controller.Config
+	// ControllerOptions tunes a Controller's actuation (call timeout,
+	// retries, backoff) and planning (search options, candidate fan-out).
+	ControllerOptions = controller.Options
+	// TopologyMutation is one input event to a Controller: drain, fail
+	// or restore a node, reweight a node, or cap a domain.
+	TopologyMutation = controller.Mutation
+	// ReconcileReport is one reconcile step's transcript: baseline,
+	// resulting damage, per-move actuation records, and typed outcome.
+	ReconcileReport = controller.StepReport
+	// Actuator is the pluggable data plane a Controller drives replica
+	// moves through (PrepareAdd/CommitAdd/DropOld/Abort).
+	Actuator = controller.Actuator
 	// Cluster is a simulated storage cluster using these placements.
 	Cluster = cluster.Cluster
 	// ClusterConfig configures NewCluster.
@@ -369,6 +393,39 @@ func NewAttackSession(pl *Placement, s, k int, opts AttackOptions) (*AttackSessi
 // answered without searching — they cannot change the answer).
 func NewDomainAttackSession(pl *Placement, topo *Topology, level, s, d int, opts AttackOptions) (*AttackSession, error) {
 	return adversary.NewDomainSession(pl, topo, level, s, d, opts)
+}
+
+// NewController starts a continuous-operation reconcile loop on the
+// placement: Apply feeds it one topology mutation (drain/fail/restore/
+// weight/cap) and reconciles under the configured per-step move budget,
+// never letting worst-case damage exceed the step's pre-migration
+// guarantee; Step reconciles leftover work without a mutation. Moves
+// actuate through a two-phase machine journaled write-ahead to the
+// configured checkpoint — after a crash, LoadController + Recover rolls
+// the in-flight move forward or back.
+func NewController(pl *Placement, cfg ControllerConfig) (*Controller, error) {
+	return controller.New(pl, cfg)
+}
+
+// LoadController restarts a Controller from its fsync'd journal,
+// reattaching the given data plane; call Recover on the result to
+// resolve any in-flight move before applying new mutations.
+func LoadController(path string, act Actuator, opts ControllerOptions) (*Controller, error) {
+	return controller.Load(path, act, opts)
+}
+
+// NewMemActuator builds the in-memory reference data plane, started in
+// sync with pl — the strict-protocol oracle the controller tests prove
+// the no-leak property against.
+func NewMemActuator(pl *Placement) *controller.MemActuator {
+	return controller.NewMemActuator(pl)
+}
+
+// ParseMutationScript reads a mutation script ("drain 2", "fail 10",
+// "restore 2", "weight 7 3", "cap rack0 8"; # comments) into the
+// mutations a Controller consumes.
+func ParseMutationScript(r io.Reader) ([]TopologyMutation, error) {
+	return controller.ParseScript(r)
 }
 
 // NewCluster builds a simulated storage cluster (see ClusterConfig).
