@@ -13,8 +13,11 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/capacity"
@@ -1185,4 +1188,147 @@ func BenchmarkIncrementalMove(b *testing.B) {
 				warmAvg, coldAvg)
 		}
 	})
+}
+
+// buildFanoutMoves derives a deterministic batch of distinct cross-rack
+// probe candidates from the partition placement — every move changes a
+// failure domain, so each probe costs a real warm search rather than
+// the same-domain fast path. All moves stay inside the object's zone.
+func buildFanoutMoves(b *testing.B, pl *placement.Placement, topo *topology.Topology, zones, count int) []adversary.Move {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	perZone := pl.N / zones
+	seen := map[adversary.Move]bool{}
+	moves := make([]adversary.Move, 0, count)
+	for len(moves) < count {
+		obj := rng.Intn(pl.B())
+		members := pl.ReplicaNodes(obj)
+		from := members[rng.Intn(len(members))]
+		zone := from / perZone
+		to := zone*perZone + rng.Intn(perZone)
+		if to == from || pl.Objects[obj].Get(to) || topo.DomainOf(to) == topo.DomainOf(from) {
+			continue
+		}
+		m := adversary.Move{Obj: obj, From: from, To: to}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		moves = append(moves, m)
+	}
+	return moves
+}
+
+// BenchmarkProbeFanout measures the parallel probe layer on the
+// partition scenario: one warm session evaluates its base placement,
+// then a batch of 32 cross-rack candidate moves is probed — serially,
+// and fanned out over 8 forked workers sharing the sharded memo. The
+// workers=8 sub-benchmark asserts the results are byte-identical to
+// the serial scan (per-slot damage and the tracked total visited
+// states), and — when the host has more than 2 cores — that the
+// fan-out is at least 2x faster per batch.
+func BenchmarkProbeFanout(b *testing.B) {
+	const zones, s, d, batch = 25, 2, 3, 32
+	topo, err := topology.UniformHierarchy(1000, zones, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := zoneConfinedPlacement(b, 1000, 2000, 3, zones, 11)
+	moves := buildFanoutMoves(b, pl, topo, zones, batch)
+
+	// Each iteration probes the batch on a fresh session (the shared
+	// memo would otherwise answer everything after the first pass);
+	// session setup and the base evaluation run off the timer.
+	run := func(b *testing.B, workers int) (damages []int, visited int64, perBatch float64) {
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			se, err := adversary.NewDomainSession(pl, topo, topology.Leaf, s, d, adversary.SearchOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := se.Evaluate(nil); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			start := time.Now()
+			results := se.ProbeMoves(moves, workers)
+			elapsed += time.Since(start)
+			damages = damages[:0]
+			visited = 0
+			for mi, res := range results {
+				if res.Failed < 0 {
+					b.Fatalf("probe %d failed to apply", mi)
+				}
+				damages = append(damages, res.Failed)
+				visited += res.Visited
+			}
+		}
+		return damages, visited, float64(elapsed.Nanoseconds()) / float64(b.N)
+	}
+
+	var serialDamages []int
+	var serialVisited int64
+	var serialNs float64
+	b.Run("serial", func(b *testing.B) {
+		serialDamages, serialVisited, serialNs = run(b, 1)
+		b.ReportMetric(float64(serialVisited), "visited-states")
+	})
+	b.Run("workers=8", func(b *testing.B) {
+		damages, visited, parNs := run(b, 8)
+		b.ReportMetric(float64(visited), "visited-states")
+		if serialDamages != nil {
+			if !reflect.DeepEqual(damages, serialDamages) {
+				b.Fatalf("workers=8 damages diverge from serial:\n got %v\nwant %v", damages, serialDamages)
+			}
+			if visited != serialVisited {
+				b.Fatalf("workers=8 visited %d states, serial %d — probes are not deterministic", visited, serialVisited)
+			}
+			if runtime.GOMAXPROCS(0) > 2 {
+				if speedup := serialNs / parNs; speedup < 2 {
+					b.Fatalf("workers=8 speedup %.2fx over serial, want >= 2x (GOMAXPROCS=%d)",
+						speedup, runtime.GOMAXPROCS(0))
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkProbeMemoHit pins the zero-allocation probe hot path: once
+// a probe pair (apply + revert) is memoized, driving it through
+// MoveInto with caller-provided result scratch must not allocate — the
+// assertion that keeps copyInto/scratch-signature reuse honest.
+func BenchmarkProbeMemoHit(b *testing.B) {
+	const zones, s, d = 5, 2, 2
+	topo, err := topology.UniformHierarchy(100, zones, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := zoneConfinedPlacement(b, 100, 200, 3, zones, 7)
+	se, err := adversary.NewDomainSession(pl, topo, topology.Leaf, s, d, adversary.SearchOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := se.Evaluate(nil); err != nil {
+		b.Fatal(err)
+	}
+	m := buildFanoutMoves(b, pl, topo, zones, 1)[0]
+	var dst adversary.SessionResult
+	pair := func() {
+		if err := se.MoveInto(&dst, m.Obj, m.From, m.To); err != nil {
+			b.Fatal(err)
+		}
+		if err := se.MoveInto(&dst, m.Obj, m.To, m.From); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pair() // warm: both placements land in the memo, scratch grows to size
+	if allocs := testing.AllocsPerRun(100, pair); allocs > 0 {
+		b.Fatalf("memo-hit probe pair allocated %.1f times, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair()
+	}
 }

@@ -19,6 +19,7 @@ func cmdPlan(args []string, w io.Writer) error {
 	mf := addModelFlags(fs)
 	tf := addTopologyFlags(fs, 0)
 	workers := addWorkersFlag(fs, 1)
+	probeWorkers := addProbeWorkersFlag(fs)
 	boundFlag := addBoundFlag(fs)
 	stats := addStatsFlag(fs)
 	constructible := fs.Bool("constructible", false,
@@ -64,7 +65,7 @@ func cmdPlan(args []string, w io.Writer) error {
 		return planTopologySection(w, mf, tf, adversary.SearchOpts{
 			Workers: cliWorkers(*workers),
 			Bound:   pruneBound,
-		}, *stats)
+		}, *stats, *probeWorkers)
 	}
 	return nil
 }
@@ -73,7 +74,7 @@ func cmdPlan(args []string, w io.Writer) error {
 // it materializes the constructible Combo, applies the domain-aware
 // spreading pass, and measures availability under dfail whole-domain
 // failures at the chosen topology level for both layouts.
-func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts adversary.SearchOpts, stats bool) error {
+func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts adversary.SearchOpts, stats bool, probeWorkers int) error {
 	topo, err := tf.build(mf.n)
 	if err != nil {
 		return err
@@ -87,7 +88,7 @@ func planTopologySection(w io.Writer, mf *modelFlags, tf *topologyFlags, opts ad
 	// cap set surfaces the checker's certificate as this error.
 	var spreadTel placement.SpreadTelemetry
 	aware, _, err := placement.SpreadAcrossDomainsWith(combo, topo, mf.s, tf.dfail,
-		placement.SpreadOpts{Weighted: topo.Weighted(), Telemetry: &spreadTel})
+		placement.SpreadOpts{Weighted: topo.Weighted(), Telemetry: &spreadTel, ProbeWorkers: probeWorkers})
 	if err != nil {
 		return err
 	}

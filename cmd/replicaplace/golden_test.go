@@ -91,6 +91,11 @@ var goldenCases = []struct {
 		"-k", "1", "-settle", "0", "-script", "testdata/reconcile_budget.script"}},
 	{"reconcile_fault_n24", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
 		"-k", "2", "-seed", "7", "-fail-rate", "0.6", "-script", "testdata/reconcile_fault.script"}},
+	// -probe-workers fans candidate probing out over forked sessions;
+	// the plan — and so the whole transcript apart from the fork
+	// counters — must match the serial drain run byte for byte.
+	{"reconcile_probe_workers_n24", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
+		"-k", "2", "-probe-workers", "4", "-script", "testdata/reconcile_drain.script"}},
 }
 
 // deepSpec is the depth-3 topology the -topo golden cases share:
@@ -129,6 +134,49 @@ func TestWorkersOutputDeterministic(t *testing.T) {
 				}
 				if !bytes.Equal(got, want) {
 					t.Errorf("-workers %s changed the output:\n--- got ---\n%s\n--- want ---\n%s",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// forksRE matches the fork counter in reconcile's session stats line:
+// the number of forked worker sessions scales with -probe-workers (and
+// with how many candidates each batch holds), so the sweep below
+// normalizes it — everything else must be byte-identical.
+var forksRE = regexp.MustCompile(`forks=[0-9]+`)
+
+// TestProbeWorkersOutputDeterministic pins the -probe-workers contract:
+// the flag fans candidate probing out over forked adversary sessions
+// (reconcile) or striped spread sessions (plan), so apart from the fork
+// counter the printed transcript must be identical at every width.
+func TestProbeWorkersOutputDeterministic(t *testing.T) {
+	commands := []struct {
+		name string
+		args []string
+	}{
+		{"reconcile-drain", []string{"reconcile", "-n", "24", "-b", "40", "-racks", "6", "-dfail", "1",
+			"-k", "2", "-script", "testdata/reconcile_drain.script"}},
+		{"plan-racks", []string{"plan", "-n", "13", "-r", "3", "-s", "2", "-k", "3", "-b", "26",
+			"-racks", "4", "-dfail", "1"}},
+	}
+	for _, tc := range commands {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for _, workers := range []string{"1", "2", "8"} {
+				var buf bytes.Buffer
+				args := append(append([]string{}, tc.args...), "-probe-workers", workers)
+				if err := run(args, &buf); err != nil {
+					t.Fatalf("run(%v): %v", args, err)
+				}
+				got := forksRE.ReplaceAll(buf.Bytes(), []byte("forks=..."))
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("-probe-workers %s changed the output:\n--- got ---\n%s\n--- want ---\n%s",
 						workers, got, want)
 				}
 			}

@@ -128,6 +128,15 @@ func addWorkersFlag(fs *flag.FlagSet, def int) *int {
 	return fs.Int("workers", def, "adversary search workers (0 = GOMAXPROCS, 1 = serial)")
 }
 
+// addProbeWorkersFlag registers the planning-side probe fan-out width:
+// how many forked adversary sessions (reconcile) or private spread
+// sessions (plan) score candidates concurrently. The fan-out is
+// result-deterministic at any width — it changes wall-clock only — so
+// the default stays the historical serial scan.
+func addProbeWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("probe-workers", 1, "parallel candidate-probe workers (deterministic; 1 = serial)")
+}
+
 // cliWorkers maps the CLI worker convention (0 = GOMAXPROCS) onto the
 // adversary.SearchOpts one (< 0 = GOMAXPROCS).
 func cliWorkers(w int) int {

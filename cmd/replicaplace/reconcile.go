@@ -29,6 +29,7 @@ func cmdReconcile(args []string, w io.Writer) error {
 	planK := fs.Int("plan-k", 4, "worst-case node failures the initial placement is planned for (see plan -k)")
 	tf := addTopologyFlags(fs, 0)
 	workers := addWorkersFlag(fs, 1)
+	probeWorkers := addProbeWorkersFlag(fs)
 	boundFlag := addBoundFlag(fs)
 	script := fs.String("script", "", "mutation script (- = stdin): drain|fail|restore <node>, weight <node> <w>, cap <domain> <n>")
 	checkpoint := fs.String("checkpoint", "", "write-ahead journal path (fsync'd): every phase transition checkpoints here")
@@ -77,7 +78,8 @@ func cmdReconcile(args []string, w io.Writer) error {
 	}
 
 	opts := controller.Options{
-		Retries: *retries,
+		Retries:      *retries,
+		ProbeWorkers: *probeWorkers,
 		Search: adversary.SearchOpts{
 			Workers: cliWorkers(*workers),
 			Bound:   pruneBound,
@@ -172,8 +174,8 @@ func cmdReconcile(args []string, w io.Writer) error {
 			last.Outcome, last.Damage, ctrl.Checkpoint().Baseline, last.AtRisk, last.CapExcess)
 	}
 	st := ctrl.SessionStats()
-	fmt.Fprintf(w, "session stats: evals=%d memo-hits=%d warm-seeds=%d rebuilds=%d\n",
-		st.Evals, st.MemoHits, st.WarmSeeds, st.Rebuilds)
+	fmt.Fprintf(w, "session stats: evals=%d memo-hits=%d warm-seeds=%d rebuilds=%d forks=%d batch-probes=%d memo-evicted=%d\n",
+		st.Evals, st.MemoHits, st.WarmSeeds, st.Rebuilds, st.Forks, st.BatchProbes, st.MemoEvicted)
 	return nil
 }
 

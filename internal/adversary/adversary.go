@@ -70,6 +70,14 @@ type SearchOpts struct {
 	// default) or search.BoundStatic (the ablation baseline). Both
 	// return identical results; residual visits no more states.
 	Bound search.Bound
+	// MemoCap bounds the damage memo of incremental Sessions (the
+	// one-shot engines keep no memo): total memoized results across
+	// the memo's shards, evicted FIFO past the cap. 0 picks a default
+	// large enough that bounded workloads never evict (1<<16); < 0 is
+	// unlimited. Parallel probing (Session.ProbeMoves) is visit-count
+	// deterministic only while the cap is unreached — see the session
+	// docs — so leave it at the default unless memory is the concern.
+	MemoCap int
 	// ObjWeights switches every engine to weighted damage: object obj
 	// is worth ObjWeights[obj] (>= 0) and the adversary maximizes the
 	// total weight of the failed objects instead of their count —
@@ -81,6 +89,18 @@ type SearchOpts struct {
 	// per-object weights from a topology's node weights with
 	// placement.ObjectWeights.
 	ObjWeights []int64
+}
+
+// resolveMemoCap maps the SearchOpts convention onto a concrete cap
+// for newSessionMemo (0 there = unlimited).
+func (o SearchOpts) resolveMemoCap() int {
+	if o.MemoCap < 0 {
+		return 0
+	}
+	if o.MemoCap == 0 {
+		return defaultMemoCap
+	}
+	return o.MemoCap
 }
 
 // resolveWorkers maps the SearchOpts convention onto a concrete count.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/placement"
 	"repro/internal/search"
@@ -37,8 +38,11 @@ import (
 //     later call with budget to spare may improve them.
 //
 // A Session is safe for concurrent use; evaluations serialize on an
-// internal lock (the parallel speedup lives inside one evaluation, via
-// SearchOpts.Workers, not across them).
+// internal lock. Parallelism lives in two places: inside one evaluation
+// (SearchOpts.Workers) and across probe evaluations (ProbeMoves fans a
+// batch of probes over Fork children that share the session's damage
+// memo). The memo is capped (SearchOpts.MemoCap) with FIFO eviction, so
+// an unbounded reconcile run cannot grow it without limit.
 type Session struct {
 	mu   sync.Mutex
 	s, k int
@@ -50,9 +54,11 @@ type Session struct {
 	ids  []int // candidate position → node/domain id
 	pos  []int // node/domain id → candidate position
 
-	last  *lastEval
-	memo  map[placement.Sig]SessionResult
+	last  *lastEval    // reused across evaluations (steady state: no alloc)
+	memo  *sessionMemo // sharded signature→result memo, shared with forks
 	stats SessionStats
+
+	sigBuf []int // SignatureScratch reuse
 
 	// Rebuild scratch.
 	lists [][]search.Hit
@@ -91,6 +97,25 @@ type SessionStats struct {
 	Moves        int64 // one-replica CSR deltas applied to the live instance
 	Rebuilds     int64 // full instance (re)builds
 	Visited      int64 // total search states across all evaluations
+	Forks        int64 // children forked for parallel probe batches
+	BatchProbes  int64 // probes answered through ProbeMoves
+	MemoEvicted  int64 // memo entries evicted by the capacity cap (shared across forks)
+}
+
+// add folds a fork's counters into the parent's after a probe batch.
+// MemoEvicted is deliberately skipped: forks share the parent's memo,
+// whose global eviction counter Stats reads directly.
+func (st *SessionStats) add(o SessionStats) {
+	st.Evals += o.Evals
+	st.MemoHits += o.MemoHits
+	st.WarmSeeds += o.WarmSeeds
+	st.BracketSkips += o.BracketSkips
+	st.NoopMoves += o.NoopMoves
+	st.Moves += o.Moves
+	st.Rebuilds += o.Rebuilds
+	st.Visited += o.Visited
+	st.Forks += o.Forks
+	st.BatchProbes += o.BatchProbes
 }
 
 // NewNodeSession opens an incremental session for the node-level
@@ -112,7 +137,7 @@ func NewNodeSession(pl *placement.Placement, s, k int, opts SearchOpts) (*Sessio
 	}
 	se := &Session{s: s, k: k, opts: opts, pl: pl.Clone(),
 		inst: search.NewHitInstance(s, pl.B()),
-		memo: make(map[placement.Sig]SessionResult)}
+		memo: newSessionMemo(opts.resolveMemoCap())}
 	se.rebuild()
 	return se, nil
 }
@@ -139,7 +164,7 @@ func NewDomainSession(pl *placement.Placement, topo *topology.Topology, level, s
 	}
 	se := &Session{s: s, k: d, topo: flat, opts: opts, pl: pl.Clone(),
 		inst: search.NewHitInstance(s, pl.B()),
-		memo: make(map[placement.Sig]SessionResult)}
+		memo: newSessionMemo(opts.resolveMemoCap())}
 	se.rebuild()
 	return se, nil
 }
@@ -153,10 +178,14 @@ func (se *Session) Placement() *placement.Placement {
 }
 
 // Stats returns a snapshot of the session's incremental counters.
+// After a ProbeMoves batch the forks' counters are already folded in;
+// MemoEvicted reads the shared memo's global eviction count.
 func (se *Session) Stats() SessionStats {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.stats
+	st := se.stats
+	st.MemoEvicted = se.memo.evicted.Load()
+	return st
 }
 
 // Move transfers one replica of obj between nodes and returns the
@@ -175,7 +204,21 @@ func (se *Session) Move(obj, from, to int) (SessionResult, error) {
 	if err := se.pl.MoveReplica(obj, from, to); err != nil {
 		return SessionResult{}, err
 	}
-	return se.applyMove(obj, from, to), nil
+	return se.copyOut(se.applyMove(obj, from, to)), nil
+}
+
+// MoveInto is Move writing the result into dst, reusing dst's Nodes
+// and Domains capacity — the allocation-free variant for hot probe
+// loops (a memo- or bracket-answered move then allocates nothing at
+// all). dst is untouched on error.
+func (se *Session) MoveInto(dst *SessionResult, obj, from, to int) error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if err := se.pl.MoveReplica(obj, from, to); err != nil {
+		return err
+	}
+	copyInto(dst, se.applyMove(obj, from, to))
+	return nil
 }
 
 // Evaluate returns the worst-case damage of pl, re-targeting the
@@ -188,7 +231,7 @@ func (se *Session) Evaluate(pl *placement.Placement) (SessionResult, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	if pl == nil {
-		return se.eval(false, 0), nil
+		return se.copyOut(se.eval(false, 0)), nil
 	}
 	if pl.N != se.pl.N || pl.R != se.pl.R || pl.B() != se.pl.B() {
 		return SessionResult{}, fmt.Errorf("adversary: session shaped (n=%d r=%d b=%d) cannot evaluate (n=%d r=%d b=%d)",
@@ -210,13 +253,13 @@ func (se *Session) Evaluate(pl *placement.Placement) (SessionResult, error) {
 	}
 	switch {
 	case changed == -1:
-		return se.eval(false, 0), nil
+		return se.copyOut(se.eval(false, 0)), nil
 	case changed >= 0:
 		if from, to, ok := singleMove(se.pl.Objects[changed].Members(nil), pl.Objects[changed].Members(nil)); ok {
 			if err := se.pl.MoveReplica(changed, from, to); err != nil {
 				return SessionResult{}, err
 			}
-			return se.applyMove(changed, from, to), nil
+			return se.copyOut(se.applyMove(changed, from, to)), nil
 		}
 	}
 	if err := pl.Validate(); err != nil {
@@ -224,7 +267,7 @@ func (se *Session) Evaluate(pl *placement.Placement) (SessionResult, error) {
 	}
 	se.pl = pl.Clone()
 	se.rebuild()
-	return se.eval(false, 0), nil
+	return se.copyOut(se.eval(false, 0)), nil
 }
 
 // singleMove reports whether two sorted replica sets differ by exactly
@@ -268,7 +311,9 @@ func singleMove(old, new []int) (from, to int, ok bool) {
 
 // applyMove patches the live instance for a replica of obj moving
 // between the given NODES (the placement is already updated) and
-// evaluates the result.
+// evaluates the result. The returned result's slices are internal
+// (retained by the memo and warm-start baseline); public entry points
+// copy before handing them out.
 func (se *Session) applyMove(obj, from, to int) SessionResult {
 	cf, ct := from, to
 	if se.topo != nil {
@@ -283,10 +328,9 @@ func (se *Session) applyMove(obj, from, to int) SessionResult {
 				res.Visited = 0
 				res.Memo = true
 				if res.Exact {
-					sig := placement.WeightSignature(placement.Signature(se.pl), se.opts.ObjWeights)
-					se.memo[sig] = res
+					se.memo.put(se.sig(), res)
 				}
-				return se.copyOut(res)
+				return res
 			}
 			return se.eval(false, 0)
 		}
@@ -306,19 +350,28 @@ func (se *Session) applyMove(obj, from, to int) SessionResult {
 	return se.eval(false, 0)
 }
 
+// sig is the memo key of the session's current placement, hashed
+// through the reused scratch buffer (no allocation in steady state).
+func (se *Session) sig() placement.Sig {
+	var s placement.Sig
+	s, se.sigBuf = placement.SignatureScratch(se.pl, se.sigBuf)
+	return placement.WeightSignature(s, se.opts.ObjWeights)
+}
+
 // eval answers one evaluation of the current live instance: memo →
 // greedy + re-validated witness → bracket skip or (warm-started)
 // branch-and-bound. ceiling, when bracketed, is a proven upper bound
-// on the optimum.
+// on the optimum. The returned result's slices are internal; public
+// entry points copy.
 func (se *Session) eval(bracketed bool, ceiling int) SessionResult {
 	se.stats.Evals++
-	sig := placement.WeightSignature(placement.Signature(se.pl), se.opts.ObjWeights)
-	if cached, ok := se.memo[sig]; ok {
+	sig := se.sig()
+	if cached, ok := se.memo.get(sig); ok {
 		se.stats.MemoHits++
 		cached.Visited = 0
 		cached.Memo = true
 		se.remember(cached)
-		return se.copyOut(cached)
+		return cached
 	}
 
 	seed := search.Greedy(se.inst)
@@ -360,9 +413,9 @@ func (se *Session) eval(bracketed bool, ceiling int) SessionResult {
 	out.Warm = warm
 	se.remember(out)
 	if out.Exact {
-		se.memo[sig] = out
+		se.memo.put(sig, out)
 	}
-	return se.copyOut(out)
+	return out
 }
 
 // translate maps a core result from candidate positions to identities.
@@ -383,13 +436,18 @@ func (se *Session) translate(res search.Result) SessionResult {
 }
 
 // remember stores the evaluation as the warm-start baseline for the
-// next one.
+// next one, reusing the lastEval box (result slices are replaced
+// wholesale and never mutated in place, so aliasing them is safe).
 func (se *Session) remember(res SessionResult) {
 	ids := res.Nodes
 	if se.topo != nil {
 		ids = res.Domains
 	}
-	se.last = &lastEval{res: res, ids: ids}
+	if se.last == nil {
+		se.last = &lastEval{}
+	}
+	se.last.res = res
+	se.last.ids = ids
 }
 
 // copyOut hands the caller its own slices: results are retained in the
@@ -398,6 +456,147 @@ func (se *Session) copyOut(res SessionResult) SessionResult {
 	res.Domains = append([]int(nil), res.Domains...)
 	res.Nodes = append([]int(nil), res.Nodes...)
 	return res
+}
+
+// copyInto is copyOut into caller-owned storage: dst's slice capacity
+// is reused, so a steady-state probe loop allocates nothing.
+func copyInto(dst *SessionResult, res SessionResult) {
+	doms, nodes := dst.Domains, dst.Nodes
+	*dst = res
+	dst.Domains = append(doms[:0], res.Domains...)
+	dst.Nodes = append(nodes[:0], res.Nodes...)
+}
+
+// Fork clones the session into an independent child sharing the
+// parent's damage memo: the live instance is deep-copied
+// (search.CloneForMoves), the id ↔ position maps and warm-start
+// baseline come along, and the child re-binds its own onSwap mirror —
+// so moves on the child never corrupt the parent, while every exact
+// result either side publishes is a memo hit for both. Children are
+// what ProbeMoves fans batches over; a caller driving a fork directly
+// gets the full Session API on it.
+func (se *Session) Fork() *Session {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.forkLocked()
+}
+
+func (se *Session) forkLocked() *Session {
+	se.stats.Forks++
+	child := &Session{
+		s: se.s, k: se.k, topo: se.topo, opts: se.opts,
+		pl:   se.pl.Clone(),
+		inst: se.inst.CloneForMoves(),
+		ids:  append([]int(nil), se.ids...),
+		pos:  append([]int(nil), se.pos...),
+		memo: se.memo,
+	}
+	if se.last != nil {
+		l := *se.last
+		child.last = &l
+	}
+	child.keys = make([]int32, len(child.ids))
+	for i, id := range child.ids {
+		child.keys[i] = int32(id)
+	}
+	child.inst.EnableMoves(child.keys, func(i, j int) {
+		a, b := child.ids[i], child.ids[j]
+		child.ids[i], child.ids[j] = b, a
+		child.pos[a], child.pos[b] = j, i
+	})
+	return child
+}
+
+// probe scores one apply→evaluate→revert candidate without disturbing
+// the warm-start baseline: the instance is patched, evaluated exactly
+// as Session.Move would, then patched straight back (no revert
+// evaluation — the canonical re-sort makes the round trip the
+// identity) and the pre-probe baseline restored, so every probe in a
+// chain is the same pure function of (base state, move). A move the
+// placement rejects (no replica at From, or To already holds one)
+// reports Failed = -1. Callers hold the session private (the lock, or
+// a goroutine-private fork).
+func (se *Session) probe(m Move) SessionResult {
+	if err := se.pl.MoveReplica(m.Obj, m.From, m.To); err != nil {
+		return SessionResult{Failed: -1}
+	}
+	var saved lastEval
+	savedOK := se.last != nil
+	if savedOK {
+		saved = *se.last // the box is reused; save by value
+	}
+	res := se.copyOut(se.applyMove(m.Obj, m.From, m.To))
+	if err := se.pl.MoveReplica(m.Obj, m.To, m.From); err != nil {
+		panic(fmt.Sprintf("adversary: probe revert failed: %v", err))
+	}
+	cf, ct := m.From, m.To
+	if se.topo != nil {
+		cf, ct = se.topo.DomainOf(m.From), se.topo.DomainOf(m.To)
+	}
+	if cf != ct {
+		se.stats.Moves++
+		se.inst.ApplyMove(m.Obj, se.pos[ct], se.pos[cf])
+	}
+	if savedOK {
+		*se.last = saved
+	} else {
+		se.last = nil
+	}
+	return res
+}
+
+// ProbeMoves scores a batch of candidate moves — apply, evaluate,
+// revert each — and returns their results in candidate order. workers
+// > 1 fans the batch over that many Fork children sharing the
+// session's memo; because every probe is evaluated from the same base
+// state and warm baseline (see probe), the results — damage, witness,
+// exactness, even the visited-state counts — are byte-identical at any
+// worker count, as long as the memo cap is not reached (eviction order
+// is publish order, which parallelism does not fix; results stay
+// correct regardless, only memo hits vary). The forks' counters fold
+// into the session's stats before the call returns. An invalid move
+// reports Failed = -1 in its slot.
+func (se *Session) ProbeMoves(moves []Move, workers int) []SessionResult {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	out := make([]SessionResult, len(moves))
+	if len(moves) == 0 {
+		return out
+	}
+	se.stats.BatchProbes += int64(len(moves))
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	if workers <= 1 {
+		for i, m := range moves {
+			out[i] = se.probe(m)
+		}
+		return out
+	}
+	children := make([]*Session, workers)
+	for wi := range children {
+		children[wi] = se.forkLocked()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, ch := range children {
+		wg.Add(1)
+		go func(ch *Session) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(moves) {
+					return
+				}
+				out[i] = ch.probe(moves[i])
+			}
+		}(ch)
+	}
+	wg.Wait()
+	for _, ch := range children {
+		se.stats.add(ch.stats)
+	}
+	return out
 }
 
 // rebuild (re)derives the live instance from the session's placement:

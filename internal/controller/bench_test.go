@@ -13,6 +13,10 @@ import (
 // exact session searches keep the visited-states metric deterministic
 // (see Makefile bench notes).
 func benchController(b *testing.B, maxMoves int) (*Controller, *MemActuator) {
+	return benchControllerWorkers(b, maxMoves, 1)
+}
+
+func benchControllerWorkers(b *testing.B, maxMoves, probeWorkers int) (*Controller, *MemActuator) {
 	b.Helper()
 	topo, err := topology.UniformTree(24, 3, 2)
 	if err != nil {
@@ -24,9 +28,10 @@ func benchController(b *testing.B, maxMoves int) (*Controller, *MemActuator) {
 		Topo: topo, Level: topology.Leaf, S: 2, DFail: 1, MaxMoves: maxMoves,
 		Actuator: mem, Journal: "",
 		Opts: Options{
-			CallTimeout: time.Second,
-			Backoff:     time.Microsecond,
-			Sleep:       func(time.Duration) {},
+			CallTimeout:  time.Second,
+			Backoff:      time.Microsecond,
+			Sleep:        func(time.Duration) {},
+			ProbeWorkers: probeWorkers,
 		},
 	})
 	if err != nil {
@@ -49,7 +54,7 @@ func BenchmarkReconcileStep(b *testing.B) {
 		}
 		return rep
 	}
-	quiesce := func(b *testing.B, c *Controller) {
+	quiesce := func(b *testing.B, c *Controller) *StepReport {
 		b.Helper()
 		for i := 0; i < 30; i++ {
 			rep, err := c.Step()
@@ -57,23 +62,52 @@ func BenchmarkReconcileStep(b *testing.B) {
 				b.Fatal(err)
 			}
 			if rep.Outcome == OutcomeClean {
-				return
+				return rep
 			}
 			if rep.Outcome == OutcomeDegradedUnsafe || rep.Outcome == OutcomeDegradedStuck {
 				b.Fatalf("stuck at %s: %s", rep.Outcome, rep.Reason)
 			}
 		}
 		b.Fatal("never quiesced")
+		return nil
 	}
 
+	var serialVisited int64
+	var serialDamage = -1
 	b.Run("drain-evacuate", func(b *testing.B) {
 		var visited int64
 		for i := 0; i < b.N; i++ {
 			c, _ := benchController(b, 2)
 			before := c.SessionStats().Visited
 			apply(b, c, Mutation{Kind: MutDrain, Node: 0})
-			quiesce(b, c)
+			serialDamage = quiesce(b, c).Damage
 			visited = c.SessionStats().Visited - before
+		}
+		serialVisited = visited
+		b.ReportMetric(float64(visited), "visited-states")
+	})
+
+	// The same drain-evacuate script planned through the parallel probe
+	// fan-out: the plans (and so the deterministic visited-states and
+	// final damage) must match the serial row exactly — the fan-out
+	// changes wall-clock, never the outcome.
+	b.Run("workers=8", func(b *testing.B) {
+		var visited int64
+		var damage int
+		for i := 0; i < b.N; i++ {
+			c, _ := benchControllerWorkers(b, 2, 8)
+			before := c.SessionStats().Visited
+			apply(b, c, Mutation{Kind: MutDrain, Node: 0})
+			damage = quiesce(b, c).Damage
+			visited = c.SessionStats().Visited - before
+		}
+		if serialDamage >= 0 {
+			if visited != serialVisited {
+				b.Fatalf("workers=8 visited %d states, serial %d — parallel planning diverged", visited, serialVisited)
+			}
+			if damage != serialDamage {
+				b.Fatalf("workers=8 final damage %d, serial %d", damage, serialDamage)
+			}
 		}
 		b.ReportMetric(float64(visited), "visited-states")
 	})

@@ -141,6 +141,14 @@ type Options struct {
 	// (default 48).
 	CandTargets int
 	CandProbes  int
+	// ProbeWorkers > 1 fans each candidate class's probe batch out over
+	// that many forked session workers (adversary.Session.ProbeMoves).
+	// Planning is result-deterministic at any worker count: every probe
+	// evaluates from the step's base state, results merge in candidate
+	// order, and the class-order early exit and earliest-candidate
+	// tie-break are preserved, so step reports are byte-identical to
+	// the serial scan's. 0 or 1 probes serially.
+	ProbeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +168,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CandProbes <= 0 {
 		o.CandProbes = 48
+	}
+	if o.ProbeWorkers <= 0 {
+		o.ProbeWorkers = 1
 	}
 	return o
 }
@@ -554,44 +565,59 @@ type pick struct {
 	witness []int // the attack witness backing damage
 }
 
-// planOne probes candidate moves through the session (move, score,
-// revert) and returns the best admissible one, or nil. Urgent work —
+// planOne probes candidate moves through the session and returns the
+// best admissible one, or nil. Each candidate class is probed as one
+// ProbeMoves batch (fanned over Opts.ProbeWorkers forked sessions when
+// > 1), truncated to the remaining CandProbes budget; batches run in
+// class order and stop as soon as a lower class has produced a winner,
+// preserving the serial scan's class-order early exit. Urgent work —
 // evacuating failed then draining nodes, shedding cap excess — is
 // admissible at damage <= the step baseline; pure improvement moves
-// must strictly lower the current damage. Within a class, lower
-// damage wins, ties to the earliest candidate (deterministic order).
+// must strictly lower the current damage. Results merge in candidate
+// order: within a class, lower damage wins, ties to the earliest
+// candidate — so the chosen move is byte-identical to the serial
+// scan's at any worker count.
 func (c *Controller) planOne(curDamage int, witness []int) *pick {
 	cands := c.candidateMoves(witness)
-	probes := 0
+	budget := c.opts.CandProbes
 	var best *pick
 	bestClass := -1
-	for _, cand := range cands {
-		if probes >= c.opts.CandProbes {
-			break
+	for lo := 0; lo < len(cands) && budget > 0; {
+		class := cands[lo].class
+		hi := lo
+		for hi < len(cands) && cands[hi].class == class {
+			hi++
 		}
-		if best != nil && bestClass < cand.class {
+		if best != nil && bestClass < class {
 			break // candidates are class-ordered: a lower class already has a winner
 		}
-		res, err := c.sess.Move(cand.move.Obj, cand.move.From, cand.move.To)
-		if err != nil {
-			continue
+		group := cands[lo:hi]
+		if len(group) > budget {
+			group = group[:budget]
 		}
-		probes++
-		damage, witnessNodes := res.Failed, res.Nodes
-		if _, err := c.sess.Move(cand.move.Obj, cand.move.To, cand.move.From); err != nil {
-			panic(fmt.Sprintf("controller: probe revert failed: %v", err))
+		moves := make([]adversary.Move, len(group))
+		for i, cand := range group {
+			moves[i] = adversary.Move(cand.move)
 		}
-		admissible := damage <= c.baseline
-		if cand.class == classImprove {
-			admissible = damage < curDamage
+		budget -= len(group)
+		for i, res := range c.sess.ProbeMoves(moves, c.opts.ProbeWorkers) {
+			if res.Failed < 0 { // the placement rejected the move
+				continue
+			}
+			damage := res.Failed
+			admissible := damage <= c.baseline
+			if group[i].class == classImprove {
+				admissible = damage < curDamage
+			}
+			if !admissible {
+				continue
+			}
+			if best == nil || damage < best.damage {
+				best = &pick{move: group[i].move, damage: damage, witness: res.Nodes}
+				bestClass = group[i].class
+			}
 		}
-		if !admissible {
-			continue
-		}
-		if best == nil || damage < best.damage {
-			best = &pick{move: cand.move, damage: damage, witness: witnessNodes}
-			bestClass = cand.class
-		}
+		lo = hi
 	}
 	return best
 }

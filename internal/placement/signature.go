@@ -28,10 +28,17 @@ func mix(h, v uint64) uint64 { return (h ^ v) * fnvPrime64 }
 // assignment (shape included). Cost is O(b·r); recomputing it per
 // evaluation is noise next to any search.
 func Signature(pl *Placement) Sig {
+	sig, _ := SignatureScratch(pl, nil)
+	return sig
+}
+
+// SignatureScratch is Signature with a caller-provided members scratch
+// buffer, returned (possibly grown) for reuse — the allocation-free
+// variant for hot memo-lookup paths that hash per probe.
+func SignatureScratch(pl *Placement, buf []int) (Sig, []int) {
 	lo, hi := SigSeed()
 	lo, hi = sigInt(lo, hi, pl.N)
 	lo, hi = sigInt(lo, hi, pl.R)
-	var buf []int
 	for _, o := range pl.Objects {
 		buf = o.Members(buf[:0])
 		for _, nd := range buf {
@@ -41,7 +48,7 @@ func Signature(pl *Placement) Sig {
 		// cannot be confused across object boundaries.
 		lo, hi = sigInt(lo, hi, pl.N)
 	}
-	return Sig{Lo: lo, Hi: hi}
+	return Sig{Lo: lo, Hi: hi}, buf
 }
 
 // SigSeed returns the two stream offsets, for callers folding extra

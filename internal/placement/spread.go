@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/combin"
 	"repro/internal/search"
@@ -262,6 +263,16 @@ type SpreadOpts struct {
 	// counters (exact evaluations, memo hits, warm seeds, rebuilds)
 	// across every exact level. See SpreadTelemetry.
 	Telemetry *SpreadTelemetry
+	// ProbeWorkers > 1 fans each exact level's candidate scoring out
+	// over that many goroutines. Selection is unchanged at any worker
+	// count — candidate damages are exact, so the winning mapping is
+	// identical to the serial scan's — and the Evals/MemoHits/Rebuilds
+	// telemetry totals match the serial scan too (duplicate candidates
+	// are deduplicated by placement signature up front, exactly what
+	// the serial memo catches); only WarmSeeds may differ, since warm
+	// witnesses chain per worker stripe instead of across the whole
+	// candidate order. 0 or 1 is the serial scan.
+	ProbeWorkers int
 }
 
 // SpreadAcrossDomains relabels pl's abstract node ids onto physical
@@ -426,9 +437,13 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 	}
 	for li, le := range levels {
 		if le.exact {
-			ss := newSpreadSession(s, le.d, pl.B(), le.flat.NumDomains(), tel)
-			for i := range candidates {
-				damages[i][li] = ss.damage(mapped[i], le.flat, objWs[i])
+			if w := opts.ProbeWorkers; w > 1 && len(candidates) > 1 {
+				scoreExactLevelParallel(damages, li, mapped, objWs, le.flat, s, le.d, pl.B(), tel, w)
+			} else {
+				ss := newSpreadSession(s, le.d, pl.B(), le.flat.NumDomains(), spreadMemoCap, tel)
+				for i := range candidates {
+					damages[i][li] = ss.damage(mapped[i], le.flat, objWs[i])
+				}
 			}
 		} else {
 			for i := range candidates {
@@ -446,6 +461,59 @@ func SpreadAcrossDomainsWith(pl *Placement, topo *topology.Topology, s, d int, o
 		}
 	}
 	return mapped[bestIdx], candidates[bestIdx], nil
+}
+
+// scoreExactLevelParallel scores one exact level's candidates over
+// workers goroutines, filling damages[i][li] for every candidate i.
+// Candidates are deduplicated by weighted placement signature first —
+// the duplicates the serial scan's memo would catch — then the unique
+// placements are dealt to workers in deterministic stripes, each worker
+// scoring its stripe through a private spreadSession (warm witnesses
+// chain within the stripe). Damages are exact, so the filled vector —
+// hence the spread pass's selection — is byte-identical to the serial
+// scan at any worker count.
+func scoreExactLevelParallel(damages [][]int, li int, mapped []*Placement, objWs [][]int64,
+	flat *topology.Topology, s, d, b int, tel *SpreadTelemetry, workers int) {
+	n := len(mapped)
+	sigs := make([]Sig, n)
+	uniq := make(map[Sig]int, n) // signature → first candidate index
+	var order []int              // first-candidate indexes, in candidate order
+	for i := range mapped {
+		sigs[i] = WeightSignature(Signature(mapped[i]), objWs[i])
+		if _, ok := uniq[sigs[i]]; !ok {
+			uniq[sigs[i]] = i
+			order = append(order, i)
+		}
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	scored := make([]int, n) // damage per first-candidate index
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var wtel SpreadTelemetry
+			ss := newSpreadSession(s, d, b, flat.NumDomains(), spreadMemoCap, &wtel)
+			for oi := w; oi < len(order); oi += workers {
+				i := order[oi]
+				scored[i] = ss.damage(mapped[i], flat, objWs[i])
+			}
+			mu.Lock()
+			tel.add(wtel)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for i := range mapped {
+		damages[i][li] = scored[uniq[sigs[i]]]
+	}
+	// The deduplicated candidates are the serial scan's memo hits: count
+	// them so the Evals/MemoHits/Rebuilds totals match serial exactly.
+	tel.Evals += int64(n - len(order))
+	tel.MemoHits += int64(n - len(order))
 }
 
 // worseAtAnyLevel reports whether a does more damage than b at any

@@ -14,11 +14,28 @@ import (
 // rebuild; warm seeds count the searches that started from the previous
 // candidate's re-validated witness instead of greedy alone).
 type SpreadTelemetry struct {
-	Evals     int64 // exact candidate evaluations requested
-	MemoHits  int64 // answered from the damage memo, no search run
-	WarmSeeds int64 // searches seeded by the previous candidate's witness
-	Rebuilds  int64 // instance reinitializations (memo misses)
+	Evals       int64 // exact candidate evaluations requested
+	MemoHits    int64 // answered from the damage memo, no search run
+	WarmSeeds   int64 // searches seeded by the previous candidate's witness
+	Rebuilds    int64 // instance reinitializations (memo misses)
+	MemoEvicted int64 // memo entries evicted by the capacity cap
 }
+
+// add folds a worker's counters in — the parallel scorer accumulates
+// per-worker telemetry and merges it under one lock (addition
+// commutes, so the totals are deterministic at any worker count).
+func (t *SpreadTelemetry) add(o SpreadTelemetry) {
+	t.Evals += o.Evals
+	t.MemoHits += o.MemoHits
+	t.WarmSeeds += o.WarmSeeds
+	t.Rebuilds += o.Rebuilds
+	t.MemoEvicted += o.MemoEvicted
+}
+
+// spreadMemoCap bounds a spreadSession's damage memo: comfortably
+// above any candidate set the spread pass scores, so eviction only
+// triggers for callers that drive a session directly past it.
+const spreadMemoCap = 1 << 16
 
 // spreadSession scores spread candidates at one (level, d) through a
 // single reused search instance: candidates Reinit the same backing
@@ -34,6 +51,12 @@ type spreadSession struct {
 	memo map[Sig]int
 	tel  *SpreadTelemetry
 
+	// FIFO eviction state: memoCap (<= 0 = unlimited) bounds len(memo);
+	// fifo[head:] queues the insertion order.
+	memoCap int
+	fifo    []Sig
+	head    int
+
 	lastSel []int // previous witness, in domain-id space
 	pos     []int // pos[domain id] = candidate position after the last Reinit
 	ids     []int
@@ -41,16 +64,38 @@ type spreadSession struct {
 	loads   []int64
 }
 
-func newSpreadSession(s, d, b, numDomains int, tel *SpreadTelemetry) *spreadSession {
+func newSpreadSession(s, d, b, numDomains, memoCap int, tel *SpreadTelemetry) *spreadSession {
 	return &spreadSession{
 		s: s, d: d,
-		in:    search.NewHitInstance(s, b),
-		memo:  make(map[Sig]int),
-		tel:   tel,
-		pos:   make([]int, numDomains),
-		ids:   make([]int, numDomains),
-		lists: make([][]search.Hit, numDomains),
-		loads: make([]int64, numDomains),
+		in:      search.NewHitInstance(s, b),
+		memo:    make(map[Sig]int),
+		memoCap: memoCap,
+		tel:     tel,
+		pos:     make([]int, numDomains),
+		ids:     make([]int, numDomains),
+		lists:   make([][]search.Hit, numDomains),
+		loads:   make([]int64, numDomains),
+	}
+}
+
+// memoize records an exact damage under sig, evicting the oldest entry
+// once the cap is crossed — a capped session stays correct (an evicted
+// placement just re-searches) while a long probe chain's memory stays
+// bounded.
+func (ss *spreadSession) memoize(sig Sig, damage int) {
+	if _, ok := ss.memo[sig]; ok {
+		return
+	}
+	ss.memo[sig] = damage
+	ss.fifo = append(ss.fifo, sig)
+	if ss.memoCap > 0 && len(ss.memo) > ss.memoCap {
+		delete(ss.memo, ss.fifo[ss.head])
+		ss.head++
+		ss.tel.MemoEvicted++
+		if ss.head > len(ss.fifo)/2 {
+			ss.fifo = append(ss.fifo[:0], ss.fifo[ss.head:]...)
+			ss.head = 0
+		}
 	}
 }
 
@@ -115,6 +160,6 @@ func (ss *spreadSession) damage(pl *Placement, flat *topology.Topology, w []int6
 		sel[i] = order[p]
 	}
 	ss.lastSel = sel
-	ss.memo[sig] = res.Failed
+	ss.memoize(sig, res.Failed)
 	return res.Failed
 }

@@ -1,0 +1,96 @@
+package search
+
+import (
+	"testing"
+)
+
+// cloneMovesFixture builds a small move-enabled instance: 6 candidates
+// over 8 objects, C = 1 hits, loads non-increasing.
+func cloneMovesFixture(t *testing.T) *HitInstance {
+	t.Helper()
+	lists := [][]Hit{
+		{{Obj: 0, C: 1}, {Obj: 1, C: 1}, {Obj: 2, C: 1}, {Obj: 3, C: 1}},
+		{{Obj: 0, C: 1}, {Obj: 1, C: 1}, {Obj: 4, C: 1}},
+		{{Obj: 2, C: 1}, {Obj: 5, C: 1}, {Obj: 6, C: 1}},
+		{{Obj: 3, C: 1}, {Obj: 4, C: 1}},
+		{{Obj: 5, C: 1}, {Obj: 7, C: 1}},
+		{{Obj: 6, C: 1}, {Obj: 7, C: 1}},
+	}
+	loads := []int64{4, 3, 3, 2, 2, 2}
+	in := NewHitInstance(2, 8)
+	in.Reinit(2, lists, loads)
+	keys := []int32{0, 1, 2, 3, 4, 5}
+	in.EnableMoves(keys, nil)
+	return in
+}
+
+// TestCloneForMovesIsolation pins the fork contract CloneForMoves
+// exists for: a move applied to the clone must leave the receiver's
+// search results — and a move applied to the receiver must leave the
+// clone's — byte-identical to an untouched twin, unlike Clone, whose
+// shared CSR arrays ApplyMove would corrupt.
+func TestCloneForMovesIsolation(t *testing.T) {
+	parent := cloneMovesFixture(t)
+	pristine := cloneMovesFixture(t)
+	base := Exhaustive(pristine)
+
+	child := parent.CloneForMoves()
+	// Mutate the child heavily: move object 0 off the heaviest candidate
+	// and back, then leave a net move in place.
+	child.ApplyMove(0, 0, 3)
+	child.ApplyMove(1, 0, 4)
+	if got := Exhaustive(parent); got.Failed != base.Failed {
+		t.Fatalf("child moves changed the parent: damage %d, want %d", got.Failed, base.Failed)
+	}
+	// Residual-pruned search on the parent after child moves: the
+	// machinery prepares on the parent's own (untouched) backing.
+	parent.Reset()
+	parent.EnableResidual()
+	seed := Greedy(parent)
+	parent.Reset()
+	parent.EnableResidual()
+	if got := BranchAndBoundWith(parent, seed, NewBudget(0), BoundResidual); got.Failed != base.Failed {
+		t.Fatalf("parent residual search after child moves: damage %d, want %d", got.Failed, base.Failed)
+	}
+
+	// And the reverse: parent moves must not leak into a fresh clone.
+	parent2 := cloneMovesFixture(t)
+	child2 := parent2.CloneForMoves()
+	childBase := Exhaustive(child2)
+	if childBase.Failed != base.Failed {
+		t.Fatalf("clone damage %d, want %d", childBase.Failed, base.Failed)
+	}
+	parent2.ApplyMove(0, 0, 3)
+	child2.Reset()
+	if got := Exhaustive(child2); got.Failed != base.Failed {
+		t.Fatalf("parent moves changed the clone: damage %d, want %d", got.Failed, base.Failed)
+	}
+}
+
+// TestCloneForMovesRoundTrip checks a clone behaves exactly like a
+// fresh instance under the move machinery: apply + revert restores the
+// original damage, and the clone's own onSwap binding fires.
+func TestCloneForMovesRoundTrip(t *testing.T) {
+	parent := cloneMovesFixture(t)
+	base := Exhaustive(parent)
+	parent.Reset()
+
+	child := parent.CloneForMoves()
+	swaps := 0
+	keys := []int32{0, 1, 2, 3, 4, 5}
+	child.EnableMoves(keys, func(i, j int) { swaps++ })
+	// Moving object 7 from candidate 4 (load 2 → 1, sinks) to candidate
+	// 2 (load 3 → 4, rises past the load-3 run) forces re-sort swaps.
+	nf, nt := child.ApplyMove(7, 4, 2)
+	moved := Exhaustive(child)
+	child.Reset()
+	child.RevertMove(7, nf, nt)
+	back := Exhaustive(child)
+	if back.Failed != base.Failed {
+		t.Fatalf("revert on clone: damage %d, want %d", back.Failed, base.Failed)
+	}
+	_ = moved
+	if swaps == 0 {
+		t.Fatal("the clone's own onSwap mirror never fired (load order must change for this fixture)")
+	}
+}

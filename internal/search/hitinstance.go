@@ -264,7 +264,6 @@ func runsEqual(a, b []Hit) bool {
 	return true
 }
 
-
 func (in *HitInstance) Len() int         { return len(in.offs) - 1 }
 func (in *HitInstance) K() int           { return in.count }
 func (in *HitInstance) S() int           { return int(in.s) }
@@ -643,6 +642,40 @@ func (in *HitInstance) TopResidual(start, rem int) int64 {
 // search, so a precomputed table would cost the same comparisons
 // whether or not a pruned search ever runs.
 func (in *HitInstance) DupOfPrev(i int) bool { return runsEqual(in.run(i), in.run(i-1)) }
+
+// CloneForMoves returns an independent editor-and-searcher: unlike
+// Clone, the CSR backing arrays (hits, offsets, loads, the C = 1 fast
+// strip and the move identities) are deep-copied, so ApplyMove on the
+// clone never touches the receiver and vice versa — the primitive a
+// probing session forks per worker. Only the per-object weight vector
+// stays shared (immutable between SetWeights calls). The residual
+// machinery is left unbuilt: the clone re-prepares lazily on its own
+// backing at its first EnableResidual, which costs nothing extra on a
+// probing workload — every ApplyMove marks the inverted index stale, so
+// a moved instance rebuilds it per search anyway. The onSwap mirror is
+// cleared; re-bind the caller's id ↔ position maps with EnableMoves.
+// The receiver must be clean (Reset), as the clone starts clean.
+func (in *HitInstance) CloneForMoves() *HitInstance {
+	cp := *in
+	cp.hits = append([]Hit(nil), in.hits...)
+	if in.objs != nil {
+		cp.objs = append([]int32(nil), in.objs...)
+	}
+	cp.offs = append([]int32(nil), in.offs...)
+	cp.loads = append([]int64(nil), in.loads...)
+	if in.moveKeys != nil {
+		cp.moveKeys = append([]int32(nil), in.moveKeys...)
+	}
+	cp.onSwap = nil
+	cp.cnt = make([]int32, len(in.cnt))
+	cp.full, cp.resid, cp.objHits, cp.objCands = nil, nil, nil, nil
+	cp.objOffs = make([]int32, len(in.objOffs))
+	cp.fullSum = 0
+	cp.prepared, cp.invStale, cp.track = false, false, false
+	cp.deadSpent = 0
+	cp.cursor, cp.top, cp.hitScratch, cp.objScratch = nil, nil, nil, nil
+	return &cp
+}
 
 // Clone returns an independent searcher over the same immutable
 // preprocessing: the CSR arrays, loads, duplicate flags and inverted
