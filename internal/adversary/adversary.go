@@ -106,7 +106,7 @@ func (o SearchOpts) resolveMemoCap() int {
 // resolveWorkers maps the SearchOpts convention onto a concrete count.
 func (o SearchOpts) resolveWorkers() int {
 	if o.Workers < 0 {
-		return runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	if o.Workers == 0 {
 		return 1

@@ -33,7 +33,7 @@ import (
 // may vary (each is still a valid attack and lower bound on the damage).
 func WorstCaseParallel(pl *placement.Placement, s, k int, budget int64, workers int) (Result, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	return WorstCaseWith(pl, s, k, SearchOpts{Budget: budget, Workers: workers})
 }
@@ -51,7 +51,7 @@ func DomainWorstCasePar(pl *placement.Placement, topo *topology.Topology, s, d i
 // the given topology level (0 = top, topology.Leaf = racks).
 func DomainWorstCaseParAt(pl *placement.Placement, topo *topology.Topology, level, s, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	return DomainWorstCaseAtWith(pl, topo, level, s, d, SearchOpts{Budget: budget, Workers: workers})
 }
@@ -70,7 +70,7 @@ func ConstrainedWorstCasePar(pl *placement.Placement, topo *topology.Topology, s
 // radius counted in whole domains of the given topology level.
 func ConstrainedWorstCaseParAt(pl *placement.Placement, topo *topology.Topology, level, s, k, d int, budget int64, workers int) (DomainResult, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	return ConstrainedWorstCaseAtWith(pl, topo, level, s, k, d, SearchOpts{Budget: budget, Workers: workers})
 }

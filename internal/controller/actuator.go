@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/placement"
@@ -35,6 +36,8 @@ func (m Move) String() string {
 // at or one actuation call behind the physical cluster, which is why
 // Abort and DropOld must be idempotent — recovery may replay the call
 // that completed just before the crash.
+//
+//replicalint:exhaustive
 type Phase string
 
 const (
@@ -150,8 +153,9 @@ func (a *MemActuator) PreparedCount() int {
 // whole two-phase machine completes — tolerating the one in-flight
 // move (if any): its destination may already be live (committed but
 // unapplied), and once journaled at PhaseAdded its source may already
-// be dropped. It returns a description of the first divergence, or ""
-// when consistent.
+// be dropped. It returns a description of the first divergence in
+// (object, node) order — sorted, so the same inconsistency always
+// reports the same divergence — or "" when consistent.
 func (a *MemActuator) Diff(pl *placement.Placement, inflight *InFlight) string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -161,7 +165,7 @@ func (a *MemActuator) Diff(pl *placement.Placement, inflight *InFlight) string {
 			want[nd] = true
 		}
 		got := a.replicas[obj]
-		for nd := range got {
+		for _, nd := range sortedKeys(got) {
 			if !want[nd] {
 				if inflight != nil && inflight.Move.Obj == obj && inflight.Move.To == nd {
 					continue // committed but unapplied: destination live early
@@ -169,7 +173,7 @@ func (a *MemActuator) Diff(pl *placement.Placement, inflight *InFlight) string {
 				return fmt.Sprintf("obj %d: stray live replica on node %d", obj, nd)
 			}
 		}
-		for nd := range want {
+		for _, nd := range sortedKeys(want) {
 			if !got[nd] {
 				if inflight != nil && inflight.Phase == PhaseAdded &&
 					inflight.Move.Obj == obj && inflight.Move.From == nd {
@@ -180,4 +184,14 @@ func (a *MemActuator) Diff(pl *placement.Placement, inflight *InFlight) string {
 		}
 	}
 	return ""
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -44,6 +44,7 @@ import (
 // NodeStatus is a node's availability in the controller's cluster
 // model. The node universe is fixed at the placement's N slots;
 // status is what churns.
+//replicalint:exhaustive
 type NodeStatus int
 
 const (
@@ -70,6 +71,7 @@ func (s NodeStatus) String() string {
 }
 
 // Outcome is a reconcile step's typed result.
+//replicalint:exhaustive
 type Outcome string
 
 const (
@@ -90,6 +92,7 @@ const (
 )
 
 // MoveResult is the fate of one attempted move.
+//replicalint:exhaustive
 type MoveResult string
 
 const (
@@ -206,6 +209,10 @@ type Controller struct {
 	applied  int
 	baseline int
 	inflight *InFlight
+	// inv is the build-tagged invariant shadow: empty (and free) in
+	// regular builds, a journal-sequence and prepared-copy checker
+	// under `-tags invariants`.
+	inv invariantState
 }
 
 // New builds a controller owning pl (a private clone is taken) and
@@ -278,7 +285,7 @@ func Load(path string, act Actuator, opts Options) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		topo:     topo,
 		level:    ck.Level,
 		s:        ck.S,
@@ -293,7 +300,9 @@ func Load(path string, act Actuator, opts Options) (*Controller, error) {
 		applied:  ck.Applied,
 		baseline: ck.Baseline,
 		inflight: ck.InFlight,
-	}, nil
+	}
+	c.inv.init(ck.Applied, ck.InFlight)
+	return c, nil
 }
 
 // Placement returns a copy of the current logical placement.
@@ -362,6 +371,9 @@ func (c *Controller) checkpointLocked() *Checkpoint {
 }
 
 func (c *Controller) saveJournal() error {
+	// The invariant shadow audits every checkpoint the controller would
+	// persist, even when journaling is disabled.
+	c.inv.checkJournal(c.applied, c.inflight)
 	if c.journal == "" {
 		return nil
 	}
@@ -434,18 +446,21 @@ func (c *Controller) applyMutation(mut Mutation) error {
 		return nil
 	}
 	switch mut.Kind {
-	case MutDrain, MutFail, MutRestore:
+	case MutDrain:
 		if err := checkNode(mut.Node); err != nil {
 			return err
 		}
-		switch mut.Kind {
-		case MutDrain:
-			c.status[mut.Node] = NodeDraining
-		case MutFail:
-			c.status[mut.Node] = NodeFailed
-		case MutRestore:
-			c.status[mut.Node] = NodeActive
+		c.status[mut.Node] = NodeDraining
+	case MutFail:
+		if err := checkNode(mut.Node); err != nil {
+			return err
 		}
+		c.status[mut.Node] = NodeFailed
+	case MutRestore:
+		if err := checkNode(mut.Node); err != nil {
+			return err
+		}
+		c.status[mut.Node] = NodeActive
 	case MutWeight:
 		if err := checkNode(mut.Node); err != nil {
 			return err
@@ -827,6 +842,7 @@ func (c *Controller) executeMove(m Move) (MoveRecord, error) {
 	if err := c.callRetry(m, c.act.PrepareAdd, &rec); err != nil {
 		return c.rollbackMove(rec, err)
 	}
+	c.inv.notePrepared()
 	c.inflight.Phase = PhasePrepared
 	if err := c.saveJournal(); err != nil {
 		return rec, err
@@ -834,6 +850,7 @@ func (c *Controller) executeMove(m Move) (MoveRecord, error) {
 	if err := c.callRetry(m, c.act.CommitAdd, &rec); err != nil {
 		return c.rollbackMove(rec, err)
 	}
+	c.inv.noteCommitted()
 	c.inflight.Phase = PhaseAdded
 	if err := c.saveJournal(); err != nil {
 		return rec, err
@@ -885,6 +902,7 @@ func (c *Controller) rollbackMove(rec MoveRecord, cause error) (MoveRecord, erro
 		rec.Err += "; " + err.Error()
 		return rec, nil
 	}
+	c.inv.noteAborted()
 	c.inflight = nil
 	if err := c.saveJournal(); err != nil {
 		return rec, err
@@ -911,6 +929,7 @@ func (c *Controller) finishInFlight() (MoveRecord, error) {
 			rec.Err = err.Error()
 			return rec, nil
 		}
+		c.inv.noteAborted()
 		c.inflight = nil
 		if err := c.saveJournal(); err != nil {
 			return rec, err

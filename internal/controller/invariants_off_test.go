@@ -1,0 +1,16 @@
+//go:build !invariants
+
+package controller
+
+import "testing"
+
+// TestInvariantsCompiledOut pins the default-build contract: the shadow
+// is an empty struct and every hook is a no-op.
+func TestInvariantsCompiledOut(t *testing.T) {
+	if InvariantsEnabled {
+		t.Fatal("InvariantsEnabled = true without the invariants tag")
+	}
+	var st invariantState
+	st.checkJournal(5, nil)
+	st.checkJournal(1, &InFlight{Phase: PhaseAdded}) // would panic if live
+}

@@ -30,6 +30,7 @@ func validCheckpointBytes(t testing.TB) []byte {
 	// Park a move in flight so the fuzzer sees the full shape.
 	c.mu.Lock()
 	c.inflight = &InFlight{Move: Move{Obj: 1, From: 1, To: 5}, Phase: PhasePrepared}
+	c.inv.init(c.applied, c.inflight) // injected, not actuated: reseed the shadow
 	err = c.saveJournal()
 	c.mu.Unlock()
 	if err != nil {

@@ -10,6 +10,8 @@ import (
 
 // MutationKind names one kind of topology churn the controller
 // reconciles against.
+//
+//replicalint:exhaustive
 type MutationKind string
 
 const (
@@ -44,11 +46,14 @@ type Mutation struct {
 
 func (m Mutation) String() string {
 	switch m.Kind {
+	case MutDrain, MutFail, MutRestore:
+		return fmt.Sprintf("%s %d", m.Kind, m.Node)
 	case MutWeight:
 		return fmt.Sprintf("weight %d %d", m.Node, m.Weight)
 	case MutCap:
 		return fmt.Sprintf("cap %s %d", m.Domain, m.Cap)
 	default:
+		// Unknown kinds (hand-built Mutation values) print raw.
 		return fmt.Sprintf("%s %d", m.Kind, m.Node)
 	}
 }

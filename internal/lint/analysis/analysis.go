@@ -1,0 +1,202 @@
+// Package analysis is the minimal in-tree analyzer framework behind
+// cmd/replicalint. It mirrors the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Diagnostic) on the standard library alone, because
+// this repository builds hermetically with zero external modules: the
+// x/tools multichecker cannot be a dependency, but its driver protocol
+// can be reimplemented — cmd/replicalint speaks both the standalone
+// `go list -export` route and `go vet -vettool`'s unit-checker config
+// protocol over the analyzers defined here.
+//
+// The framework deliberately has no fact propagation: every analyzer in
+// this repository is a single-package syntax+types check. What it adds
+// over raw AST walking is shared contract plumbing:
+//
+//   - allow annotations: a site carrying `//lint:allow <analyzer>
+//     <reason>` on its own line or the line above is exempt from that
+//     one analyzer. The reason is mandatory — a bare allow is itself
+//     reported — so every exemption documents why it is sound.
+//   - enum markers: a type declaration carrying `//replicalint:exhaustive`
+//     opts its constant set into phaseswitch's exhaustiveness check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` annotations.
+	Name string
+	// Doc is the one-line contract the analyzer enforces.
+	Doc string
+	// Run performs the check. A non-nil error aborts the whole run
+	// (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report delivers one finding. The driver applies allow-annotation
+	// suppression after this.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf is Info.TypeOf with a nil guard for robustness on partially
+// checked trees.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The contracts
+// replicalint enforces bind production code; tests violate them freely
+// (differential tests iterate maps of engines, fault injection seeds
+// rand, and so on).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// AllowPrefix introduces a suppression annotation:
+// //lint:allow <analyzer> <reason>.
+const AllowPrefix = "//lint:allow "
+
+// ExhaustiveMarker on a type declaration opts the type into
+// phaseswitch's exhaustiveness contract.
+const ExhaustiveMarker = "//replicalint:exhaustive"
+
+// JournalWriterMarker on a function declaration blesses it as the one
+// atomic fsync'd checkpoint writer journalfsync admits raw os file
+// calls in.
+const JournalWriterMarker = "//replicalint:journal-writer"
+
+// An AllowSet indexes every `//lint:allow` annotation of a file set:
+// which analyzers are suppressed on which lines, plus the malformed
+// annotations (missing reason) that must be reported instead of
+// honored.
+type AllowSet struct {
+	fset *token.FileSet
+	// byFile maps filename -> line -> analyzer names allowed there.
+	byFile map[string]map[int][]string
+	// Malformed annotations: an allow without a reason never
+	// suppresses; it surfaces as its own diagnostic so the contract
+	// ("every exemption documents why") is machine-checked too.
+	Malformed []Diagnostic
+}
+
+// NewAllowSet scans the comments of files for allow annotations.
+func NewAllowSet(fset *token.FileSet, files []*ast.File) *AllowSet {
+	as := &AllowSet{fset: fset, byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Only a comment that IS the annotation counts — prose
+				// mentioning the syntax mid-comment does not.
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(c.Text[len(AllowPrefix):])
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					as.Malformed = append(as.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "lint:allow annotation needs an analyzer name and a reason: //lint:allow <analyzer> <why this site is sound>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := as.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					as.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return as
+}
+
+// Allows reports whether analyzer name is suppressed at pos: an
+// annotation sits on the same line or the line directly above.
+func (as *AllowSet) Allows(name string, pos token.Pos) bool {
+	p := as.fset.Position(pos)
+	lines := as.byFile[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, a := range lines[l] {
+			if a == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasMarker reports whether the declaration's doc comment carries the
+// given marker directive.
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathMatches reports whether the package import path is one of pkgs or
+// lies underneath one of them. An empty pkgs list matches everything —
+// the fixture-test configuration.
+func PathMatches(path string, pkgs []string) bool {
+	if len(pkgs) == 0 {
+		return true
+	}
+	for _, p := range pkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterministicPackages is the byte-identity blast radius: packages
+// whose outputs (damage vectors, witnesses, signatures, CLI sections,
+// journal bytes) must be reproducible bit for bit at any worker count,
+// on any machine. detrange and nodeterm scope to these.
+var DeterministicPackages = []string{
+	"repro/internal/search",
+	"repro/internal/adversary",
+	"repro/internal/placement",
+	"repro/internal/controller",
+	"repro/internal/topology",
+}

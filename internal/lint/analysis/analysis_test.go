@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	x := 1 //lint:allow detrange keys are sorted upstream
+	_ = x
+	//lint:allow nodeterm clock only feeds a log line
+	y := 2
+	z := 3 //lint:allow locksafe
+	_, _ = y, z
+}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func lineStart(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestAllowSet(t *testing.T) {
+	fset, f := parseOne(t, allowSrc)
+	as := NewAllowSet(fset, []*ast.File{f})
+
+	// Same-line suppression.
+	if !as.Allows("detrange", lineStart(fset, f, 4)) {
+		t.Errorf("detrange not allowed on its own line")
+	}
+	// Line-above suppression.
+	if !as.Allows("nodeterm", lineStart(fset, f, 7)) {
+		t.Errorf("nodeterm not allowed on the line below the annotation")
+	}
+	// Wrong analyzer name does not suppress.
+	if as.Allows("nodeterm", lineStart(fset, f, 4)) {
+		t.Errorf("detrange annotation suppressed nodeterm")
+	}
+	// Lines not adjacent to the annotation are not suppressed.
+	if as.Allows("detrange", lineStart(fset, f, 9)) {
+		t.Errorf("allow leaked past its line pair")
+	}
+	// A reason-less allow never suppresses; it is reported instead.
+	if as.Allows("locksafe", lineStart(fset, f, 8)) {
+		t.Errorf("bare allow (no reason) suppressed a finding")
+	}
+	if len(as.Malformed) != 1 {
+		t.Fatalf("Malformed = %d annotations, want 1", len(as.Malformed))
+	}
+	if got := fset.Position(as.Malformed[0].Pos).Line; got != 8 {
+		t.Errorf("malformed allow reported at line %d, want 8", got)
+	}
+}
+
+func TestAllowProseMentionIgnored(t *testing.T) {
+	// A doc comment that merely *mentions* the syntax mid-prose is
+	// neither an annotation nor malformed.
+	fset, f := parseOne(t, `package p
+
+// Suppress findings with a comment of the form //lint:allow
+// <analyzer> <reason> on the same line.
+func a() {}
+`)
+	as := NewAllowSet(fset, []*ast.File{f})
+	if len(as.Malformed) != 0 {
+		t.Errorf("prose mention flagged as malformed: %v", as.Malformed)
+	}
+}

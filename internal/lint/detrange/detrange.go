@@ -1,0 +1,385 @@
+// Package detrange flags `range` over maps in the deterministic
+// packages. Go randomizes map iteration order per run, so any map
+// range whose iteration order can reach a returned slice, a damage
+// vector, a signature, CLI output, or journal bytes silently breaks
+// the byte-identity contract the adversary core and the reconcile
+// controller are proven against.
+//
+// A map range is admitted without annotation only when its body is
+// provably order-independent:
+//
+//   - integer accumulation (x++, x--, x += e, x |= e, x &= e, x ^= e),
+//   - delete(m, k),
+//   - map writes indexed by the loop key (distinct keys, so no
+//     last-write-wins races with order), or any map write whose value
+//     is a constant literal (duplicates write the same bytes),
+//   - continue, and if/else whose condition is call-free and whose
+//     branches recursively qualify,
+//   - extremum accumulation: `if v > acc { acc = v }` (and <, >=, <=),
+//   - the sorted-keys idiom: a body that only appends the key to a
+//     slice which the enclosing block sorts (sort.* / slices.Sort*)
+//     before any other use.
+//
+// Everything else needs `//lint:allow detrange <reason>` — break or
+// return select the first element in random order, plain assignments
+// under a condition encode order-dependent tie-breaks, and function
+// calls can observe the iteration (printing, appending).
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the analyzer. Packages empty means every package — the
+// fixture-test configuration; the production driver passes
+// analysis.DeterministicPackages.
+type Config struct {
+	Packages []string
+}
+
+// New builds the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "detrange",
+		Doc:  "flags map iteration whose order can leak into deterministic outputs",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), cfg.Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Scan every statement-list container so a following
+			// sort call is visible to the sorted-keys idiom check.
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			case *ast.LabeledStmt:
+				if rs, ok := s.Stmt.(*ast.RangeStmt); ok {
+					checkRange(pass, rs, nil)
+				}
+				return true
+			default:
+				return true
+			}
+			for i, st := range list {
+				if rs, ok := st.(*ast.RangeStmt); ok {
+					checkRange(pass, rs, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	key := identOf(rs.Key)
+	if ok, _ := orderIndependent(pass, rs.Body.List, key); ok {
+		return
+	}
+	if target := sortedAppendTarget(rs, key); target != "" && sortedBefore(pass, target, rest) {
+		return
+	}
+	pass.Reportf(rs.For, "range over map %s: iteration order is randomized and the body is not provably order-independent; iterate sorted keys or annotate with %sdetrange <reason>",
+		types.ExprString(rs.X), analysis.AllowPrefix[2:])
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// orderIndependent reports whether every statement commutes across
+// iterations. The second result is unused padding for symmetry with
+// recursive calls that may want detail later.
+func orderIndependent(pass *analysis.Pass, stmts []ast.Stmt, key *ast.Ident) (bool, ast.Stmt) {
+	for _, st := range stmts {
+		if !stmtOK(pass, st, key) {
+			return false, st
+		}
+	}
+	return true, nil
+}
+
+func stmtOK(pass *analysis.Pass, st ast.Stmt, key *ast.Ident) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return isInteger(pass.TypeOf(s.X))
+	case *ast.AssignStmt:
+		return assignOK(pass, s, key)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isBuiltin(pass, call.Fun, "delete")
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		if minMaxAccum(pass, s) {
+			return true
+		}
+		if s.Init != nil && !stmtOK(pass, s.Init, key) {
+			return false
+		}
+		if hasCall(pass, s.Cond) {
+			return false
+		}
+		if ok, _ := orderIndependent(pass, s.Body.List, key); !ok {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			ok, _ := orderIndependent(pass, e.List, key)
+			return ok
+		case *ast.IfStmt:
+			return stmtOK(pass, e, key)
+		}
+		return false
+	case *ast.DeclStmt:
+		// Local declarations with call-free initializers are private to
+		// the iteration.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if hasCall(pass, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func assignOK(pass *analysis.Pass, s *ast.AssignStmt, key *ast.Ident) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative-associative integer accumulation. (SUB against a
+		// single accumulator commutes too: the sum of deltas is
+		// order-free. Floats are excluded — their addition does not
+		// associate.)
+		return len(s.Lhs) == 1 && isInteger(pass.TypeOf(s.Lhs[0])) && !hasCall(pass, s.Rhs[0])
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || hasCall(pass, s.Rhs[0]) {
+			return false
+		}
+		ix, ok := s.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if _, isMap := typeUnderlying(pass.TypeOf(ix.X)).(*types.Map); !isMap {
+			return false
+		}
+		// m2[k] = ... with k the loop key: keys are distinct per
+		// iteration, so writes never collide.
+		if keyIx, ok := ix.Index.(*ast.Ident); ok && key != nil && keyIx.Obj == key.Obj {
+			return true
+		}
+		// m2[anything] = <constant literal>: colliding writes store
+		// identical bytes.
+		return isConstLiteral(s.Rhs[0])
+	}
+	return false
+}
+
+// minMaxAccum recognizes extremum accumulation:
+//
+//	if v > acc { acc = v }     (any of > < >= <=, either operand order)
+//
+// The final value is the max/min over all iterations no matter the
+// visit order, so the pattern commutes. The condition's operands must
+// be exactly the assignment's two sides and call-free — side effects
+// would reintroduce order sensitivity.
+func minMaxAccum(pass *analysis.Pass, s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.GTR, token.LSS, token.GEQ, token.LEQ:
+	default:
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if hasCall(pass, as.Lhs[0]) || hasCall(pass, as.Rhs[0]) {
+		return false
+	}
+	l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (l == x && r == y) || (l == y && r == x)
+}
+
+// sortedAppendTarget recognizes the body `dst = append(dst, k)` (or
+// the value variable) and returns dst's name, else "".
+func sortedAppendTarget(rs *ast.RangeStmt, key *ast.Ident) string {
+	if len(rs.Body.List) != 1 {
+		return ""
+	}
+	s, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return ""
+	}
+	dst, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return ""
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return ""
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return ""
+	}
+	return dst.Name
+}
+
+// sortedBefore reports whether, among the statements following the
+// range in its enclosing block, the first mention of name is a
+// sort.*/slices.Sort* call with name as the first argument.
+func sortedBefore(pass *analysis.Pass, name string, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		if !mentions(st, name) {
+			continue
+		}
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return false
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		return ok && arg0.Name == name
+	}
+	return false
+}
+
+func mentions(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasCall(pass *analysis.Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		// len/cap and conversions are pure.
+		if isBuiltin(pass, call.Fun, "len") || isBuiltin(pass, call.Fun, "cap") {
+			return true
+		}
+		if t := pass.TypeOf(call.Fun); t != nil {
+			if _, isSig := t.Underlying().(*types.Signature); !isSig {
+				return true // type conversion
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func isBuiltin(pass *analysis.Pass, fn ast.Expr, name string) bool {
+	id, ok := fn.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if pass.Info == nil {
+		return true
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := typeUnderlying(t).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func typeUnderlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isConstLiteral(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false"
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if !isConstLiteral(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package detrange
+
+import "sort"
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: commutative integer accumulation
+		total += v
+	}
+	return total
+}
+
+func firstPositive(m map[string]int) int {
+	for k, v := range m { // want "range over map m: iteration order is randomized"
+		if v > 0 {
+			return len(k) // picks a random element
+		}
+	}
+	return 0
+}
+
+func sortedIdiom(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: keys sorted before any other use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m: iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys // random order escapes
+}
+
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m { // ok: extremum accumulation
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func keyedWrite(m map[string]int, out map[string]bool) {
+	for k := range m { // ok: writes indexed by the loop key never collide
+		out[k] = true
+	}
+}
+
+func pruned(m map[string]int) {
+	for k, v := range m { // ok: delete and continue commute
+		if v == 0 {
+			delete(m, k)
+			continue
+		}
+	}
+}
+
+func annotated(m map[string]int) {
+	for k := range m { //lint:allow detrange human-facing debug print, order irrelevant
+		println(k)
+	}
+}
+
+func printed(m map[string]int) {
+	for k := range m { // want "range over map m: iteration order is randomized"
+		println(k) // calls observe the random order
+	}
+}

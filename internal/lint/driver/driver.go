@@ -1,0 +1,104 @@
+// Package driver wires the replicalint analyzers to real packages. It
+// has two front ends, both used by cmd/replicalint:
+//
+//   - standalone: load packages with `go list -deps -export -json`,
+//     type-check each root against the compiler's export data, run the
+//     suite (see standalone.go);
+//   - vet unit: speak `go vet -vettool`'s one-package-per-process
+//     config protocol (see vet.go).
+//
+// Both modes run on the standard library alone: type information comes
+// from gc export data via go/importer, exactly the route x/tools'
+// unitchecker takes — the toolchain's build cache supplies the export
+// files, so no network and no external modules are needed.
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/journalfsync"
+	"repro/internal/lint/locksafe"
+	"repro/internal/lint/nodeterm"
+	"repro/internal/lint/phaseswitch"
+)
+
+// Suite is the production replicalint configuration: the five contract
+// analyzers scoped to the packages whose contracts they enforce.
+// detrange, nodeterm and locksafe cover the deterministic core;
+// journalfsync covers the journaling controller; phaseswitch follows
+// its marked enums wherever they are switched on.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.New(detrange.Config{Packages: analysis.DeterministicPackages}),
+		nodeterm.New(nodeterm.Config{Packages: analysis.DeterministicPackages}),
+		locksafe.New(locksafe.Config{Packages: analysis.DeterministicPackages}),
+		phaseswitch.New(phaseswitch.Config{Types: phaseswitch.DefaultTypes}),
+		journalfsync.New(journalfsync.Config{Packages: journalfsync.DefaultPackages}),
+	}
+}
+
+// A Finding is one diagnostic attributed to its analyzer.
+type Finding struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckPackage runs the analyzers over one type-checked package and
+// returns position-sorted findings. Allow-annotation suppression is
+// applied here, and malformed allow annotations (no reason) surface as
+// findings of the pseudo-analyzer "lintallow".
+func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	allows := analysis.NewAllowSet(fset, files)
+	var findings []Finding
+	for _, d := range allows.Malformed {
+		findings = append(findings, Finding{Pos: d.Pos, Message: d.Message, Analyzer: "lintallow"})
+	}
+	for _, an := range analyzers {
+		an := an
+		pass := &analysis.Pass{
+			Analyzer: an,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Report: func(d analysis.Diagnostic) {
+				if allows.Allows(an.Name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: d.Pos, Message: d.Message, Analyzer: an.Name})
+			},
+		}
+		if err := an.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].Pos), fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return findings, nil
+}

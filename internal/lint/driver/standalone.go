@@ -1,0 +1,132 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// RunStandalone loads the packages matching patterns with
+// `go list -deps -export -json`, type-checks each root package against
+// the compiler export data of its dependencies, and runs the suite.
+// Findings are printed to out as file:line:col: message [analyzer];
+// the bool result reports whether any finding was printed.
+//
+// `-export` makes the go command populate every dependency's export
+// file from the build cache (compiling if needed), which works fully
+// offline — the same data `go vet` hands tools via its cfg protocol.
+func RunStandalone(patterns []string, out io.Writer) (bool, error) {
+	args := append([]string{"list", "-deps", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return false, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return false, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return false, fmt.Errorf("go list -deps -export failed: %v\n%s", err, stderr.String())
+	}
+
+	exportFor := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+	}
+
+	// One importer for the whole run: it caches dependency packages, so
+	// shared deps type-check once.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	suite := Suite()
+	anyFinding := false
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return anyFinding, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return anyFinding, err
+		}
+		pkg, info, err := typeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return anyFinding, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		findings, err := CheckPackage(fset, files, pkg, info, suite)
+		if err != nil {
+			return anyFinding, fmt.Errorf("analyzing %s: %v", p.ImportPath, err)
+		}
+		for _, f := range findings {
+			anyFinding = true
+			fmt.Fprintf(out, "%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
+		}
+	}
+	return anyFinding, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for
+// `go vet -vettool` tools — one file per compiled unit, the same
+// protocol golang.org/x/tools/go/analysis/unitchecker speaks.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit analyzes the single compilation unit described by the
+// go-vet config at cfgPath, printing findings to out. The returned
+// code is the process exit status the protocol expects: 0 clean,
+// 1 internal error, 2 findings.
+func RunVetUnit(cfgPath string, out io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(out, "replicalint: %v\n", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(out, "replicalint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command caches analysis facts in vetx files. This suite
+	// propagates no facts, so the output is always empty — but it must
+	// exist for the cache entry to complete, and a facts-only request
+	// (VetxOnly, for dependencies of the target set) needs nothing else.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		if err := writeVetx(); err != nil {
+			fmt.Fprintf(out, "replicalint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(out, "replicalint: %v\n", err)
+		return 1
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// ImportMap sends source-level paths to canonical ones (test
+		// variants, vendoring); PackageFile locates the export data the
+		// go command already built.
+		if real, ok := cfg.ImportMap[path]; ok {
+			path = real
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := typeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(out, "replicalint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := CheckPackage(fset, files, pkg, info, Suite())
+	if err != nil {
+		fmt.Fprintf(out, "replicalint: analyzing %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(); err != nil {
+		fmt.Fprintf(out, "replicalint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(out, "%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typeCheck checks one package's parsed files against an importer,
+// tolerating nothing: the tree is expected to compile (tier-1 builds it
+// before lint runs).
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

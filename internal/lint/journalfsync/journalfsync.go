@@ -1,0 +1,91 @@
+// Package journalfsync guards the controller's crash-safety spine:
+// every write to checkpoint state must flow through the one atomic
+// fsync'd writer (temp file + fsync + rename + directory fsync). A raw
+// os.WriteFile / os.Create / os.OpenFile / os.Rename on journal state
+// can tear on crash — exactly the window the two-phase move machine's
+// recovery proof assumes away.
+//
+// The blessed writer carries `//replicalint:journal-writer` on its
+// declaration; inside it the raw calls are the implementation. Anywhere
+// else in the scoped package they are findings, unless the site carries
+// `//lint:allow journalfsync <reason>`. Reads (os.ReadFile, os.Open)
+// are unrestricted.
+package journalfsync
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the analyzer; empty Packages means all (fixtures).
+type Config struct {
+	Packages []string
+}
+
+// DefaultPackages is the production scope: the journaling controller.
+var DefaultPackages = []string{"repro/internal/controller"}
+
+// bannedOS are the file-mutating os functions that can tear a
+// checkpoint when used directly.
+var bannedOS = map[string]bool{
+	"WriteFile":  true,
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+	"Rename":     true,
+	"Truncate":   true,
+	"NewFile":    true,
+}
+
+// New builds the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "journalfsync",
+		Doc:  "checkpoint writes must flow through the atomic fsync'd journal writer",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), cfg.Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasMarker(fd.Doc, analysis.JournalWriterMarker) {
+				continue // the blessed atomic writer
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+					return true
+				}
+				if bannedOS[fn.Name()] {
+					pass.Reportf(call.Pos(), "os.%s bypasses the atomic fsync'd journal writer; route checkpoint writes through the %s function, or annotate with %sjournalfsync <reason>",
+						fn.Name(), analysis.JournalWriterMarker[2:], analysis.AllowPrefix[2:])
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package journalfsync_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/journalfsync"
+	"repro/internal/lint/linttest"
+)
+
+func TestJournalfsync(t *testing.T) {
+	linttest.Run(t, journalfsync.New(journalfsync.Config{}), "journalfsync")
+}

@@ -1,0 +1,54 @@
+package journalfsync
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileSync is the blessed atomic writer: raw os mutation is its
+// implementation, not a bypass.
+//
+//replicalint:journal-writer
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "tmp-*") // ok: inside the blessed writer
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // ok: inside the blessed writer
+}
+
+func saveRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile bypasses the atomic fsync'd journal writer`
+}
+
+func createRaw(path string) error {
+	f, err := os.Create(path) // want `os\.Create bypasses the atomic fsync'd journal writer`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path) // ok: reads are unrestricted
+}
+
+func annotated(path string) error {
+	f, err := os.Create(path) //lint:allow journalfsync scratch trace dump, not checkpoint state
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

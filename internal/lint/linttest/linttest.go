@@ -1,0 +1,136 @@
+// Package linttest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want "regexp"` comments — the
+// analysistest contract, reimplemented on the standard library. The
+// check is bidirectional: a diagnostic with no matching want fails, and
+// a want with no matching diagnostic fails — so a disabled or broken
+// analyzer cannot pass its fixture.
+//
+// Fixtures live under the calling test's testdata/src/<dir>/ and may
+// import only the standard library: type information comes from
+// go/importer's source importer, which compiles stdlib dependencies
+// from GOROOT and therefore needs no build cache and no network.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// wantRe pulls the quoted patterns off a want comment; both Go string
+// forms are accepted: // want "..." or // want `...`.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the fixture package at testdata/src/<dir> with an,
+// routing diagnostics through the production driver (so allow
+// annotations suppress exactly as in a real run), and compares them
+// against the fixture's want comments.
+func Run(t *testing.T, an *analysis.Analyzer, dir string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", root)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := driver.NewInfo()
+	pkg, err := conf.Check("fixture/"+dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	findings, err := driver.CheckPackage(fset, files, pkg, info, []*analysis.Analyzer{an})
+	if err != nil {
+		t.Fatalf("running %s: %v", an.Name, err)
+	}
+
+	expects := collectWants(t, fset, files)
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: want diagnostic matching %s, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var expects []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(text[len("want "):], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquoting %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: compiling %q: %v", pos, pat, err)
+					}
+					expects = append(expects, expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return expects
+}

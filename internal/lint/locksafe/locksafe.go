@@ -1,0 +1,420 @@
+// Package locksafe extends vet's copylocks to this codebase's
+// concurrency idioms, in three rules:
+//
+//  1. Lock-bearing values by value: a receiver, parameter, result,
+//     dereference-copy (`x := *sess`), or range value whose type
+//     transitively contains a sync.Mutex / RWMutex / WaitGroup / Once /
+//     Cond is a finding — adversary.Session and the sharded memo must
+//     only travel as pointers, or a fork silently splits the lock from
+//     the state it guards.
+//
+//  2. Early return with a lock held: after an inline `x.Lock()` (no
+//     deferred unlock), a return statement reachable before the
+//     matching `x.Unlock()` leaks the lock — the classic missing-unlock
+//     on an error path.
+//
+//  3. Shard locks across evaluation and channel operations: while a
+//     lock whose owner is a memo shard (type or expression names
+//     "shard") is held, calls to Evaluate / ProbeMoves / Wait, channel
+//     sends/receives and `go` statements are findings — the
+//     lock-striped memo discipline is "lock, touch the map, unlock";
+//     holding a stripe across a search invites cross-worker deadlock.
+//
+// Suppress deliberate exceptions with `//lint:allow locksafe <reason>`.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the analyzer; empty Packages means all (fixtures).
+type Config struct {
+	Packages []string
+}
+
+// New builds the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "locksafe",
+		Doc:  "lock-bearing values by value, missing unlocks on early returns, shard locks held across evaluation",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), cfg.Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fd)
+			if fd.Body != nil {
+				checkValueCopies(pass, fd.Body)
+				sc := &scanner{pass: pass}
+				sc.block(fd.Body.List, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// --- rule 1: lock-bearing values by value ---
+
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(fl *ast.Field, kind string) {
+		t := pass.TypeOf(fl.Type)
+		if t == nil || !containsLock(t, nil) {
+			return
+		}
+		pass.Reportf(fl.Pos(), "%s passes %s by value; it contains a sync lock — pass a pointer so the lock keeps guarding one copy of the state", kind, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			report(fl, "method receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			report(fl, "parameter")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, fl := range fd.Type.Results.List {
+			report(fl, "result")
+		}
+	}
+}
+
+func checkValueCopies(pass *analysis.Pass, body *ast.BlockStmt) {
+	deref := func(e ast.Expr, what string) {
+		st, ok := e.(*ast.StarExpr)
+		if !ok {
+			return
+		}
+		t := pass.TypeOf(st)
+		if t == nil || !containsLock(t, nil) {
+			return
+		}
+		pass.Reportf(st.Pos(), "%s copies *%s by value; it contains a sync lock — keep the pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				deref(r, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range s.Values {
+				deref(v, "declaration")
+			}
+		case *ast.CallExpr:
+			for _, a := range s.Args {
+				deref(a, "call argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				deref(r, "return")
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					deref(kv.Value, "composite literal")
+				} else {
+					deref(el, "composite literal")
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Value != nil {
+				if t := pass.TypeOf(s.Value); t != nil && containsLock(t, nil) {
+					pass.Reportf(s.Value.Pos(), "range copies %s elements by value; they contain a sync lock — range over indices or pointers", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// containsLock reports whether t transitively holds sync lock state by
+// value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// --- rules 2 and 3: lock-held region scanning ---
+
+// heldLock is one acquired lock in the current scan path.
+type heldLock struct {
+	expr     string // the lock expression, e.g. "sh.mu"
+	pos      token.Pos
+	deferred bool // a deferred unlock covers it (safe for rule 2)
+	shard    bool // owner is a memo shard (rule 3 applies)
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// block scans a statement list, threading the held-lock state through
+// sequential statements and branching into nested bodies with copies.
+// It returns the state after the list.
+func (sc *scanner) block(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, st := range stmts {
+		held = sc.stmt(st, held)
+	}
+	return held
+}
+
+func (sc *scanner) stmt(st ast.Stmt, held []heldLock) []heldLock {
+	// Rule 3 first: any shard lock held across this statement's
+	// evaluation or channel traffic.
+	sc.checkAcross(st, held)
+
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if lk, kind := sc.lockCall(s.X); lk != "" {
+			switch kind {
+			case "lock":
+				held = append(held, heldLock{expr: lk, pos: s.Pos(), shard: isShard(sc.pass, s.X)})
+			case "unlock":
+				held = release(held, lk)
+			}
+		}
+	case *ast.DeferStmt:
+		if lk, kind := sc.lockCall(s.Call); kind == "unlock" {
+			for i := range held {
+				if held[i].expr == lk {
+					held[i].deferred = true
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, h := range held {
+			if !h.deferred {
+				sc.pass.Reportf(s.Pos(), "return with %s still locked (locked at %s, no deferred unlock): early-return paths must release the lock",
+					h.expr, sc.pass.Fset.Position(h.pos))
+			}
+		}
+	case *ast.BlockStmt:
+		held = sc.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = sc.stmt(s.Init, held)
+		}
+		sc.block(s.Body.List, append([]heldLock(nil), held...))
+		if s.Else != nil {
+			sc.stmt(s.Else, append([]heldLock(nil), held...))
+		}
+	case *ast.ForStmt:
+		sc.block(s.Body.List, append([]heldLock(nil), held...))
+	case *ast.RangeStmt:
+		sc.block(s.Body.List, append([]heldLock(nil), held...))
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sc.block(cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sc.block(cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				sc.block(cc.Body, append([]heldLock(nil), held...))
+			}
+		}
+	case *ast.LabeledStmt:
+		held = sc.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+func release(held []heldLock, expr string) []heldLock {
+	out := held[:0:len(held)]
+	for _, h := range held {
+		if h.expr != expr {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// lockCall classifies e as a Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") call on a sync lock, returning the lock expression.
+func (sc *scanner) lockCall(e ast.Expr) (lockExpr, kind string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return "", ""
+	}
+	t := sc.pass.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !isSyncLock(t) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), kind
+}
+
+func isSyncLock(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isShard reports whether the lock call's owner looks like a memo
+// shard: the expression or any owner type on its selector path names
+// "shard".
+func isShard(pass *analysis.Pass, call ast.Expr) bool {
+	c, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if strings.Contains(strings.ToLower(types.ExprString(sel.X)), "shard") {
+		return true
+	}
+	for e := sel.X; ; {
+		inner, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		if t := pass.TypeOf(inner.X); t != nil {
+			if strings.Contains(strings.ToLower(types.TypeString(t, nil)), "shard") {
+				return true
+			}
+		}
+		e = inner.X
+	}
+	return false
+}
+
+// checkAcross reports rule-3 findings: evaluation or channel traffic
+// inside st while a shard lock is held. Nested function literals and
+// nested statement bodies are scanned when they execute inline; `go`
+// statements are themselves findings.
+func (sc *scanner) checkAcross(st ast.Stmt, held []heldLock) {
+	var shard *heldLock
+	for i := range held {
+		if held[i].shard {
+			shard = &held[i]
+			break
+		}
+	}
+	if shard == nil {
+		return
+	}
+	// Only inspect the statement's own expressions, not nested bodies —
+	// those are scanned with the same held state by the structural walk.
+	var exprs []ast.Expr
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		exprs = append(exprs, s.X)
+	case *ast.AssignStmt:
+		exprs = append(append(exprs, s.Lhs...), s.Rhs...)
+	case *ast.ReturnStmt:
+		exprs = append(exprs, s.Results...)
+	case *ast.IfStmt:
+		exprs = append(exprs, s.Cond)
+	case *ast.SendStmt:
+		sc.pass.Reportf(s.Pos(), "channel send while shard lock %s is held (locked at %s): release the stripe before communicating",
+			shard.expr, sc.pass.Fset.Position(shard.pos))
+		return
+	case *ast.GoStmt:
+		sc.pass.Reportf(s.Pos(), "go statement while shard lock %s is held (locked at %s): release the stripe before spawning workers",
+			shard.expr, sc.pass.Fset.Position(shard.pos))
+		return
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					sc.pass.Reportf(x.Pos(), "channel receive while shard lock %s is held (locked at %s): release the stripe before communicating",
+						shard.expr, sc.pass.Fset.Position(shard.pos))
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Evaluate", "ProbeMoves", "Wait":
+						sc.pass.Reportf(x.Pos(), "%s while shard lock %s is held (locked at %s): the memo stripe discipline is lock, touch the map, unlock",
+							sel.Sel.Name, shard.expr, sc.pass.Fset.Position(shard.pos))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

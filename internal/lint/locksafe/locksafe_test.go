@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, locksafe.New(locksafe.Config{}), "locksafe")
+}

@@ -1,0 +1,118 @@
+package locksafe
+
+import "sync"
+
+type session struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(s session) int { // want `parameter passes session by value`
+	return s.n
+}
+
+func byValueRecv(s session) {} // want `parameter passes session by value`
+
+func (s session) valueMethod() int { // want `method receiver passes session by value`
+	return s.n
+}
+
+func (s *session) pointerMethod() int { // ok: pointer receiver
+	return s.n
+}
+
+func derefCopy(p *session) int {
+	c := *p // want `assignment copies \*session by value`
+	return c.n
+}
+
+func callCopy(p *session) int {
+	return byValueParam(*p) // want `call argument copies \*session by value`
+}
+
+func rangeCopy(ss []session) int {
+	total := 0
+	for _, s := range ss { // want `range copies session elements by value`
+		total += s.n
+	}
+	return total
+}
+
+func rangeIndex(ss []session) int {
+	total := 0
+	for i := range ss { // ok: index iteration, no copy
+		total += ss[i].n
+	}
+	return total
+}
+
+func earlyReturn(s *session) int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want `return with s\.mu still locked`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func deferredUnlock(s *session) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n // ok: deferred unlock covers every path
+	}
+	return 0
+}
+
+func unlockBothPaths(s *session) int {
+	s.mu.Lock()
+	if s.n > 0 {
+		v := s.n
+		s.mu.Unlock()
+		return v // ok: unlocked on this path
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[uint64]int
+}
+
+type engine struct{}
+
+func (engine) Evaluate() int { return 0 }
+
+func acrossEvaluate(sh *memoShard, ev engine) int {
+	sh.mu.Lock()
+	v := ev.Evaluate() // want `Evaluate while shard lock sh\.mu is held`
+	sh.mu.Unlock()
+	return v
+}
+
+func acrossChannel(sh *memoShard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `channel send while shard lock sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func acrossSpawn(sh *memoShard) {
+	sh.mu.Lock()
+	go func() {}() // want `go statement while shard lock sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func shardDiscipline(sh *memoShard, k uint64) (int, bool) {
+	sh.mu.Lock()
+	v, ok := sh.m[k] // ok: lock, touch the map, unlock
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func sessionHeldEval(s *session, ev engine) int {
+	s.mu.Lock()
+	v := ev.Evaluate() // ok: not a shard lock — sessions pin state across probes by design
+	s.mu.Unlock()
+	return v
+}

@@ -1,0 +1,99 @@
+// Package nodeterm bans ambient nondeterminism in the core packages:
+// wall-clock reads (time.Now / Since / Until), the global math/rand
+// state, environment reads (os.Getenv / LookupEnv / Environ), and
+// scheduler introspection (runtime.GOMAXPROCS / NumCPU). Exact search
+// results, damage vectors and journal bytes must be pure functions of
+// their inputs — these are the rules the workflow/resume machinery
+// already forced on the search core, now machine-checked.
+//
+// Deliberate exceptions carry `//lint:allow nodeterm <reason>`: the
+// canonical one is a worker-count default (`workers <= 0 selects
+// GOMAXPROCS`) in a path whose results are proven worker-count
+// invariant. Seeded generators (rand.New(rand.NewSource(seed))) are
+// fine — only the global math/rand functions are banned. time.Sleep
+// is fine too: backoff pacing delays outputs without entering them.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the analyzer; empty Packages means all (fixtures).
+type Config struct {
+	Packages []string
+}
+
+// banned maps package path -> function name -> short why.
+var banned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+	"runtime": {
+		"GOMAXPROCS": "scheduler-dependent value",
+		"NumCPU":     "machine-dependent value",
+	},
+}
+
+// randAllowed are the math/rand package functions that construct
+// seeded, caller-owned state instead of reading the shared global.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// New builds the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "nodeterm",
+		Doc:  "bans wall-clock, global rand, env and GOMAXPROCS reads in deterministic core code",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), cfg.Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are caller-owned state
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch path {
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[name] {
+					pass.Reportf(sel.Pos(), "%s.%s reads the global math/rand state; seed a local rand.New(rand.NewSource(seed)) instead, or annotate with %snodeterm <reason>",
+						path, name, analysis.AllowPrefix[2:])
+				}
+			default:
+				if why, ok := banned[path][name]; ok {
+					pass.Reportf(sel.Pos(), "%s.%s is a %s; deterministic core code must take it as an input, or annotate with %snodeterm <reason>",
+						path, name, why, analysis.AllowPrefix[2:])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	linttest.Run(t, nodeterm.New(nodeterm.Config{}), "nodeterm")
+}

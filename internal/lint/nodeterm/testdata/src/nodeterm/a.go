@@ -1,0 +1,41 @@
+package nodeterm
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func clocks() int64 {
+	t := time.Now() // want `time\.Now is a wall-clock read`
+	return t.Unix()
+}
+
+func environment() string {
+	return os.Getenv("HOME") // want `os\.Getenv is a environment read`
+}
+
+func scheduler() int {
+	return runtime.GOMAXPROCS(0) // want `runtime\.GOMAXPROCS is a scheduler-dependent value`
+}
+
+func globalRand() int {
+	return rand.Int() // want `math/rand\.Int reads the global math/rand state`
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: caller-owned, seeded state
+	return rng.Intn(10)
+}
+
+func pacing() {
+	time.Sleep(time.Millisecond) // ok: delays output without entering it
+}
+
+func workerDefault(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default; results worker-count invariant
+	}
+	return workers
+}

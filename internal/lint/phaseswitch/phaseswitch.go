@@ -1,0 +1,205 @@
+// Package phaseswitch enforces exhaustive switches over the marked
+// state-machine enums — the controller's move phases, outcomes, move
+// results, node statuses and mutation kinds. Adding a phase to the
+// two-phase machine must break `make lint`, not crash recovery: a
+// switch over a marked enum must name every declared constant of the
+// type. A default clause is allowed (defensive handling of corrupt
+// journals) but does not excuse a missing named case.
+//
+// Types opt in two ways:
+//
+//   - `//replicalint:exhaustive` on the type declaration (checked for
+//     switches in the declaring package), or
+//   - Config.Types, fully qualified ("pkg/path.Name"), which also
+//     covers switches in importing packages (where only the exported
+//     constants are visible and required).
+package phaseswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config lists additionally enforced enum types as "pkg/path.Name".
+type Config struct {
+	Types []string
+}
+
+// DefaultTypes is the production configuration: the controller's
+// journaled state-machine enums, enforced even from importing packages.
+var DefaultTypes = []string{
+	"repro/internal/controller.Phase",
+	"repro/internal/controller.Outcome",
+	"repro/internal/controller.MoveResult",
+	"repro/internal/controller.NodeStatus",
+	"repro/internal/controller.MutationKind",
+}
+
+// New builds the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "phaseswitch",
+		Doc:  "switches over marked state-machine enums must cover every declared constant",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+type enumInfo struct {
+	name   *types.TypeName
+	consts []*types.Const // declared constants of the type, declaration order
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	enums := collectEnums(pass, cfg)
+	if len(enums) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := pass.TypeOf(sw.Tag)
+			if t == nil {
+				return true
+			}
+			named, ok := types.Unalias(t).(*types.Named)
+			if !ok {
+				return true
+			}
+			info, ok := enums[named.Obj()]
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw, info)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectEnums finds the enforced enum types visible to this package:
+// marker-carrying declarations in the package itself, plus the
+// configured fully-qualified list resolved through the import graph.
+func collectEnums(pass *analysis.Pass, cfg Config) map[*types.TypeName]enumInfo {
+	enums := make(map[*types.TypeName]enumInfo)
+
+	addConsts := func(tn *types.TypeName, scope *types.Scope) {
+		target := types.Unalias(tn.Type())
+		var cs []*types.Const
+		names := scope.Names() // sorted: deterministic report order
+		for _, nm := range names {
+			c, ok := scope.Lookup(nm).(*types.Const)
+			if !ok {
+				continue
+			}
+			if types.Identical(types.Unalias(c.Type()), target) {
+				cs = append(cs, c)
+			}
+		}
+		if len(cs) > 0 {
+			enums[tn] = enumInfo{name: tn, consts: cs}
+		}
+	}
+
+	// Marker-carrying declarations in the analyzed package.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !analysis.HasMarker(gd.Doc, analysis.ExhaustiveMarker) &&
+					!analysis.HasMarker(ts.Doc, analysis.ExhaustiveMarker) {
+					continue
+				}
+				tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				addConsts(tn, pass.Pkg.Scope())
+			}
+		}
+	}
+
+	// Configured types, resolved in this package or its imports.
+	for _, full := range cfg.Types {
+		dot := strings.LastIndex(full, ".")
+		if dot < 0 {
+			continue
+		}
+		path, name := full[:dot], full[dot+1:]
+		var p *types.Package
+		if pass.Pkg.Path() == path {
+			p = pass.Pkg
+		} else {
+			for _, imp := range pass.Pkg.Imports() {
+				if imp.Path() == path {
+					p = imp
+					break
+				}
+			}
+		}
+		if p == nil {
+			continue
+		}
+		tn, ok := p.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if _, dup := enums[tn]; !dup {
+			addConsts(tn, p.Scope())
+		}
+	}
+	return enums
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, info enumInfo) {
+	covered := make([]bool, len(info.consts))
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue // default clause
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			for i, c := range info.consts {
+				if !covered[i] && constant.Compare(tv.Value, token.EQL, c.Val()) {
+					covered[i] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for i, c := range info.consts {
+		if !covered[i] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch, "switch over %s misses %s; the %s enum is marked exhaustive — handle every value (a default clause does not excuse named cases)",
+		info.name.Name(), strings.Join(missing, ", "), info.name.Name())
+}

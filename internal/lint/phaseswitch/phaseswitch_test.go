@@ -1,0 +1,12 @@
+package phaseswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/phaseswitch"
+)
+
+func TestPhaseswitch(t *testing.T) {
+	linttest.Run(t, phaseswitch.New(phaseswitch.Config{}), "phaseswitch")
+}

@@ -1,0 +1,76 @@
+package phaseswitch
+
+// Phase is a journaled move phase.
+//
+//replicalint:exhaustive
+type Phase string
+
+const (
+	PhaseIntent   Phase = "intent"
+	PhasePrepared Phase = "prepared"
+	PhaseAdded    Phase = "added"
+)
+
+func exhaustive(p Phase) string {
+	switch p { // ok: every constant named
+	case PhaseIntent:
+		return "i"
+	case PhasePrepared:
+		return "p"
+	case PhaseAdded:
+		return "a"
+	}
+	return "?"
+}
+
+func missingOne(p Phase) string {
+	switch p { // want `switch over Phase misses PhaseAdded`
+	case PhaseIntent:
+		return "i"
+	case PhasePrepared:
+		return "p"
+	default:
+		return "?" // a default does not excuse the missing case
+	}
+}
+
+func missingTwo(p Phase) bool {
+	switch p { // want `switch over Phase misses PhaseAdded, PhasePrepared`
+	case PhaseIntent:
+		return true
+	}
+	return false
+}
+
+func multiCase(p Phase) bool {
+	switch p { // ok: grouped cases cover everything
+	case PhaseIntent, PhasePrepared:
+		return false
+	case PhaseAdded:
+		return true
+	}
+	return false
+}
+
+func annotated(p Phase) bool {
+	switch p { //lint:allow phaseswitch only the terminal phase matters here
+	case PhaseAdded:
+		return true
+	}
+	return false
+}
+
+type unmarked int
+
+const (
+	u0 unmarked = iota
+	u1
+)
+
+func unmarkedType(u unmarked) bool {
+	switch u { // ok: type not marked exhaustive
+	case u0:
+		return true
+	}
+	return false
+}

@@ -674,6 +674,7 @@ func (in *HitInstance) CloneForMoves() *HitInstance {
 	cp.prepared, cp.invStale, cp.track = false, false, false
 	cp.deadSpent = 0
 	cp.cursor, cp.top, cp.hitScratch, cp.objScratch = nil, nil, nil, nil
+	cp.assertInvariants("CloneForMoves")
 	return &cp
 }
 

@@ -1,0 +1,169 @@
+//go:build invariants
+
+package search
+
+import "fmt"
+
+// InvariantsEnabled reports whether the build carries the runtime
+// invariant assertions (`go test -tags invariants`).
+const InvariantsEnabled = true
+
+// assertInvariants validates the full CSR contract after a structural
+// mutation (ApplyMove, RevertMove, CloneForMoves). It recomputes every
+// derived quantity from the hit runs — the one source of truth — and
+// panics on the first divergence. O(nnz) per call: strictly a debug
+// build; the !invariants stub compiles to nothing.
+//
+// The checked contract:
+//
+//	offs    monotone, 0-based, closed by len(hits)
+//	runs    sorted strictly ascending by Obj, every C >= 1, Obj in range
+//	objs    (C = 1 strip) mirrors hits exactly when present
+//	loads   Σ C·w per run, non-increasing (canonical order), key-tied
+//	full    equals loads entry-wise when prepared; fullSum = Σ full
+//	index   inverted object → candidate CSR matches the forward runs
+//	        whenever it claims freshness (prepared && !invStale)
+//	cnt     clean (all zero) — moves are between-search operations
+func (in *HitInstance) assertInvariants(context string) {
+	fail := func(format string, args ...any) {
+		panic(fmt.Sprintf("search: invariants after %s: %s", context, fmt.Sprintf(format, args...)))
+	}
+	m := in.Len()
+	numObjects := len(in.cnt)
+
+	// offs well-formedness.
+	if len(in.offs) != m+1 || in.offs[0] != 0 {
+		fail("offs malformed: len %d (want %d), offs[0] %d", len(in.offs), m+1, in.offs[0])
+	}
+	if int(in.offs[m]) != len(in.hits) {
+		fail("offs[%d] = %d does not close len(hits) = %d", m, in.offs[m], len(in.hits))
+	}
+	for i := 0; i < m; i++ {
+		if in.offs[i] > in.offs[i+1] {
+			fail("offs not monotone at %d: %d > %d", i, in.offs[i], in.offs[i+1])
+		}
+	}
+
+	// Runs: sorted, positive counts, objects in range. Recompute loads.
+	if len(in.loads) != m {
+		fail("len(loads) = %d, want %d", len(in.loads), m)
+	}
+	for i := 0; i < m; i++ {
+		run := in.hits[in.offs[i]:in.offs[i+1]]
+		var sum int64
+		for j, h := range run {
+			if h.C < 1 {
+				fail("candidate %d hit %d: count %d < 1", i, j, h.C)
+			}
+			if h.Obj < 0 || int(h.Obj) >= numObjects {
+				fail("candidate %d hit %d: object %d out of range [0, %d)", i, j, h.Obj, numObjects)
+			}
+			if j > 0 && run[j-1].Obj >= h.Obj {
+				fail("candidate %d run not strictly ascending at %d: %d >= %d", i, j, run[j-1].Obj, h.Obj)
+			}
+			c := int64(h.C)
+			if in.w != nil {
+				c *= in.w[h.Obj]
+			}
+			sum += c
+		}
+		if in.loads[i] != sum {
+			fail("candidate %d load %d != Σ C·w %d", i, in.loads[i], sum)
+		}
+	}
+
+	// C = 1 fast strip mirrors the runs.
+	if in.objs != nil {
+		if len(in.objs) != len(in.hits) {
+			fail("objs strip len %d != len(hits) %d", len(in.objs), len(in.hits))
+		}
+		for g, h := range in.hits {
+			if h.C != 1 {
+				fail("objs strip present but hits[%d].C = %d", g, h.C)
+			}
+			if in.objs[g] != h.Obj {
+				fail("objs strip diverges at %d: %d != %d", g, in.objs[g], h.Obj)
+			}
+		}
+	}
+
+	// Canonical candidate order: loads non-increasing, keys break ties.
+	if in.moveKeys != nil && len(in.moveKeys) != m {
+		fail("len(moveKeys) = %d, want %d", len(in.moveKeys), m)
+	}
+	for i := 1; i < m; i++ {
+		if in.loads[i-1] < in.loads[i] {
+			fail("loads not non-increasing at %d: %d < %d", i, in.loads[i-1], in.loads[i])
+		}
+		if in.moveKeys != nil && in.loads[i-1] == in.loads[i] && in.moveKeys[i-1] >= in.moveKeys[i] {
+			fail("load tie at %d not key-ordered: key %d >= %d", i, in.moveKeys[i-1], in.moveKeys[i])
+		}
+	}
+
+	// Residual baselines track the patched loads.
+	if in.prepared {
+		if len(in.full) != m {
+			fail("len(full) = %d, want %d", len(in.full), m)
+		}
+		var fullSum int64
+		for i := 0; i < m; i++ {
+			if in.full[i] != in.loads[i] {
+				fail("candidate %d full %d != load %d", i, in.full[i], in.loads[i])
+			}
+			fullSum += in.full[i]
+		}
+		if in.fullSum != fullSum {
+			fail("fullSum %d != Σ full %d", in.fullSum, fullSum)
+		}
+	}
+
+	// Inverted index: only checked when it claims to be fresh.
+	if in.prepared && !in.invStale {
+		in.assertInvertedFresh(fail)
+	}
+
+	// Moves are between-search operations: counters clean, residual
+	// upkeep suspended until the next EnableResidual.
+	for obj, c := range in.cnt {
+		if c != 0 {
+			fail("counter for object %d is %d, want 0 (moves require clean state)", obj, c)
+		}
+	}
+}
+
+// assertInvertedFresh re-derives the object → candidate index from the
+// forward runs and compares it to the stored one.
+func (in *HitInstance) assertInvertedFresh(fail func(string, ...any)) {
+	m := in.Len()
+	numObjects := len(in.cnt)
+	if len(in.objOffs) != numObjects+1 {
+		fail("len(objOffs) = %d, want %d", len(in.objOffs), numObjects+1)
+	}
+	counts := make([]int32, numObjects)
+	for _, h := range in.hits {
+		counts[h.Obj]++
+	}
+	for j := 0; j < numObjects; j++ {
+		if in.objOffs[j+1]-in.objOffs[j] != counts[j] {
+			fail("object %d inverted run length %d, want %d", j, in.objOffs[j+1]-in.objOffs[j], counts[j])
+		}
+	}
+	if len(in.objHits) != len(in.hits) {
+		fail("len(objHits) = %d != len(hits) = %d", len(in.objHits), len(in.hits))
+	}
+	cursor := append([]int32(nil), in.objOffs[:numObjects]...)
+	for i := 0; i < m; i++ {
+		for _, h := range in.hits[in.offs[i]:in.offs[i+1]] {
+			g := cursor[h.Obj]
+			ch := in.objHits[g]
+			if int(ch.Cand) != i || ch.C != h.C {
+				fail("inverted entry %d for object %d is (cand %d, C %d), want (cand %d, C %d)",
+					g, h.Obj, ch.Cand, ch.C, i, h.C)
+			}
+			if in.objCands != nil && in.objCands[g] != ch.Cand {
+				fail("objCands strip diverges at %d: %d != %d", g, in.objCands[g], ch.Cand)
+			}
+			cursor[h.Obj]++
+		}
+	}
+}

@@ -100,6 +100,7 @@ func (in *HitInstance) ApplyMove(obj, from, to int) (newFrom, newTo int) {
 		}
 		to--
 	}
+	in.assertInvariants("ApplyMove")
 	return from, to
 }
 

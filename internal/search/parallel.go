@@ -39,7 +39,7 @@ func BranchAndBoundParallel(probe Instance, newInst func() (Instance, error), se
 // search use ParallelSearch directly.
 func BranchAndBoundParallelWith(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (Result, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	if workers == 1 {
 		return BranchAndBoundWith(probe, seed, bud, bound), nil
@@ -65,7 +65,7 @@ func BranchAndBoundParallelWith(probe Instance, newInst func() (Instance, error)
 // Deprecated: use BranchAndBoundParallelWith.
 func BranchAndBoundShardedWith(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (Result, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	if workers == 1 {
 		return BranchAndBoundWith(probe, seed, bud, bound), nil

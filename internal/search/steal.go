@@ -171,7 +171,7 @@ type ParallelSearch struct {
 // means unlimited.
 func NewParallelSearch(probe Instance, newInst func() (Instance, error), seed Result, bud *Budget, workers int, bound Bound) (*ParallelSearch, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lint:allow nodeterm worker-count default only; results are proven worker-count invariant
 	}
 	instances := make([]Instance, workers)
 	instances[0] = probe
